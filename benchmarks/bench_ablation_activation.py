@@ -1,0 +1,56 @@
+"""Ablation: incremental data-plane activation vs central refresh.
+
+Design choice 1 (DESIGN.md): SkeletonHunter activates probe targets via
+data-plane registration the moment a container is ready, while classic
+Pingmesh refreshes activation centrally on a period and therefore probes
+containers whose network stack is still initializing.  The metric is the
+number of guaranteed-false probes issued during a task's phased startup.
+"""
+
+from conftest import print_table, run_once
+from repro.baselines.pingmesh import PingmeshBaseline
+from repro.workloads.scenarios import build_scenario
+
+
+def test_ablation_incremental_activation(benchmark):
+    def experiment():
+        scenario = build_scenario(
+            num_containers=4, gpus_per_container=4, pp=2, seed=51,
+            instant_startup=False,
+        )
+        baseline = PingmeshBaseline(
+            scenario.task, activation_refresh_s=60.0
+        )
+        false_probes = 0
+        checkpoints = 0
+        while not scenario.task.all_running:
+            scenario.run_for(10)
+            baseline.refresh_activation(scenario.engine.now)
+            false_probes += len(
+                baseline.startup_false_probes(scenario.engine.now)
+            )
+            checkpoints += 1
+            if checkpoints > 500:
+                break
+        scenario.run_for(120)
+        return scenario, false_probes
+
+    scenario, pingmesh_false_probes = run_once(benchmark, experiment)
+
+    hunter_false_events = len(scenario.hunter.events)
+    print_table(
+        "Ablation: activation strategy during phased startup",
+        ["strategy", "false probes / events during startup"],
+        [
+            ["central refresh (Pingmesh)", pingmesh_false_probes],
+            ["incremental registration (SkeletonHunter)",
+             hunter_false_events],
+        ],
+    )
+    benchmark.extra_info["pingmesh_false_probes"] = pingmesh_false_probes
+    benchmark.extra_info["hunter_false_events"] = hunter_false_events
+
+    # The stale central view mis-probes during startup;
+    # data-plane registration never does.
+    assert pingmesh_false_probes > 0
+    assert hunter_false_events == 0

@@ -1,0 +1,94 @@
+"""Baseline comparison: probe plans vs failure coverage.
+
+Figure 15's scale numbers only matter if the smaller plan still sees the
+failures.  This bench compares the plans along both axes:
+
+* **endpoint coverage** — deTector's link-cover picks few pairs, but a
+  link can be covered without probing every endpoint behind it, so
+  endpoint-level failures (container crash, GID change, VF trouble) on
+  unprobed endpoints are invisible to it;
+* **skeleton** — covers every endpoint the workload uses, because every
+  endpoint carries traffic and therefore sits in the probing matrix.
+"""
+
+from conftest import print_table, run_once
+from repro.baselines.detector import DetectorBaseline
+from repro.baselines.rpingmesh import RPingmeshBaseline
+from repro.core.pinglist import PingList
+from repro.workloads.scenarios import build_scenario
+
+
+def _endpoints_covered(ping_list):
+    covered = set()
+    for pair in ping_list.pairs:
+        covered.add(pair.src)
+        covered.add(pair.dst)
+    return covered
+
+
+def test_probe_plans_vs_endpoint_coverage(benchmark):
+    def experiment():
+        scenario = build_scenario(
+            num_containers=8, gpus_per_container=8, pp=2, seed=61,
+            start_monitoring=False,
+        )
+        scenario.apply_skeleton()
+        task = scenario.task
+        all_endpoints = set(task.endpoints())
+        plans = {
+            "Pingmesh (full mesh)": PingList.full_mesh(task.endpoints()),
+            "R-Pingmesh (ToR pairs)": RPingmeshBaseline(
+                scenario.cluster, task
+            ).ping_list,
+            "deTector (link cover)": DetectorBaseline(
+                scenario.cluster, task
+            ).ping_list,
+            "SkeletonHunter": scenario.hunter.controller.ping_list_of(
+                task.id
+            ),
+        }
+        return all_endpoints, plans
+
+    all_endpoints, plans = run_once(benchmark, experiment)
+
+    rows = []
+    coverage = {}
+    for name, plan in plans.items():
+        covered = _endpoints_covered(plan)
+        coverage[name] = covered
+        rows.append([
+            name, len(plan), len(covered),
+            f"{len(covered) / len(all_endpoints):.2f}",
+        ])
+    print_table(
+        "Probe plans: size vs endpoint coverage (64 endpoints)",
+        ["plan", "probe pairs", "endpoints covered", "coverage"],
+        rows,
+    )
+    benchmark.extra_info["skeleton_pairs"] = len(plans["SkeletonHunter"])
+
+    # The skeleton probes every endpoint the workload uses with an
+    # order of magnitude fewer pairs than the full mesh.
+    skeleton = plans["SkeletonHunter"]
+    assert coverage["SkeletonHunter"] == all_endpoints
+    assert len(skeleton) * 10 < len(plans["Pingmesh (full mesh)"])
+
+    # The ToR-pair plan leaves endpoints entirely unprobed: failures
+    # scoped to those endpoints (crashes, GID changes, VF faults) are
+    # invisible to it.
+    missed_endpoints = all_endpoints - coverage["R-Pingmesh (ToR pairs)"]
+    assert missed_endpoints
+    print(f"\nR-Pingmesh leaves {len(missed_endpoints)} endpoints "
+          "unprobed; a container crash there would go unnoticed")
+
+    # deTector touches every endpoint here (each has its own RNIC leaf
+    # link) but probes almost none of the pairs the workload actually
+    # communicates over — flow-scoped faults (per-flow firmware
+    # latency, selective mis-offloading) on the training traffic's own
+    # connections are invisible to a link-cover plan.
+    skeleton_pairs = set(skeleton.pairs)
+    detector_pairs = set(plans["deTector (link cover)"].pairs)
+    probed_traffic = len(skeleton_pairs & detector_pairs)
+    print(f"deTector probes {probed_traffic} of "
+          f"{len(skeleton_pairs)} traffic-carrying pairs")
+    assert probed_traffic < len(skeleton_pairs) / 2

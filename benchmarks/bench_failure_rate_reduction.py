@@ -1,0 +1,99 @@
+"""§7.1: the monthly network failure rate after fixing localized culprits.
+
+Paper: 4,816 failures were localized to 1,302 components; 98% of those
+components were fixed, after which the monthly failure rate dropped by
+99.1%.  The mechanism this bench reproduces: a component that is
+*correctly localized* can be repaired, and a repaired component stops
+producing failures.  Month 1 draws faults from a pool of flaky
+components; every correctly-localized culprit is fixed; month 2 draws
+from the same pool minus the fixed ones.  The failure-rate reduction
+therefore equals the fraction of faulting components the pipeline
+pinned down.
+"""
+
+from conftest import print_table, run_once
+from repro.network.issues import IssueType
+from repro.workloads.scenarios import build_scenario
+
+# The flaky-component pool: (issue, target picker) per component.
+POOL = [
+    (IssueType.RNIC_PORT_DOWN, lambda s: s.rnic_of_rank(4)),
+    (IssueType.RNIC_FIRMWARE_NOT_RESPONDING, lambda s: s.rnic_of_rank(8)),
+    (IssueType.OFFLOADING_FAILURE, lambda s: s.rnic_of_rank(12)),
+    (IssueType.HUGEPAGE_MISCONFIGURATION,
+     lambda s: s.rnic_of_rank(4).host),
+    (IssueType.PCIE_NIC_ERROR, lambda s: s.rnic_of_rank(8).host),
+    (IssueType.SWITCH_OFFLINE,
+     lambda s: s.topology.tor_of(s.rnic_of_rank(4))),
+    (IssueType.CONGESTION_CONTROL_ISSUE,
+     lambda s: s.topology.tor_of(s.rnic_of_rank(8))),
+    (IssueType.RNIC_GID_CHANGE, lambda s: s.rnic_of_rank(0)),
+]
+
+
+def _run_month(flaky, seed):
+    """One 'month': every flaky component faults once; returns per-
+    component (failures observed, correctly localized)."""
+    scenario = build_scenario(
+        num_containers=4, gpus_per_container=4, pp=2, seed=seed,
+    )
+    scenario.run_for(200)
+    outcomes = []
+    faults = []
+    for issue, pick in flaky:
+        fault = scenario.inject(issue, pick(scenario))
+        faults.append(fault)
+        scenario.run_for(80)
+        scenario.clear(fault)
+        scenario.run_for(160)  # long enough for incidents to resolve
+    score, fault_outcomes = scenario.score(faults)
+    for (issue, pick), outcome in zip(flaky, fault_outcomes):
+        outcomes.append(((issue, pick), outcome))
+    return outcomes
+
+
+def test_failure_rate_reduction_after_fixes(benchmark):
+    def experiment():
+        month1 = _run_month(POOL, seed=301)
+        failures_month1 = sum(
+            1 for _, outcome in month1 if outcome.detected
+        )
+        # Fix every correctly-localized component; the rest keep
+        # faulting (the paper's unfixable 2%: opaque switch/RNIC
+        # internals).
+        unfixed = [
+            component for component, outcome in month1
+            if not (outcome.detected and outcome.localized)
+        ]
+        month2 = _run_month(unfixed, seed=302) if unfixed else []
+        failures_month2 = sum(
+            1 for _, outcome in month2 if outcome.detected
+        )
+        return month1, failures_month1, failures_month2
+
+    month1, failures_month1, failures_month2 = run_once(
+        benchmark, experiment
+    )
+
+    localized = sum(
+        1 for _, o in month1 if o.detected and o.localized
+    )
+    reduction = (
+        1.0 - failures_month2 / failures_month1
+        if failures_month1 else 0.0
+    )
+    print_table(
+        "§7.1: monthly failure rate before/after fixing culprits "
+        "(paper: -99.1%)",
+        ["month-1 failures", "localized & fixed", "month-2 failures",
+         "reduction"],
+        [[failures_month1, localized, failures_month2,
+          f"{reduction:.1%}"]],
+    )
+    benchmark.extra_info["reduction"] = reduction
+
+    # (Nearly) every fault is caught: back-to-back faults on one pair
+    # can fold into a still-open incident, as in production.
+    assert failures_month1 >= len(POOL) - 1
+    # Fixing the localized culprits eliminates (nearly) all recurrence.
+    assert reduction >= 0.85

@@ -1,0 +1,51 @@
+"""Figure 2: container lifetime distribution by training-task size.
+
+Paper shape: ~50% of containers in tasks of <=256 containers live under
+60 minutes; ~70% of all containers live under 100 minutes; larger tasks
+live longer.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.workloads.production import ProductionStatistics, empirical_cdf
+
+
+def test_fig02_lifetime_cdf_by_task_size(benchmark):
+    stats = ProductionStatistics(seed=2)
+
+    def experiment():
+        curves = {}
+        for bucket in stats.buckets.sizes:
+            lifetimes = stats.container_lifetimes_minutes(bucket, n=20_000)
+            curves[bucket] = lifetimes
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    marks = [15, 30, 60, 100, 200, 400]
+    rows = []
+    for bucket, lifetimes in curves.items():
+        values, fractions = empirical_cdf(lifetimes)
+        row = [bucket] + [
+            f"{np.searchsorted(values, m) / len(values):.2f}" for m in marks
+        ]
+        rows.append(row)
+    print_table(
+        "Figure 2: lifetime CDF by task size (fraction < X minutes)",
+        ["task size"] + [f"<{m}m" for m in marks],
+        rows,
+    )
+
+    small = curves["<=256"]
+    pooled = np.concatenate(list(curves.values()))
+    frac_small_60 = float(np.mean(small < 60.0))
+    frac_all_100 = float(np.mean(pooled < 100.0))
+    benchmark.extra_info["small_tasks_under_60min"] = frac_small_60
+    benchmark.extra_info["all_under_100min"] = frac_all_100
+
+    # Paper: ~50% of <=256 containers under 60 min; ~70% under 100 min.
+    assert 0.40 < frac_small_60 < 0.60
+    assert 0.60 < frac_all_100 < 0.80
+    # Larger tasks shift the CDF right.
+    assert np.median(curves["<=64"]) < np.median(curves["<=1024"])

@@ -1,0 +1,47 @@
+"""Figure 4: container startup times of six training tasks.
+
+Paper shape: most tasks need a couple of minutes to initialize all
+containers in a phased pattern; larger tasks bear heavier tails, up to
+~10 minutes.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.workloads.production import ProductionStatistics
+
+
+TASK_SIZES = [16, 64, 128, 256, 512, 1024]
+
+
+def test_fig04_startup_time_distribution(benchmark):
+    stats = ProductionStatistics(seed=4)
+
+    def experiment():
+        return {
+            size: stats.startup_times_seconds(size) for size in TASK_SIZES
+        }
+
+    delays = run_once(benchmark, experiment)
+
+    rows = []
+    for size, values in delays.items():
+        rows.append([
+            size,
+            f"{np.median(values):.0f}",
+            f"{np.percentile(values, 90):.0f}",
+            f"{np.percentile(values, 99):.0f}",
+            f"{values.max():.0f}",
+        ])
+    print_table(
+        "Figure 4: startup time by task size (seconds)",
+        ["task size", "p50", "p90", "p99", "max"],
+        rows,
+    )
+
+    tails = {size: float(values.max()) for size, values in delays.items()}
+    benchmark.extra_info.update({str(k): v for k, v in tails.items()})
+    # Larger tasks bear higher tails; the largest reaches minutes.
+    assert np.percentile(delays[1024], 99) > np.percentile(delays[16], 99)
+    assert tails[1024] > 120.0
+    assert tails[1024] < 1200.0  # bounded near the paper's ~10 minutes

@@ -1,0 +1,34 @@
+"""Figure 5: number of RNICs allocated per container.
+
+Paper shape: the vast majority of containers bind eight RNICs, a
+nontrivial portion four — matching one dedicated RNIC per GPU.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.workloads.production import ProductionStatistics
+
+
+def test_fig05_rnic_allocation_distribution(benchmark):
+    stats = ProductionStatistics(seed=5)
+
+    allocations = run_once(
+        benchmark, lambda: stats.rnic_allocations(n=50_000)
+    )
+
+    counts, fractions = np.unique(allocations, return_counts=True)
+    shares = {
+        int(c): float(f) / len(allocations)
+        for c, f in zip(counts, fractions)
+    }
+    print_table(
+        "Figure 5: RNICs allocated per container",
+        ["#RNICs", "share"],
+        [[c, f"{share:.3f}"] for c, share in sorted(shares.items())],
+    )
+    benchmark.extra_info.update({str(k): v for k, v in shares.items()})
+
+    assert shares[8] > 0.5          # eight dominates
+    assert shares[4] > 0.15         # four is the clear runner-up
+    assert shares[8] > shares[4] > shares.get(2, 0.0)

@@ -1,0 +1,52 @@
+"""Figure 6: distribution of flow-table items per host.
+
+Paper shape: the average host carries over 40 flow-table items and the
+maximum reaches ~9.3K.  We report both the parametric production model
+and the flow tables an actually-monitored simulated task installs.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.workloads.production import ProductionStatistics
+from repro.workloads.scenarios import build_scenario
+
+
+def test_fig06_flow_table_items_model(benchmark):
+    stats = ProductionStatistics(seed=6)
+
+    items = run_once(benchmark, lambda: stats.flow_table_items(50_000))
+
+    rows = [[
+        f"{items.mean():.1f}", f"{np.median(items):.0f}",
+        f"{np.percentile(items, 99):.0f}", f"{items.max()}",
+    ]]
+    print_table(
+        "Figure 6: flow-table items per host (production model)",
+        ["mean", "p50", "p99", "max"],
+        rows,
+    )
+    benchmark.extra_info["mean"] = float(items.mean())
+    benchmark.extra_info["max"] = int(items.max())
+    assert items.mean() > 40.0    # paper: average above 40
+    assert items.max() <= 9300    # paper: maximum ~9.3K
+    assert items.max() > 1000
+
+
+def test_fig06_flow_tables_of_live_task(benchmark):
+    def experiment():
+        scenario = build_scenario(
+            num_containers=4, gpus_per_container=4, pp=2, seed=6,
+        )
+        scenario.run_for(30)  # probing installs ENCAP rules
+        return scenario.cluster.overlay.flow_table_sizes()
+
+    sizes = run_once(benchmark, experiment)
+    rows = [[str(host), count] for host, count in sorted(sizes.items())]
+    print_table(
+        "Figure 6 (live): flow-table items per monitored host",
+        ["host", "items"],
+        rows,
+    )
+    # Every probed host carries deliver rules plus per-peer encap rules.
+    assert all(count > 4 for count in sizes.values())

@@ -1,0 +1,29 @@
+"""Figure 12: distribution of the number of GPUs in a training job.
+
+Paper shape: requested GPU counts are confined to multiples of eight,
+with visible mass at 128, 512, and 1024.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.workloads.production import ProductionStatistics
+
+
+def test_fig12_job_gpu_count_distribution(benchmark):
+    stats = ProductionStatistics(seed=12)
+
+    sizes = run_once(benchmark, lambda: stats.job_gpu_counts(n=50_000))
+
+    values, counts = np.unique(sizes, return_counts=True)
+    shares = {int(v): float(c) / len(sizes) for v, c in zip(values, counts)}
+    print_table(
+        "Figure 12: GPUs per training job",
+        ["#GPUs", "share"],
+        [[v, f"{s:.3f}"] for v, s in sorted(shares.items())],
+    )
+    benchmark.extra_info.update({str(k): v for k, v in shares.items()})
+
+    assert all(v % 8 == 0 for v in shares)  # multiples of eight only
+    top3 = shares.get(128, 0) + shares.get(512, 0) + shares.get(1024, 0)
+    assert top3 > 0.4  # mass concentrates at 128/512/1024

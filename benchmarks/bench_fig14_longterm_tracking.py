@@ -1,0 +1,47 @@
+"""Figure 14: long-term latency distribution tracking.
+
+Paper shape: fit a log-normal at time T; windows at T+0.5h that still
+follow the fit pass the Z-test, while later windows after a drift
+(T+1h, T+1.5h) deviate and are flagged.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.analysis.stats import fit_lognormal, z_test
+
+
+def test_fig14_longterm_distribution_tracking(benchmark):
+    rng = np.random.default_rng(14)
+
+    def window(scale=1.0, n=900):
+        return np.exp(rng.normal(np.log(16.0), 0.05, n)) * scale
+
+    def experiment():
+        reference = fit_lognormal(window())          # time T
+        results = {
+            "T+0.5h (healthy)": z_test(reference, window(1.0)),
+            "T+1.0h (drifted)": z_test(reference, window(1.18)),
+            "T+1.5h (drifted)": z_test(reference, window(1.30)),
+        }
+        return reference, results
+
+    reference, results = run_once(benchmark, experiment)
+
+    rows = [
+        [label, f"{r.z:.1f}", f"{r.p_value:.2e}",
+         "ANOMALY" if r.anomalous(1e-4) else "ok"]
+        for label, r in results.items()
+    ]
+    print_table(
+        "Figure 14: Z-tests against the reference log-normal "
+        f"(median {reference.median_latency:.1f} us)",
+        ["window", "z", "p-value", "verdict"],
+        rows,
+    )
+
+    assert not results["T+0.5h (healthy)"].anomalous(1e-4)
+    assert results["T+1.0h (drifted)"].anomalous(1e-4)
+    assert results["T+1.5h (drifted)"].anomalous(1e-4)
+    # Larger drift, larger deviation.
+    assert results["T+1.5h (drifted)"].z > results["T+1.0h (drifted)"].z

@@ -1,0 +1,98 @@
+"""Figure 15: the scale of probing targets vs allocated RNICs.
+
+Paper shape: the basic (rail-pruned) ping list is an order of magnitude
+(exactly the rail count, 8x) below the full mesh at every scale, and the
+skeleton list cuts the basic list by >95% at large scale.  Absolute
+full-mesh counts differ from the paper's (their rounds are rate-limited;
+we count raw pairs) but the relative reductions — who wins and by what
+factor — are the reproduced result.
+"""
+
+import math
+
+from conftest import print_table, run_once
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+from repro.cluster.orchestrator import Cluster, Orchestrator
+from repro.cluster.topology import RailOptimizedTopology
+from repro.training.collectives import traffic_edges
+from repro.training.parallelism import ParallelismConfig
+from repro.training.workload import TrainingWorkload
+
+GPUS_PER_CONTAINER = 8
+SWEEP = [256, 512, 1024, 2048]  # total RNICs
+
+
+def full_mesh_count(containers: int, gpc: int) -> int:
+    """Cross-container endpoint pairs of the task (analytic)."""
+    n = containers * gpc
+    return math.comb(n, 2) - containers * math.comb(gpc, 2)
+
+
+def basic_count(containers: int, gpc: int) -> int:
+    """Same-rail cross-container pairs (analytic: rails x C(c, 2))."""
+    return gpc * math.comb(containers, 2)
+
+
+def skeleton_count(containers: int, gpc: int) -> int:
+    """True skeleton edges of a TP8 x PP8 x DP* workload."""
+    topology = RailOptimizedTopology(
+        num_segments=max(2, containers // 8),
+        hosts_per_segment=8,
+        rails_per_host=gpc,
+        num_spines=4,
+    )
+    cluster = Cluster(topology)
+    engine = SimulationEngine()
+    orchestrator = Orchestrator(cluster, engine, RngRegistry(15))
+    task = orchestrator.submit_task(containers, gpc, instant_startup=True)
+    engine.run_until(0)
+    dp = containers * gpc // 64
+    workload = TrainingWorkload(task, ParallelismConfig(8, 8, dp))
+    return len(traffic_edges(workload))
+
+
+def test_fig15_probe_target_scale(benchmark):
+    def experiment():
+        rows = []
+        for rnics in SWEEP:
+            containers = rnics // GPUS_PER_CONTAINER
+            rows.append((
+                rnics,
+                full_mesh_count(containers, GPUS_PER_CONTAINER),
+                basic_count(containers, GPUS_PER_CONTAINER),
+                skeleton_count(containers, GPUS_PER_CONTAINER),
+            ))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    printable = []
+    for rnics, full, basic, skeleton in rows:
+        printable.append([
+            rnics, full, basic, skeleton,
+            f"{full / basic:.1f}x",
+            f"{100 * (1 - skeleton / basic):.1f}%",
+        ])
+    print_table(
+        "Figure 15: probing targets per round",
+        ["RNICs", "full-mesh", "basic", "skeleton",
+         "full/basic", "cut vs basic"],
+        printable,
+    )
+
+    for rnics, full, basic, skeleton in rows:
+        benchmark.extra_info[f"{rnics}_skeleton"] = skeleton
+        # Preload rail pruning is exactly the rail count (8x).
+        assert full / basic > GPUS_PER_CONTAINER - 1
+        # The skeleton is always at least an order of magnitude below
+        # the full mesh.
+        assert skeleton * 10 < full
+
+    # Paper: the final ping list cuts the basic list by >95% at scale.
+    largest = rows[-1]
+    assert 1 - largest[3] / largest[2] > 0.95
+    # And an order of magnitude below the full mesh at every scale,
+    # growing only linearly with the task size.
+    growth = rows[-1][3] / rows[0][3]
+    assert growth < 10  # linear-ish (8x RNICs -> ~8x skeleton edges)

@@ -1,0 +1,98 @@
+"""Figure 18: the flow-table inconsistency case study.
+
+Paper timeline: a pair's latency sits at ~16 us; at t=90 s the RNIC
+silently invalidates offloaded flows and latency jumps to ~120 us with
+small (<0.1%) loss; SkeletonHunter flags the distribution shift, finds
+no overlay/underlay culprit, dumps the RNIC flow tables, detects the
+OVS-vs-RNIC inconsistency, isolates the RNIC, and metrics recover.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.network.issues import IssueType
+from repro.workloads.scenarios import build_scenario
+
+
+def test_fig18_flow_table_inconsistency_case_study(benchmark):
+    def experiment():
+        scenario = build_scenario(
+            num_containers=4, gpus_per_container=4, pp=2, seed=18,
+            num_spines=2, hosts_per_segment=2,
+        )
+        scenario.run_for(180)
+        # A cross-segment pair reproduces the paper's ~16 us baseline.
+        pair = next(
+            p for p in scenario.hunter.monitored_pairs()
+            if scenario.fabric.traceroute(p.src, p.dst).hops == 4
+        )
+        rnic = scenario.cluster.overlay.rnic_of(pair.src)
+
+        timeline = []
+
+        def sample(label):
+            result = scenario.fabric.send_probe(
+                pair.src, pair.dst, scenario.engine.now
+            )
+            timeline.append((
+                label, scenario.engine.now,
+                result.latency_us if result.ok else None,
+            ))
+            return result
+
+        sample("healthy")
+        fault = scenario.inject(
+            IssueType.REPETITIVE_FLOW_OFFLOADING, rnic
+        )
+        sample("broken")
+        scenario.run_for(90)  # detection + localization
+        sample("still broken")
+        # The operator's confirming flow-table dump (the paper's final
+        # step before isolating the RNIC): OVS claims the flows are in
+        # hardware, the RNIC disagrees.
+        dump = scenario.hunter.localizer.validator.validate(rnic)
+        # Isolation: the operator pulls the RNIC out; here the fault is
+        # cleared, matching the 60-second recovery in the paper.
+        scenario.clear(fault)
+        scenario.run_for(60)
+        sample("recovered")
+        score, outcomes = scenario.score()
+        return scenario, timeline, score, outcomes, dump
+
+    scenario, timeline, score, outcomes, dump = run_once(
+        benchmark, experiment
+    )
+
+    print_table(
+        "Figure 18: latency timeline of the case-study pair",
+        ["phase", "t (s)", "latency (us)"],
+        [[label, f"{t:.0f}",
+          "LOST" if lat is None else f"{lat:.1f}"]
+         for label, t, lat in timeline],
+    )
+    diagnoses = [
+        (f"{when:.0f}", d.component, d.evidence[:60])
+        for when, report in scenario.hunter.reports
+        for d in report.diagnoses
+    ]
+    print_table(
+        "Figure 18: diagnoses", ["t (s)", "component", "evidence"],
+        diagnoses,
+    )
+
+    healthy = timeline[0][2]
+    broken = timeline[1][2]
+    recovered = timeline[-1][2]
+    benchmark.extra_info["healthy_us"] = healthy
+    benchmark.extra_info["broken_us"] = broken
+
+    # Paper: ~16 us -> ~120 us -> recovery.
+    assert healthy < 20.0
+    assert broken > 100.0
+    assert recovered < 20.0
+    # The failure was detected and localized to the RNIC.
+    assert outcomes[0].detected
+    assert outcomes[0].localized
+    # The confirming dump exposes the OVS-vs-RNIC inconsistency.
+    assert dump.suspicious
+    assert dump.silently_invalidated > 0

@@ -1,0 +1,106 @@
+"""§7.3 limitations, quantified.
+
+Two failure modes of SkeletonHunter itself that the paper reports:
+
+* **Monitoring-system defects** — a crashed *agent* stops answering
+  probes, so its links look dead even though the network is healthy:
+  the alarms it triggers are false detections (the paper's main source
+  of precision loss).
+* **Uncertain workloads** — tenants who stop following collective-
+  communication patterns invalidate the inferred skeleton; the fidelity
+  check (the paper's proposed mitigation) detects the misalignment and
+  falls back to the basic list, trading probing cost for coverage.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.cluster.overlay import veth_name
+from repro.core.fidelity import FidelityChecker
+from repro.core.pinglist import PingListPhase
+from repro.workloads.scenarios import build_scenario
+
+
+def test_agent_crash_causes_false_detections(benchmark):
+    def experiment():
+        scenario = build_scenario(
+            num_containers=4, gpus_per_container=4, pp=2, seed=73,
+        )
+        scenario.run_for(200)
+        # The agent of container 1 crashes: its endpoints stop
+        # answering probes, but NO network fault exists (nothing is
+        # registered with the injector -> ground truth stays empty).
+        container = scenario.task.container(1)
+        for endpoint in container.endpoints():
+            scenario.cluster.overlay.health(
+                veth_name(endpoint)
+            ).down = True
+        scenario.run_for(60)
+        for endpoint in container.endpoints():
+            scenario.cluster.overlay.health(
+                veth_name(endpoint)
+            ).down = False
+        scenario.run_for(120)
+        return scenario.score()
+
+    score, _ = run_once(benchmark, experiment)
+
+    print_table(
+        "§7.3: false detections from a crashed monitoring agent",
+        ["events", "true positives", "false positives", "precision"],
+        [[score.num_events, score.true_positive_events,
+          score.false_positive_events, f"{score.precision:.3f}"]],
+    )
+    benchmark.extra_info["false_positives"] = score.false_positive_events
+
+    # The dead agent triggers alarms with no underlying network fault —
+    # exactly the paper's reported false-detection mode.
+    assert score.num_events > 0
+    assert score.false_positive_events == score.num_events
+    assert score.precision == 0.0
+
+
+def test_uncertain_workload_triggers_fidelity_fallback(benchmark):
+    def experiment():
+        scenario = build_scenario(
+            num_containers=4, gpus_per_container=4, pp=2, seed=74,
+        )
+        scenario.run_for(100)
+        skeleton_size = len(scenario.apply_skeleton().edges)
+        basic_size_before = None  # captured after fallback
+
+        # The tenant switches to interactive debugging: flat traffic.
+        rng = np.random.default_rng(0)
+        debug_traffic = {
+            endpoint: np.abs(rng.normal(0.05, 0.02, 600))
+            for endpoint in scenario.workload.endpoints()
+        }
+        checker = FidelityChecker()
+        report = checker.enforce(
+            scenario.hunter.controller, scenario.task.id, debug_traffic
+        )
+        fallback_size = len(scenario.hunter.controller.ping_list_of(
+            scenario.task.id
+        ))
+        phase = scenario.hunter.controller.phase_of(scenario.task.id)
+        return report, skeleton_size, fallback_size, phase
+
+    report, skeleton_size, fallback_size, phase = run_once(
+        benchmark, experiment
+    )
+
+    print_table(
+        "§7.3: fidelity check on an uncertain workload",
+        ["fidelity score", "aligned", "skeleton pairs",
+         "fallback pairs", "phase after check"],
+        [[f"{report.score():.2f}",
+          "yes" if report.aligned() else "NO",
+          skeleton_size, fallback_size, phase]],
+    )
+    benchmark.extra_info["fidelity"] = report.score()
+
+    # Misalignment detected; the task fell back to its basic list
+    # (larger, but workload-agnostic) exactly as §7.3 proposes.
+    assert not report.aligned()
+    assert phase == PingListPhase.BASIC
+    assert fallback_size > skeleton_size

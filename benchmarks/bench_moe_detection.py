@@ -1,0 +1,83 @@
+"""§5.1 extension: automatic MoE (expert-parallel) pattern detection.
+
+The paper notes that emerging parallelism strategies like EP "can be
+classified using the same method" (§5.1) and that its team was building
+"a more generic traffic skeleton inference algorithm" (§7.3).  The
+reproduction implements that: the token all-to-all adds a third burst
+phase per iteration, which the inference detects to switch intra-group
+probing from a DP ring to the full expert mesh — without being told the
+workload is MoE.
+"""
+
+from conftest import print_table, run_once
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+from repro.cluster.orchestrator import Cluster, Orchestrator
+from repro.cluster.topology import RailOptimizedTopology
+from repro.core.skeleton import SkeletonInference
+from repro.training.collectives import traffic_edges
+from repro.training.parallelism import ParallelismConfig
+from repro.training.traffic import TrafficGenerator
+from repro.training.workload import TrainingWorkload
+
+CASES = [
+    # (label, tp, pp, dp, ep, containers, gpus/container, expected)
+    ("dense PP2", 4, 2, 2, 1, 4, 4, "ring"),
+    ("dense PP8", 8, 8, 8, 1, 64, 8, "ring"),
+    ("MoE EP2 PP2", 4, 2, 4, 2, 8, 4, "mesh"),
+    ("MoE EP4 PP2", 8, 2, 4, 4, 8, 8, "mesh"),
+    ("MoE EP2 PP8", 8, 8, 2, 2, 16, 8, "mesh"),
+]
+
+
+def _classify(tp, pp, dp, ep, containers, gpc, seed):
+    topology = RailOptimizedTopology(
+        num_segments=max(2, (containers + 7) // 8),
+        hosts_per_segment=8, rails_per_host=gpc, num_spines=2,
+    )
+    cluster = Cluster(topology)
+    engine = SimulationEngine()
+    orchestrator = Orchestrator(cluster, engine, RngRegistry(seed))
+    task = orchestrator.submit_task(containers, gpc, instant_startup=True)
+    engine.run_until(0)
+    workload = TrainingWorkload(
+        task, ParallelismConfig(tp, pp, dp, ep=ep)
+    )
+    generator = TrafficGenerator(workload, rng=RngRegistry(seed))
+    skeleton = SkeletonInference(group_topology="auto").infer(
+        generator.all_series(600.0),
+        lambda e: task.containers[e.container].host,
+    )
+    return skeleton, traffic_edges(workload)
+
+
+def test_auto_moe_pattern_detection(benchmark):
+    def experiment():
+        results = []
+        for index, (label, tp, pp, dp, ep, nc, gpc, want) in enumerate(
+            CASES
+        ):
+            skeleton, true_edges = _classify(
+                tp, pp, dp, ep, nc, gpc, seed=900 + index
+            )
+            results.append((
+                label, want, skeleton.group_topology,
+                skeleton.coverage(true_edges),
+            ))
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print_table(
+        "Automatic parallelism-pattern classification",
+        ["workload", "expected", "detected", "edge coverage"],
+        [[label, want, got, f"{coverage:.3f}"]
+         for label, want, got, coverage in results],
+    )
+    benchmark.extra_info["correct"] = sum(
+        1 for _, want, got, _ in results if want == got
+    )
+
+    for label, want, got, coverage in results:
+        assert got == want, label
+        assert coverage == 1.0, label

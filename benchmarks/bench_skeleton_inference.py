@@ -1,0 +1,78 @@
+"""§5.1 skeleton inference quality across parallelism configurations.
+
+The CSP cannot see tenants' model composition, so DP/TP·PP and the
+skeleton edges must be recovered from throughput series alone.  This
+bench sweeps parallelism configurations and reports recovered-vs-true
+DP, stage counts, and edge coverage.
+"""
+
+from conftest import print_table, run_once
+from repro.core.skeleton import SkeletonInference
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+from repro.cluster.orchestrator import Cluster, Orchestrator
+from repro.cluster.topology import RailOptimizedTopology
+from repro.training.collectives import traffic_edges
+from repro.training.parallelism import ParallelismConfig
+from repro.training.traffic import TrafficGenerator
+from repro.training.workload import TrainingWorkload
+
+CONFIGS = [
+    (8, 2, 2, 4, 8),    # tp, pp, dp, containers, gpus/container
+    (8, 4, 4, 16, 8),
+    (4, 2, 8, 16, 4),
+    (2, 4, 8, 16, 4),
+    (8, 8, 8, 64, 8),   # the 512-GPU task of Figure 8
+]
+
+
+def _infer(tp, pp, dp, containers, gpc, seed):
+    topology = RailOptimizedTopology(
+        num_segments=max(2, (containers + 7) // 8),
+        hosts_per_segment=8, rails_per_host=gpc, num_spines=2,
+    )
+    cluster = Cluster(topology)
+    engine = SimulationEngine()
+    orchestrator = Orchestrator(cluster, engine, RngRegistry(seed))
+    task = orchestrator.submit_task(containers, gpc, instant_startup=True)
+    engine.run_until(0)
+    workload = TrainingWorkload(task, ParallelismConfig(tp, pp, dp))
+    generator = TrafficGenerator(workload, rng=RngRegistry(seed))
+    series = generator.all_series(600.0)
+    skeleton = SkeletonInference().infer(
+        series, lambda e: task.containers[e.container].host
+    )
+    true_edges = traffic_edges(workload)
+    return {
+        "config": f"TP{tp}xPP{pp}xDP{dp}",
+        "dp_ok": skeleton.dp == dp,
+        "stages_ok": skeleton.num_stages == pp,
+        "coverage": skeleton.coverage(true_edges),
+        "excess": skeleton.excess(true_edges),
+        "edges": len(skeleton.edges),
+    }
+
+
+def test_skeleton_inference_sweep(benchmark):
+    results = run_once(benchmark, lambda: [
+        _infer(*config, seed=100 + i)
+        for i, config in enumerate(CONFIGS)
+    ])
+
+    print_table(
+        "Skeleton inference across parallelism configurations",
+        ["config", "DP recovered", "stages recovered", "edge coverage",
+         "excess edges"],
+        [[r["config"],
+          "yes" if r["dp_ok"] else "NO",
+          "yes" if r["stages_ok"] else "NO",
+          f"{r['coverage']:.3f}", r["excess"]] for r in results],
+    )
+    benchmark.extra_info["coverage"] = min(r["coverage"] for r in results)
+
+    for result in results:
+        assert result["dp_ok"], result
+        assert result["stages_ok"], result
+        # Every true traffic edge is probed: no blind spots.
+        assert result["coverage"] == 1.0, result
+        assert result["excess"] == 0, result

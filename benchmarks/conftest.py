@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once under pytest-benchmark timing, prints the same rows or
+series the paper reports, and attaches the numbers to the benchmark's
+``extra_info`` so they land in the JSON output.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title, headers, rows):
+    """Print an aligned table like the paper's figures report."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows))
+        for i, h in enumerate(headers)
+    ] if rows else [len(str(h)) for h in headers]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def report():
+    """(title, headers, rows) printer usable inside benches."""
+    return print_table

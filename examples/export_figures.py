@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Export the data behind every reproduced paper figure to CSV.
+
+Writes one CSV per figure into ``figures/`` (created next to the current
+working directory), ready for plotting with any tool.  The same models
+and experiments the benchmarks assert on produce the series here.
+
+Run:  python examples/export_figures.py [output_dir]
+"""
+
+import csv
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import build_scenario
+from repro.workloads.production import ProductionStatistics, empirical_cdf
+from repro.training.collectives import traffic_matrix
+
+
+def write_csv(path: Path, headers, rows) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+def export_lifetimes(stats: ProductionStatistics, out: Path) -> None:
+    """Figures 2 and 3: lifetime CDFs."""
+    rows = []
+    for bucket in stats.buckets.sizes:
+        values, fractions = empirical_cdf(
+            stats.container_lifetimes_minutes(bucket, n=5000)
+        )
+        rows.extend(
+            [bucket, f"{v:.2f}", f"{f:.4f}"]
+            for v, f in zip(values[::50], fractions[::50])
+        )
+    write_csv(out / "fig02_lifetime_by_size.csv",
+              ["task_size_bucket", "lifetime_min", "cdf"], rows)
+
+    rows = []
+    for config in stats.buckets.configs:
+        values, fractions = empirical_cdf(
+            stats.lifetimes_by_config_minutes(config, n=5000)
+        )
+        rows.extend(
+            [config, f"{v:.2f}", f"{f:.4f}"]
+            for v, f in zip(values[::50], fractions[::50])
+        )
+    write_csv(out / "fig03_lifetime_by_config.csv",
+              ["config", "lifetime_min", "cdf"], rows)
+
+
+def export_startup(stats: ProductionStatistics, out: Path) -> None:
+    """Figure 4: startup times of six task sizes."""
+    rows = []
+    for size in (16, 64, 128, 256, 512, 1024):
+        delays = np.sort(stats.startup_times_seconds(size))
+        rows.extend(
+            [size, rank, f"{delay:.1f}"]
+            for rank, delay in enumerate(delays)
+        )
+    write_csv(out / "fig04_startup_times.csv",
+              ["task_size", "container_index", "startup_s"], rows)
+
+
+def export_allocations(stats: ProductionStatistics, out: Path) -> None:
+    """Figures 5, 6, 12: categorical/heavy-tail distributions."""
+    allocations = stats.rnic_allocations(n=50_000)
+    counts, freq = np.unique(allocations, return_counts=True)
+    write_csv(out / "fig05_rnic_allocation.csv",
+              ["rnics", "share"],
+              [[int(c), f"{f / len(allocations):.4f}"]
+               for c, f in zip(counts, freq)])
+
+    items = np.sort(stats.flow_table_items(n_hosts=4000))
+    write_csv(out / "fig06_flow_tables.csv",
+              ["host_rank", "flow_table_items"],
+              [[i, int(v)] for i, v in enumerate(items[::10])])
+
+    sizes = stats.job_gpu_counts(n=50_000)
+    counts, freq = np.unique(sizes, return_counts=True)
+    write_csv(out / "fig12_job_sizes.csv",
+              ["gpus", "share"],
+              [[int(c), f"{f / len(sizes):.4f}"]
+               for c, f in zip(counts, freq)])
+
+
+def export_traffic(out: Path) -> None:
+    """Figures 7 and 9: burst cycles and the 512-GPU traffic matrix."""
+    scenario = build_scenario(
+        num_containers=64, gpus_per_container=8, pp=8, seed=512,
+        start_monitoring=False,
+    )
+    container = scenario.task.container(0)
+    rows = []
+    for endpoint in container.endpoints()[:4]:
+        series = scenario.generator.series(endpoint, 900.0)
+        rows.extend(
+            [str(endpoint), t, f"{value:.3f}"]
+            for t, value in enumerate(series)
+        )
+    write_csv(out / "fig07_burst_cycles.csv",
+              ["endpoint", "t_s", "gbps"], rows)
+
+    matrix = traffic_matrix(scenario.workload)
+    nonzero = np.argwhere(matrix > 0)
+    write_csv(out / "fig09_traffic_matrix.csv",
+              ["src_rank", "dst_rank"],
+              [[int(a), int(b)] for a, b in nonzero])
+
+
+def export_probe_scale(out: Path) -> None:
+    """Figures 15/16: probing scale and round time sweeps."""
+    gpc = 8
+    rows15, rows16 = [], []
+    for rnics in (256, 512, 1024, 2048):
+        containers = rnics // gpc
+        n = containers * gpc
+        full = math.comb(n, 2) - containers * math.comb(gpc, 2)
+        basic = gpc * math.comb(containers, 2)
+        # Skeleton edges for TP8 x PP8 x DP(n/64): rings + pipeline p2p.
+        dp = n // 64
+        rings = 64 * (dp if dp > 2 else dp - 1)
+        pp_links = 7 * 8 * dp
+        skeleton = rings + pp_links
+        rows15.append([rnics, full, basic, skeleton])
+        rows16.append([
+            rnics, 4 + (n - gpc), 4 + (containers - 1), 4 + 4,
+        ])
+    write_csv(out / "fig15_probe_scale.csv",
+              ["rnics", "full_mesh", "basic", "skeleton"], rows15)
+    write_csv(out / "fig16_round_time_s.csv",
+              ["rnics", "full_mesh_s", "basic_s", "skeleton_s"], rows16)
+
+
+def main() -> None:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    out.mkdir(parents=True, exist_ok=True)
+    stats = ProductionStatistics(seed=0)
+    export_lifetimes(stats, out)
+    export_startup(stats, out)
+    export_allocations(stats, out)
+    export_traffic(out)
+    export_probe_scale(out)
+    print(f"\nall figure data exported to {out}/")
+
+
+if __name__ == "__main__":
+    main()

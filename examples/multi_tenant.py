@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Two tenants on one fabric: isolation and shared-fault blast radius.
+
+The cloud runs many tenants' training tasks over the same switches.
+SkeletonHunter monitors each task separately (per-tenant VNIs, per-task
+ping lists), yet a shared underlay failure surfaces in *both* tenants'
+probes — and tomography fuses their evidence into a single diagnosis of
+the shared switch.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro import (
+    Cluster,
+    DataPlaneFabric,
+    FaultInjector,
+    IssueType,
+    Orchestrator,
+    RailOptimizedTopology,
+    RngRegistry,
+    SimulationEngine,
+    SkeletonHunter,
+)
+
+
+def main() -> None:
+    topology = RailOptimizedTopology(
+        num_segments=2, hosts_per_segment=8, rails_per_host=4,
+        num_spines=2,
+    )
+    cluster = Cluster(topology)
+    engine = SimulationEngine()
+    rng = RngRegistry(2024)
+    orchestrator = Orchestrator(cluster, engine, rng)
+    injector = FaultInjector(cluster)
+    fabric = DataPlaneFabric(cluster, injector, rng)
+    hunter = SkeletonHunter(cluster, engine, fabric, orchestrator)
+
+    tenant_a = orchestrator.submit_task(4, 4, instant_startup=True)
+    tenant_b = orchestrator.submit_task(4, 4, instant_startup=True)
+    engine.run_until(0)
+    hunter.watch_task(tenant_a)
+    hunter.watch_task(tenant_b)
+    hunter.start()
+
+    vni_a = cluster.overlay.vni_of(tenant_a.id)
+    vni_b = cluster.overlay.vni_of(tenant_b.id)
+    print(f"tenant A: {tenant_a.id} (VNI {vni_a}) on "
+          f"{sorted(str(c.host) for c in tenant_a.all_containers())}")
+    print(f"tenant B: {tenant_b.id} (VNI {vni_b}) on "
+          f"{sorted(str(c.host) for c in tenant_b.all_containers())}")
+
+    engine.run_until(150)
+    print(f"\nafter 150 s: {fabric.probes_sent} probes, "
+          f"{len(hunter.events)} events (expected 0)")
+
+    # Both tenants' rail-0 traffic in segment 0 crosses this ToR.
+    rnic = cluster.overlay.rnic_of(tenant_a.container(0).endpoint(0))
+    tor = topology.tor_of(rnic)
+    print(f"\ntaking shared switch {tor} offline...")
+    fault = injector.inject_issue(
+        IssueType.SWITCH_OFFLINE, tor, start=engine.now
+    )
+    engine.run_until(engine.now + 60)
+    injector.clear(fault, engine.now)
+
+    tenants_hit = sorted({
+        str(event.pair.src.container.task) for event in hunter.events
+    })
+    print(f"tenants alarmed: {tenants_hit}")
+    for when, report in hunter.reports:
+        for diagnosis in report.diagnoses[:1]:
+            print(f"fused diagnosis at t={when:.0f}s: "
+                  f"{diagnosis.component} — {diagnosis.evidence}")
+
+    engine.run_until(engine.now + 150)
+    print(f"\nincidents open after repair: "
+          f"{len(hunter.analyzer.open_events())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Operating SkeletonHunter: alerts, blacklisting, migration, rollout.
+
+Demonstrates the operational loop the paper describes in §8: a detected
+failure raises an alert, the culprit component is blacklisted so no new
+task lands on it, the affected container is live-migrated to a healthy
+host, and — independently — a new sidecar agent release rolls out to
+newly started tasks.
+
+Run:  python examples/operations.py
+"""
+
+from repro import IssueType, build_scenario
+from repro.core.handling import FailureHandler
+from repro.core.recovery import RecoveryManager
+from repro.core.rollout import AgentReleaseManager, ReleaseChannel
+
+
+def main() -> None:
+    scenario = build_scenario(
+        num_containers=4, gpus_per_container=4, pp=2, seed=88,
+        hosts_per_segment=4,
+    )
+    # Wire the §8 integrations onto the running system.
+    handler = FailureHandler(
+        notify=lambda alert: print(
+            f"  [PAGE {alert.severity.value.upper()}] {alert.summary}"
+        )
+    )
+    recovery = RecoveryManager(
+        scenario.orchestrator, blacklist=handler.blacklist
+    )
+    scenario.hunter.handler = handler
+    scenario.hunter.recovery = recovery
+    scenario.orchestrator.placement_filter = \
+        handler.blacklist.host_allowed
+
+    releases = AgentReleaseManager("v1.0.0")
+    scenario.hunter.controller.release_manager = releases
+
+    print("== steady state ==")
+    scenario.run_for(200)
+    print(f"agents running: "
+          f"{releases.fleet_versions(scenario.hunter.controller)}")
+
+    print("\n== a host board degrades ==")
+    victim = scenario.task.container(1)
+    bad_host = victim.host
+    fault = scenario.inject(IssueType.PCIE_NIC_ERROR, bad_host)
+    scenario.run_for(90)
+
+    print(f"\nblacklist now: {handler.blacklist.active()}")
+    for action in recovery.successful_migrations():
+        print(f"migrated {action.container} from {action.source} "
+              f"to {action.target} (trigger: {action.trigger})")
+    print(f"{victim.id} now runs on {victim.host} "
+          f"(was {bad_host})")
+
+    print("\n== a new agent release ships ==")
+    releases.publish(
+        "v1.1.0", ReleaseChannel.EMERGENCY, at=scenario.engine.now
+    )
+    newer = scenario.orchestrator.submit_task(
+        2, 4, instant_startup=True
+    )
+    scenario.hunter.watch_task(newer)
+    scenario.run_for(10)
+    hosts = {c.host for c in newer.all_containers()}
+    print(f"new task placed on {sorted(str(h) for h in hosts)} "
+          f"(blacklisted {bad_host} avoided: {bad_host not in hosts})")
+    print(f"fleet versions: "
+          f"{releases.fleet_versions(scenario.hunter.controller)}")
+    print(f"rollout of v1.1.0: "
+          f"{releases.rollout_fraction(scenario.hunter.controller):.0%}")
+
+    print("\n== the component is repaired ==")
+    scenario.clear(fault)
+    handler.mark_repaired(f"host:{bad_host}", scenario.engine.now)
+    print(f"blacklist now: {handler.blacklist.active() or '(empty)'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""SkeletonHunter reproduction: diagnosing and localizing network failures
+in containerized large model training (SIGCOMM 2025).
+
+The package is organized bottom-up:
+
+* :mod:`repro.sim` — discrete-event engine, seeded RNGs, metrics;
+* :mod:`repro.cluster` — rail-optimized topology, hosts/RNICs/VFs,
+  containers, orchestration, and the VXLAN overlay with OVS/RNIC flow
+  tables;
+* :mod:`repro.network` — probe packets, latency model, the Table-1 fault
+  catalogue and injector, and the data-plane fabric;
+* :mod:`repro.training` — TP/PP/DP/EP parallelism, collective traffic
+  patterns, and burst-cycle throughput generation;
+* :mod:`repro.analysis` — STFT features, LOF, constrained clustering,
+  log-normal statistics;
+* :mod:`repro.core` — SkeletonHunter itself: phased ping lists, traffic
+  skeleton inference, anomaly detection, Algorithm-1 localization, and
+  the :class:`~repro.core.system.SkeletonHunter` facade;
+* :mod:`repro.baselines` — Pingmesh, deTector, and R-Pingmesh baselines;
+* :mod:`repro.workloads` — production-statistics models and one-call
+  monitored scenarios.
+
+Quickstart::
+
+    from repro import build_scenario, IssueType
+
+    scenario = build_scenario(num_containers=8, gpus_per_container=8)
+    scenario.run_for(120)                       # warm detection baselines
+    scenario.apply_skeleton()                   # infer + shrink ping list
+    fault = scenario.inject(IssueType.RNIC_PORT_DOWN,
+                            scenario.rnic_of_rank(8))
+    scenario.run_for(60)
+    score, outcomes = scenario.score()
+    print(score.precision, score.recall, score.localization_accuracy)
+"""
+
+from repro.cluster import (
+    Cluster,
+    Container,
+    ContainerId,
+    ContainerState,
+    EndpointId,
+    HostId,
+    LinkId,
+    Orchestrator,
+    RailOptimizedTopology,
+    RnicId,
+    SwitchId,
+    TaskId,
+    TrainingTask,
+)
+from repro.core import (
+    Analyzer,
+    CampaignScore,
+    CampaignScorer,
+    Controller,
+    DetectorConfig,
+    Diagnosis,
+    FailureEvent,
+    InferredSkeleton,
+    LocalizationReport,
+    Localizer,
+    PingList,
+    ProbePair,
+    SkeletonHunter,
+    SkeletonInference,
+    estimate_round_duration,
+)
+from repro.network import (
+    DataPlaneFabric,
+    Fault,
+    FaultInjector,
+    IssueType,
+    LatencyModel,
+    ProbeResult,
+    Symptom,
+    TransientCongestion,
+)
+from repro.sim import RngRegistry, SimulationEngine
+from repro.training import (
+    ParallelismConfig,
+    TrafficGenerator,
+    TrainingWorkload,
+    traffic_edges,
+    traffic_matrix,
+)
+from repro.workloads import (
+    MonitoredScenario,
+    ProductionStatistics,
+    build_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer",
+    "CampaignScore",
+    "CampaignScorer",
+    "Cluster",
+    "Container",
+    "ContainerId",
+    "ContainerState",
+    "Controller",
+    "DataPlaneFabric",
+    "DetectorConfig",
+    "Diagnosis",
+    "EndpointId",
+    "FailureEvent",
+    "Fault",
+    "FaultInjector",
+    "HostId",
+    "InferredSkeleton",
+    "IssueType",
+    "LatencyModel",
+    "LinkId",
+    "LocalizationReport",
+    "Localizer",
+    "MonitoredScenario",
+    "Orchestrator",
+    "ParallelismConfig",
+    "PingList",
+    "ProbePair",
+    "ProbeResult",
+    "ProductionStatistics",
+    "RailOptimizedTopology",
+    "RngRegistry",
+    "RnicId",
+    "SimulationEngine",
+    "SkeletonHunter",
+    "SkeletonInference",
+    "SwitchId",
+    "Symptom",
+    "TaskId",
+    "TrafficGenerator",
+    "TrainingTask",
+    "TrainingWorkload",
+    "TransientCongestion",
+    "build_scenario",
+    "estimate_round_duration",
+    "traffic_edges",
+    "traffic_matrix",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Analysis toolkit: STFT features, LOF, clustering, latency statistics."""
+
+from repro.analysis.clustering import (
+    ClusteringError,
+    GroupingResult,
+    constrained_position_groups,
+)
+from repro.analysis.lof import local_outlier_factor, lof_score_of_new_point
+from repro.analysis.stats import (
+    LognormalFit,
+    ZTestResult,
+    fit_lognormal,
+    lognormal_goodness,
+    z_test,
+)
+from repro.analysis.stft import (
+    StftConfig,
+    dominant_frequency,
+    feature_matrix,
+    phase_shift_seconds,
+    stft_feature,
+)
+
+__all__ = [
+    "ClusteringError",
+    "GroupingResult",
+    "LognormalFit",
+    "StftConfig",
+    "ZTestResult",
+    "constrained_position_groups",
+    "dominant_frequency",
+    "feature_matrix",
+    "fit_lognormal",
+    "local_outlier_factor",
+    "lof_score_of_new_point",
+    "lognormal_goodness",
+    "phase_shift_seconds",
+    "stft_feature",
+    "z_test",
+]

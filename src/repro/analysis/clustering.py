@@ -1,0 +1,244 @@
+"""Constrained hierarchical clustering of RNIC traffic features.
+
+Implements the grouping step of traffic skeleton inference (§5.1 of the
+paper, Equations 1-3): hierarchically cluster STFT features so that RNICs
+at the same pipeline position across DP replicas fall into one group,
+subject to
+
+* **Eq. 1** — minimize the variance of group sizes (every pipeline replica
+  has the same scale),
+* **Eq. 2** — the average group size must divide the total RNIC count,
+* **Eq. 3** — no two RNICs of the same host may share a group (same-host
+  RNICs communicate over NVLink, not the network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import pdist
+
+__all__ = ["ClusteringError", "GroupingResult", "constrained_position_groups"]
+
+
+class ClusteringError(ValueError):
+    """Raised when no valid grouping satisfies the constraints."""
+
+
+@dataclass(frozen=True)
+class GroupingResult:
+    """Outcome of the constrained grouping."""
+
+    labels: np.ndarray           # group index per input row
+    num_groups: int              # k (should equal TP x PP)
+    group_size: int              # |c| (should equal DP)
+    size_variance: float         # Eq. 1 objective at the chosen cut
+    cohesion: float              # mean within-group feature distance
+
+    def groups(self) -> List[List[int]]:
+        """Members (row indices) of each group."""
+        out: List[List[int]] = [[] for _ in range(self.num_groups)]
+        for index, label in enumerate(self.labels):
+            out[int(label)].append(index)
+        return out
+
+
+def _divisor_candidates(n: int) -> List[int]:
+    """Group counts k with n % k == 0 (k = n is legal: DP can be 1)."""
+    return [k for k in range(1, n + 1) if n % k == 0]
+
+
+def _size_variance(labels: np.ndarray, k: int) -> float:
+    """Eq. 1: variance of per-group member counts."""
+    sizes = np.bincount(labels, minlength=k).astype(np.float64)
+    return float(np.var(sizes))
+
+
+def _mean_within_distance(
+    features: np.ndarray, labels: np.ndarray, k: int
+) -> float:
+    """Average pairwise feature distance inside groups (cohesion)."""
+    total, count = 0.0, 0
+    for g in range(k):
+        members = np.flatnonzero(labels == g)
+        if len(members) < 2:
+            continue
+        sub = features[members]
+        total += float(pdist(sub).sum())
+        count += len(members) * (len(members) - 1) // 2
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def _mean_nearest_separation(
+    features: np.ndarray, labels: np.ndarray, k: int
+) -> float:
+    """Mean distance from each group centroid to its nearest neighbour.
+
+    Separation distinguishes a genuine cut from an over-split one: when a
+    true group is split, the two halves' centroids nearly coincide and
+    separation collapses towards zero.
+    """
+    if k < 2:
+        return 0.0
+    centroids = np.vstack([
+        features[np.flatnonzero(labels == g)].mean(axis=0)
+        for g in range(k)
+    ])
+    diff = centroids[:, None, :] - centroids[None, :, :]
+    dist = np.sqrt(np.sum(diff * diff, axis=-1))
+    np.fill_diagonal(dist, np.inf)
+    return float(dist.min(axis=1).mean())
+
+
+def _violates_host_constraint(
+    labels: np.ndarray, hosts: Sequence[Hashable], k: int
+) -> bool:
+    """Eq. 3: any group holding two RNICs of one host?"""
+    seen: Dict[tuple, int] = {}
+    for index, label in enumerate(labels):
+        key = (int(label), hosts[index])
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > 1:
+            return True
+    return False
+
+
+def _repair_host_constraint(
+    features: np.ndarray,
+    labels: np.ndarray,
+    hosts: Sequence[Hashable],
+    k: int,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """Greedy swaps moving duplicate-host members to their best other group."""
+    labels = labels.copy()
+    for _ in range(max_passes):
+        moved = False
+        for g in range(k):
+            members = np.flatnonzero(labels == g)
+            by_host: Dict[Hashable, List[int]] = {}
+            for m in members:
+                by_host.setdefault(hosts[m], []).append(m)
+            for host, dup in by_host.items():
+                for extra in dup[1:]:
+                    target = _best_group_without_host(
+                        features, labels, hosts, extra, k
+                    )
+                    if target is not None:
+                        labels[extra] = target
+                        moved = True
+        if not moved:
+            break
+    return labels
+
+
+def _best_group_without_host(
+    features: np.ndarray,
+    labels: np.ndarray,
+    hosts: Sequence[Hashable],
+    index: int,
+    k: int,
+) -> Optional[int]:
+    """The nearest-centroid group that does not contain ``index``'s host."""
+    best, best_distance = None, np.inf
+    for g in range(k):
+        if g == labels[index]:
+            continue
+        members = np.flatnonzero(labels == g)
+        if any(hosts[m] == hosts[index] for m in members):
+            continue
+        if len(members) == 0:
+            distance = 0.0
+        else:
+            centroid = features[members].mean(axis=0)
+            distance = float(np.linalg.norm(features[index] - centroid))
+        if distance < best_distance:
+            best, best_distance = g, distance
+    return best
+
+
+def constrained_position_groups(
+    features: np.ndarray,
+    hosts: Sequence[Hashable],
+    candidate_group_counts: Optional[Sequence[int]] = None,
+    cohesion_weight: float = 1.0,
+) -> GroupingResult:
+    """Group RNICs by pipeline position under Equations 1-3.
+
+    Parameters
+    ----------
+    features:
+        (n, d) STFT feature matrix, one row per RNIC.
+    hosts:
+        Host key of each RNIC (for the Eq. 3 constraint).
+    candidate_group_counts:
+        Group counts k to try; defaults to all divisors of n except n
+        itself.  The chosen k equals TP x PP and n / k equals DP.
+    cohesion_weight:
+        Weight of within-group dispersion in the selection score
+        (balances Eq. 1 against clustering quality).
+    """
+    pts = np.asarray(features, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ClusteringError("features must be a 2-D matrix")
+    n = pts.shape[0]
+    if len(hosts) != n:
+        raise ClusteringError("hosts must align with feature rows")
+    if n < 2:
+        raise ClusteringError("need at least two RNICs to group")
+
+    candidates = list(candidate_group_counts or _divisor_candidates(n))
+    candidates = [k for k in candidates if 1 <= k <= n and n % k == 0]
+    if not candidates:
+        raise ClusteringError(f"no valid group counts for n={n}")
+
+    tree = linkage(pts, method="ward")
+    # Dendrogram gap criterion: cutting into k clusters undoes the last
+    # k-1 merges, so the natural k sits where merge heights jump — the
+    # step from cheap same-position merges (noise-scale) to expensive
+    # cross-position merges.  Unlike a raw cohesion score this is
+    # scale-aware: measurement noise inflates both sides of the gap
+    # equally and cancels out.
+    heights = np.concatenate([[0.0], tree[:, 2]])  # heights[i] = i-th merge
+
+    def height_gap(k: int) -> float:
+        # Cut producing k clusters sits between merge n-k and n-k+1.
+        # k=1 has no merge above it; giving it a zero gap makes it the
+        # tie-break default (it wins exactly when no other cut shows
+        # structure — the pure-DP case where all positions coincide).
+        if k <= 1:
+            return 0.0
+        return float(heights[n - k + 1] - heights[n - k])
+
+    best: Optional[GroupingResult] = None
+    best_score = -np.inf
+    for k in candidates:
+        labels = fcluster(tree, t=k, criterion="maxclust") - 1
+        if labels.max() + 1 != k:
+            continue  # the tree cannot produce k clusters at this cut
+        if _violates_host_constraint(labels, hosts, k):
+            labels = _repair_host_constraint(pts, labels, hosts, k)
+            if _violates_host_constraint(labels, hosts, k):
+                continue
+        variance = _size_variance(labels, k)
+        cohesion = _mean_within_distance(pts, labels, k)
+        score = height_gap(k) - cohesion_weight * variance
+        if score > best_score:
+            best_score = score
+            best = GroupingResult(
+                labels=labels,
+                num_groups=k,
+                group_size=n // k,
+                size_variance=variance,
+                cohesion=cohesion,
+            )
+    if best is None:
+        raise ClusteringError(
+            "no candidate group count satisfied the host constraint"
+        )
+    return best

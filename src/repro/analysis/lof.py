@@ -1,0 +1,94 @@
+"""Local Outlier Factor, implemented from scratch.
+
+LOF (Breunig et al., SIGMOD 2000) scores how isolated a point is relative
+to the density of its k nearest neighbours: ~1 for inliers, substantially
+above 1 for outliers.  SkeletonHunter's short-term detector computes LOF
+over the per-window latency summary vectors inside a five-minute look-back
+(§5.2 of the paper) and flags windows whose score exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["local_outlier_factor", "lof_score_of_new_point"]
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix, shape (n, n)."""
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def local_outlier_factor(points: np.ndarray, k: int = 5) -> np.ndarray:
+    """LOF score for every row of ``points``.
+
+    Parameters
+    ----------
+    points:
+        (n, d) array of feature vectors.
+    k:
+        Neighbourhood size (``MinPts``); clamped to n - 1.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = pts.shape[0]
+    if n < 2:
+        return np.ones(n)
+    k = max(1, min(k, n - 1))
+
+    dist = _pairwise_distances(pts)
+    np.fill_diagonal(dist, np.inf)
+
+    # k-distance and k-neighbourhood of every point.
+    order = np.argsort(dist, axis=1)
+    knn = order[:, :k]
+    k_distance = dist[np.arange(n), order[:, k - 1]]
+
+    # Reachability distance: reach(p <- o) = max(k_dist(o), d(p, o)).
+    reach = np.maximum(k_distance[knn], dist[np.arange(n)[:, None], knn])
+
+    # Local reachability density.
+    with np.errstate(divide="ignore"):
+        lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
+
+    # LOF: mean neighbour density over own density.
+    lof = lrd[knn].mean(axis=1) / lrd
+    return lof
+
+
+def lof_score_of_new_point(
+    history: np.ndarray, candidate: np.ndarray, k: int = 5
+) -> float:
+    """LOF of ``candidate`` with respect to an existing ``history`` set.
+
+    This is the online form the detector uses: previous windows form the
+    reference set and the newest window is scored against them without
+    perturbing their own densities.
+    """
+    hist = np.asarray(history, dtype=np.float64)
+    cand = np.asarray(candidate, dtype=np.float64).reshape(1, -1)
+    if hist.ndim != 2:
+        raise ValueError("history must be a 2-D array")
+    n = hist.shape[0]
+    if n < 2:
+        return 1.0
+    k = max(1, min(k, n - 1))
+
+    dist_hist = _pairwise_distances(hist)
+    np.fill_diagonal(dist_hist, np.inf)
+    order = np.argsort(dist_hist, axis=1)
+    k_distance = dist_hist[np.arange(n), order[:, k - 1]]
+    knn_hist = order[:, :k]
+    reach_hist = np.maximum(
+        k_distance[knn_hist], dist_hist[np.arange(n)[:, None], knn_hist]
+    )
+    with np.errstate(divide="ignore"):
+        lrd_hist = 1.0 / np.maximum(reach_hist.mean(axis=1), 1e-12)
+
+    dist_cand = np.sqrt(np.sum((hist - cand) ** 2, axis=1))
+    order_cand = np.argsort(dist_cand)[:k]
+    reach_cand = np.maximum(k_distance[order_cand], dist_cand[order_cand])
+    lrd_cand = 1.0 / max(float(reach_cand.mean()), 1e-12)
+    return float(lrd_hist[order_cand].mean() / lrd_cand)

@@ -1,0 +1,112 @@
+"""Log-normal latency statistics and the long-term Z-test.
+
+Healthy end-to-end RDMA latency over the long term follows a log-normal
+distribution (§5.2 of the paper): ``Y = ln(X) ~ N(mu, sigma^2)``.  The
+long-term detector estimates (mu, sigma) from a reference window and then
+Z-tests later windows' log-means against the estimate; windows that
+deviate indicate gradual degradation the short-term detector would have
+absorbed into its rolling baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sp_stats
+
+__all__ = [
+    "LognormalFit",
+    "ZTestResult",
+    "fit_lognormal",
+    "lognormal_goodness",
+    "z_test",
+]
+
+
+@dataclass(frozen=True)
+class LognormalFit:
+    """MLE parameters of ln(X): mean ``mu`` and std ``sigma``."""
+
+    mu: float
+    sigma: float
+    count: int
+
+    @property
+    def median_latency(self) -> float:
+        """The median of the fitted latency distribution."""
+        return math.exp(self.mu)
+
+    def quantile(self, q: float) -> float:
+        """Latency quantile implied by the fit."""
+        if not 0 < q < 1:
+            raise ValueError("quantile must be in (0, 1)")
+        return math.exp(self.mu + self.sigma * sp_stats.norm.ppf(q))
+
+
+@dataclass(frozen=True)
+class ZTestResult:
+    """Outcome of a Z-test of a window against a reference fit."""
+
+    z: float
+    p_value: float
+    sample_mean_log: float
+    reference_mu: float
+
+    def anomalous(self, alpha: float = 1e-3) -> bool:
+        """Whether the window deviates at significance level ``alpha``."""
+        return self.p_value < alpha
+
+
+def fit_lognormal(latencies: Sequence[float]) -> LognormalFit:
+    """Fit a log-normal to positive latency samples by MLE on logs."""
+    data = np.asarray(list(latencies), dtype=np.float64)
+    if data.size < 2:
+        raise ValueError("need at least two samples to fit")
+    if np.any(data <= 0):
+        raise ValueError("latencies must be positive")
+    logs = np.log(data)
+    sigma = float(logs.std(ddof=1))
+    return LognormalFit(mu=float(logs.mean()), sigma=max(sigma, 1e-9),
+                        count=int(data.size))
+
+
+def z_test(fit: LognormalFit, window: Sequence[float]) -> ZTestResult:
+    """Z-test a later window's log-mean against the reference fit.
+
+    Under H0 (no change) the window's log-mean is approximately
+    ``N(mu, sigma^2 / n)``; a two-sided p-value below the threshold means
+    the latency distribution has drifted (Figure 14 of the paper).
+    """
+    data = np.asarray(list(window), dtype=np.float64)
+    if data.size < 2:
+        raise ValueError("need at least two samples to test")
+    if np.any(data <= 0):
+        raise ValueError("latencies must be positive")
+    logs = np.log(data)
+    sample_mean = float(logs.mean())
+    stderr = fit.sigma / math.sqrt(data.size)
+    z = (sample_mean - fit.mu) / max(stderr, 1e-12)
+    p = 2.0 * float(sp_stats.norm.sf(abs(z)))
+    return ZTestResult(
+        z=float(z), p_value=p,
+        sample_mean_log=sample_mean, reference_mu=fit.mu,
+    )
+
+
+def lognormal_goodness(latencies: Sequence[float]) -> float:
+    """Kolmogorov–Smirnov p-value of log-normality of the samples.
+
+    Used to validate the modelling assumption before trusting the Z-test
+    (high p-value = consistent with a log-normal).
+    """
+    data = np.asarray(list(latencies), dtype=np.float64)
+    if data.size < 8:
+        raise ValueError("need at least eight samples for a KS test")
+    if np.any(data <= 0):
+        raise ValueError("latencies must be positive")
+    logs = np.log(data)
+    standardized = (logs - logs.mean()) / max(logs.std(ddof=1), 1e-12)
+    return float(sp_stats.kstest(standardized, "norm").pvalue)

@@ -1,0 +1,7 @@
+"""Baselines SkeletonHunter is compared against in the paper."""
+
+from repro.baselines.detector import DetectorBaseline
+from repro.baselines.pingmesh import PingmeshBaseline
+from repro.baselines.rpingmesh import RPingmeshBaseline
+
+__all__ = ["DetectorBaseline", "PingmeshBaseline", "RPingmeshBaseline"]

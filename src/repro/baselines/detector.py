@@ -1,0 +1,136 @@
+"""deTector-style topology-aware probe planning (Peng et al., ATC 2017).
+
+deTector reduces the probing matrix by exploiting the *topology*: it
+selects a probe set that covers every physical link a task can use at
+least ``coverage`` times, via a greedy set cover over candidate endpoint
+pairs.  Because it knows nothing about the training workload's traffic
+sparsity, it still plans an order of magnitude more probes than a traffic
+skeleton does (the paper cites 15K+ probes per round at 2,048 RNICs for
+deTector vs ~2.6K for SkeletonHunter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cluster.container import TrainingTask
+from repro.cluster.identifiers import LinkId
+from repro.cluster.orchestrator import Cluster
+from repro.core.pinglist import PingList, PingListPhase, ProbePair
+from repro.core.probing import ProbeCostModel, estimate_round_duration
+from repro.network.packet import flow_hash
+
+__all__ = ["DetectorBaseline"]
+
+
+class DetectorBaseline:
+    """Greedy link-cover probe planning over a task's endpoints."""
+
+    name = "detector"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        task: TrainingTask,
+        coverage: int = 3,
+        cost: ProbeCostModel = ProbeCostModel(),
+    ) -> None:
+        if coverage < 1:
+            raise ValueError("coverage must be at least 1")
+        self.cluster = cluster
+        self.task = task
+        self.coverage = coverage
+        self.cost = cost
+        self.ping_list = self._plan()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _candidate_pairs(self) -> List[ProbePair]:
+        endpoints = self.task.endpoints()
+        pairs = []
+        for i, a in enumerate(endpoints):
+            for b in endpoints[i + 1:]:
+                if a.container != b.container:
+                    pairs.append(ProbePair(a, b))
+        return pairs
+
+    def _links_of(self, pair: ProbePair) -> Set[LinkId]:
+        task = self.task
+        src_container = task.containers[pair.src.container]
+        dst_container = task.containers[pair.dst.container]
+        src_rnic = src_container.vf_of(pair.src).rnic
+        dst_rnic = dst_container.vf_of(pair.dst).rnic
+        path = self.cluster.topology.pick_path(
+            src_rnic, dst_rnic, flow_hash(pair.src, pair.dst)
+        )
+        return set(path.links)
+
+    def _plan(self) -> PingList:
+        """Greedy set cover: every usable link covered ``coverage`` times.
+
+        Uses the lazy-greedy optimization: a candidate's marginal gain
+        only ever decreases as links get covered, so stale heap entries
+        can be re-scored on pop instead of rescanning every candidate
+        per round — which is what makes planning tractable at the
+        hundred-thousand-pair scale of a 512-GPU task.
+        """
+        import heapq
+
+        candidates = self._candidate_pairs()
+        links_of: Dict[ProbePair, Set[LinkId]] = {
+            pair: self._links_of(pair) for pair in candidates
+        }
+        needed: Dict[LinkId, int] = {}
+        for links in links_of.values():
+            for link in links:
+                needed[link] = self.coverage
+
+        def gain_of(pair: ProbePair) -> int:
+            return sum(
+                1 for link in links_of[pair] if needed.get(link, 0) > 0
+            )
+
+        heap = [
+            (-len(links_of[pair]), index, pair)
+            for index, pair in enumerate(candidates)
+        ]
+        heapq.heapify(heap)
+        chosen: Set[ProbePair] = set()
+        while heap and any(count > 0 for count in needed.values()):
+            negative_gain, index, pair = heapq.heappop(heap)
+            current = gain_of(pair)
+            if current == 0:
+                continue
+            if current < -negative_gain:
+                # Stale score: re-queue with the true (smaller) gain.
+                heapq.heappush(heap, (-current, index, pair))
+                continue
+            chosen.add(pair)
+            for link in links_of[pair]:
+                if needed.get(link, 0) > 0:
+                    needed[link] -= 1
+        ping_list = PingList(pairs=chosen, phase=PingListPhase.BASIC)
+        for container in self.task.all_containers():
+            ping_list.register(container.id)
+        return ping_list
+
+    # ------------------------------------------------------------------
+    # Plan-level queries
+    # ------------------------------------------------------------------
+
+    def probe_count(self) -> int:
+        """Probes per round under the link-cover plan."""
+        return len(self.ping_list)
+
+    def round_duration_s(self) -> float:
+        """Estimated wall-clock time of one probing round."""
+        return estimate_round_duration(self.ping_list, self.cost)
+
+    def covered_links(self) -> Set[LinkId]:
+        """Links the plan probes at least once."""
+        covered: Set[LinkId] = set()
+        for pair in self.ping_list.pairs:
+            covered |= self._links_of(pair)
+        return covered

@@ -1,0 +1,207 @@
+"""Command-line interface: run demos and campaigns from a shell.
+
+Usage::
+
+    python -m repro demo [--containers N] [--gpus N] [--seed S]
+    python -m repro campaign [--seed S]
+    python -m repro stats
+
+``demo`` monitors one training task, applies skeleton inference, injects
+an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
+Table-1 issue types.  ``stats`` prints the production-statistics
+summaries behind the paper's motivation figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.identifiers import ContainerId
+from repro.network.issues import ISSUE_CATALOG, ComponentClass, IssueType
+from repro.workloads.production import ProductionStatistics
+from repro.workloads.scenarios import build_scenario
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SkeletonHunter reproduction: monitor simulated "
+        "containerized training clusters and diagnose network failures.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser(
+        "demo", help="monitor a task, inject a fault, print the diagnosis"
+    )
+    demo.add_argument("--containers", type=int, default=8)
+    demo.add_argument("--gpus", type=int, default=8)
+    demo.add_argument("--pp", type=int, default=2)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--issue", default="RNIC_PORT_DOWN",
+        choices=[i.name for i in IssueType],
+    )
+
+    campaign = commands.add_parser(
+        "campaign", help="inject every Table-1 issue type and score"
+    )
+    campaign.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser(
+        "stats", help="print the production-statistics summaries"
+    )
+
+    report = commands.add_parser(
+        "report", help="run a monitored scenario and print the "
+        "operator incident report"
+    )
+    report.add_argument("--containers", type=int, default=4)
+    report.add_argument("--gpus", type=int, default=4)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--faults", type=int, default=2,
+        help="number of faults to inject during the run",
+    )
+    return parser
+
+
+def _target_for(scenario, issue: IssueType):
+    rnic = scenario.rnic_of_rank(scenario.workload.gpus_per_container)
+    if issue in (IssueType.CRC_ERROR, IssueType.SWITCH_PORT_DOWN,
+                 IssueType.SWITCH_PORT_FLAPPING):
+        pair = scenario.hunter.monitored_pairs()[0]
+        return scenario.fabric.traceroute(pair.src, pair.dst).links[1]
+    if issue in (IssueType.SWITCH_OFFLINE,
+                 IssueType.CONGESTION_CONTROL_ISSUE):
+        return scenario.topology.tor_of(rnic)
+    if issue == IssueType.CONTAINER_CRASH:
+        return scenario.task.containers[
+            ContainerId(scenario.task.id, 1)
+        ]
+    host_level = (ComponentClass.HOST_BOARD, ComponentClass.VIRTUAL_SWITCH,
+                  ComponentClass.CONFIGURATION)
+    if ISSUE_CATALOG[issue].component in host_level and \
+            issue is not IssueType.REPETITIVE_FLOW_OFFLOADING:
+        return rnic.host
+    return rnic
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    issue = IssueType[args.issue]
+    scenario = build_scenario(
+        num_containers=args.containers, gpus_per_container=args.gpus,
+        pp=args.pp, seed=args.seed,
+    )
+    print(f"monitoring {scenario.task.id}: "
+          f"{scenario.workload.config.describe()}")
+    scenario.run_for(200)
+    skeleton = scenario.apply_skeleton()
+    print(f"skeleton: DP={skeleton.dp}, stages={skeleton.num_stages}, "
+          f"{len(skeleton.edges)} probe pairs")
+    fault = scenario.inject(issue, _target_for(scenario, issue))
+    print(f"injected {issue.name} "
+          f"({ISSUE_CATALOG[issue].symptom.value})")
+    scenario.run_for(120)
+    scenario.clear(fault)
+    scenario.run_for(40)
+    score, outcomes = scenario.score()
+    outcome = outcomes[0]
+    print(f"detected: {outcome.detected} "
+          f"(delay {outcome.detection_delay_s}s)")
+    print(f"localized: {outcome.localized} "
+          f"-> {outcome.localized_component}")
+    print(f"precision={score.precision:.3f} recall={score.recall:.3f}")
+    return 0 if outcome.detected and outcome.localized else 1
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    detected = localized = 0
+    for issue in IssueType:
+        scenario = build_scenario(
+            num_containers=4, gpus_per_container=4, pp=2,
+            seed=args.seed * 100 + issue.value, hosts_per_segment=4,
+        )
+        scenario.run_for(200)
+        fault = scenario.inject(issue, _target_for(scenario, issue))
+        scenario.run_for(120)
+        scenario.clear(fault)
+        scenario.run_for(40)
+        _, outcomes = scenario.score()
+        outcome = outcomes[0]
+        detected += outcome.detected
+        localized += outcome.localized
+        status = "ok" if outcome.localized else (
+            "DETECTED-ONLY" if outcome.detected else "MISSED"
+        )
+        print(f"{issue.value:>2} {issue.name.lower():<30} {status}")
+    print(f"\ndetected {detected}/19, localized {localized}/19")
+    return 0 if detected == 19 else 1
+
+
+def _run_stats(_: argparse.Namespace) -> int:
+    stats = ProductionStatistics(seed=0)
+    summary = stats.lifetime_summary()
+    print("container lifetimes (Figure 2):")
+    print(f"  small tasks under 60 min: "
+          f"{summary['small_tasks_under_60min']:.1%}")
+    print(f"  all containers under 100 min: "
+          f"{summary['all_under_100min']:.1%}")
+    allocations = stats.rnic_allocations()
+    print("RNIC allocation (Figure 5):")
+    for count in (8, 4, 2, 1):
+        print(f"  {count} RNICs: "
+              f"{float(np.mean(allocations == count)):.1%}")
+    items = stats.flow_table_items()
+    print(f"flow tables (Figure 6): mean {items.mean():.0f}, "
+          f"max {items.max()}")
+    sizes = stats.job_gpu_counts()
+    print(f"job sizes (Figure 12): all multiples of 8; "
+          f"128/512/1024 hold "
+          f"{float(np.mean(np.isin(sizes, [128, 512, 1024]))):.1%}")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.core.reporting import build_report, render_report
+
+    scenario = build_scenario(
+        num_containers=args.containers, gpus_per_container=args.gpus,
+        pp=2, seed=args.seed,
+    )
+    scenario.run_for(200)
+    issues = [IssueType.RNIC_PORT_DOWN,
+              IssueType.HUGEPAGE_MISCONFIGURATION,
+              IssueType.OFFLOADING_FAILURE,
+              IssueType.CONTAINER_CRASH]
+    for index in range(max(0, args.faults)):
+        issue = issues[index % len(issues)]
+        fault = scenario.inject(issue, _target_for(scenario, issue))
+        scenario.run_for(80)
+        scenario.clear(fault)
+        scenario.run_for(140)
+    print(render_report(build_report(scenario.hunter)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "report":
+        return _run_report(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Cluster substrate: topology, hosts, containers, and the VXLAN overlay."""
+
+from repro.cluster.container import (
+    Container,
+    ContainerState,
+    LifecycleError,
+    TrainingTask,
+)
+from repro.cluster.flowtable import (
+    ActionKind,
+    FlowAction,
+    FlowInconsistency,
+    FlowKey,
+    FlowRule,
+    FlowTable,
+    RnicOffloadTable,
+    diff_tables,
+)
+from repro.cluster.host import Gpu, Host, HostInventoryError, Rnic
+from repro.cluster.identifiers import (
+    ContainerId,
+    EndpointId,
+    HostId,
+    LinkId,
+    RnicId,
+    SwitchId,
+    TaskId,
+    VfId,
+)
+from repro.cluster.orchestrator import (
+    Cluster,
+    Orchestrator,
+    PlacementError,
+    StartupModel,
+)
+from repro.cluster.overlay import (
+    ComponentHealth,
+    OverlayError,
+    OverlayHop,
+    OverlayNetwork,
+    OverlayTrace,
+)
+from repro.cluster.topology import (
+    RailOptimizedTopology,
+    TopologyError,
+    UnderlayPath,
+)
+
+__all__ = [
+    "ActionKind",
+    "Cluster",
+    "ComponentHealth",
+    "Container",
+    "ContainerId",
+    "ContainerState",
+    "EndpointId",
+    "FlowAction",
+    "FlowInconsistency",
+    "FlowKey",
+    "FlowRule",
+    "FlowTable",
+    "Gpu",
+    "Host",
+    "HostId",
+    "HostInventoryError",
+    "LifecycleError",
+    "LinkId",
+    "Orchestrator",
+    "OverlayError",
+    "OverlayHop",
+    "OverlayNetwork",
+    "OverlayTrace",
+    "PlacementError",
+    "RailOptimizedTopology",
+    "Rnic",
+    "RnicId",
+    "RnicOffloadTable",
+    "StartupModel",
+    "SwitchId",
+    "TaskId",
+    "TopologyError",
+    "TrainingTask",
+    "UnderlayPath",
+    "VfId",
+    "diff_tables",
+]

@@ -1,0 +1,185 @@
+"""Training containers and their lifecycle.
+
+Containers are the training nodes of a task.  Their lifecycle follows the
+production behaviour analysed in §3.1 of the paper: containers of one task
+are created on different hosts with *asynchronous* startup delays (up to
+minutes apart), most have short lifetimes, and a container is only safe to
+probe once it is RUNNING and has registered its endpoints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.host import HostAllocation
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId, VfId
+
+__all__ = [
+    "Container",
+    "ContainerState",
+    "LifecycleError",
+    "TrainingTask",
+]
+
+
+class LifecycleError(RuntimeError):
+    """Raised on invalid container state transitions."""
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of a training container."""
+
+    PENDING = "pending"        # requested, not yet placed
+    CREATING = "creating"      # placed, network stack initializing
+    RUNNING = "running"        # ready: endpoints reachable and probe-able
+    TERMINATED = "terminated"  # finished or torn down
+    FAILED = "failed"          # crashed (e.g. container-runtime defect)
+
+
+_TRANSITIONS = {
+    ContainerState.PENDING: {ContainerState.CREATING},
+    ContainerState.CREATING: {
+        ContainerState.RUNNING,
+        ContainerState.FAILED,
+        ContainerState.TERMINATED,
+    },
+    ContainerState.RUNNING: {
+        ContainerState.TERMINATED,
+        ContainerState.FAILED,
+    },
+    ContainerState.TERMINATED: set(),
+    ContainerState.FAILED: set(),
+}
+
+
+@dataclass
+class Container:
+    """One training node: GPUs + RNIC VFs on a single host."""
+
+    id: ContainerId
+    allocation: HostAllocation
+    state: ContainerState = ContainerState.PENDING
+    created_at: Optional[float] = None
+    running_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def host(self):
+        """The host this container is placed on."""
+        return self.allocation.host
+
+    @property
+    def num_endpoints(self) -> int:
+        """Number of (container, RNIC) endpoints, one per bound VF."""
+        return len(self.allocation.vfs)
+
+    def endpoints(self) -> List[EndpointId]:
+        """All endpoints of this container in slot order."""
+        return [EndpointId(self.id, s) for s in range(self.num_endpoints)]
+
+    def endpoint(self, slot: int) -> EndpointId:
+        """The endpoint on local slot ``slot``."""
+        if not 0 <= slot < self.num_endpoints:
+            raise LifecycleError(f"{self.id} has no endpoint slot {slot}")
+        return EndpointId(self.id, slot)
+
+    def vf_of(self, endpoint: EndpointId) -> VfId:
+        """The VF backing ``endpoint``."""
+        if endpoint.container != self.id:
+            raise LifecycleError(f"{endpoint} is not on {self.id}")
+        return self.allocation.vfs[endpoint.slot]
+
+    def rail_of(self, endpoint: EndpointId) -> int:
+        """The physical rail ``endpoint`` transmits on."""
+        return self.vf_of(endpoint).rnic.rail
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the container is probe-able."""
+        return self.state == ContainerState.RUNNING
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the container has reached a final state."""
+        return self.state in (ContainerState.TERMINATED,
+                              ContainerState.FAILED)
+
+    def transition(self, new_state: ContainerState, at: float) -> None:
+        """Move to ``new_state`` at simulated time ``at``."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise LifecycleError(
+                f"{self.id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        if new_state == ContainerState.CREATING:
+            self.created_at = at
+        elif new_state == ContainerState.RUNNING:
+            self.running_at = at
+        elif new_state in (ContainerState.TERMINATED, ContainerState.FAILED):
+            self.finished_at = at
+
+    def lifetime(self) -> Optional[float]:
+        """Seconds between creation and termination, if both happened."""
+        if self.created_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.created_at
+
+    def startup_delay(self) -> Optional[float]:
+        """Seconds from creation to RUNNING, if both happened."""
+        if self.created_at is None or self.running_at is None:
+            return None
+        return self.running_at - self.created_at
+
+
+@dataclass
+class TrainingTask:
+    """A tenant training job: a group of containers plus metadata."""
+
+    id: TaskId
+    num_containers: int
+    gpus_per_container: int
+    containers: Dict[ContainerId, Container] = field(default_factory=dict)
+    vni: Optional[int] = None  # VXLAN network identifier, set by overlay
+
+    @property
+    def size(self) -> int:
+        """Task size measured in containers (the paper's Figure 2 metric)."""
+        return self.num_containers
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs requested by the whole task."""
+        return self.num_containers * self.gpus_per_container
+
+    def container(self, rank: int) -> Container:
+        """The container with the given rank."""
+        cid = ContainerId(self.id, rank)
+        if cid not in self.containers:
+            raise LifecycleError(f"{self.id} has no rank {rank}")
+        return self.containers[cid]
+
+    def all_containers(self) -> List[Container]:
+        """Containers sorted by rank."""
+        return [self.containers[c] for c in sorted(self.containers)]
+
+    def running_containers(self) -> List[Container]:
+        """Containers currently in the RUNNING state, sorted by rank."""
+        return [c for c in self.all_containers() if c.is_running]
+
+    def endpoints(self) -> List[EndpointId]:
+        """All endpoints across all containers, sorted."""
+        eps: List[EndpointId] = []
+        for container in self.all_containers():
+            eps.extend(container.endpoints())
+        return eps
+
+    @property
+    def all_running(self) -> bool:
+        """Whether every container of the task is RUNNING."""
+        return (
+            len(self.containers) == self.num_containers
+            and all(c.is_running for c in self.containers.values())
+        )

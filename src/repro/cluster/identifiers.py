@@ -1,0 +1,143 @@
+"""Typed identifiers for cluster entities.
+
+Every physical or virtual component in the simulated cloud is addressed by
+a small frozen dataclass rather than a bare string, so mixing up a host
+with an RNIC or an endpoint is a type error instead of a silent bug.  All
+identifiers are hashable and ordered, which lets them serve as dictionary
+keys, set members, and sort keys in the localization pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ContainerId",
+    "EndpointId",
+    "HostId",
+    "LinkId",
+    "RnicId",
+    "SwitchId",
+    "TaskId",
+    "VfId",
+]
+
+
+@dataclass(frozen=True, order=True)
+class HostId:
+    """A physical host, e.g. ``HostId(12)``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"host-{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class RnicId:
+    """An RDMA NIC identified by its host and rail index (0..R-1).
+
+    In a rail-optimized topology the rail index of an RNIC decides which
+    top-of-rack switch it attaches to (§3.2 of the paper, Figure 10).
+    """
+
+    host: HostId
+    rail: int
+
+    def __str__(self) -> str:
+        return f"{self.host}/rnic-{self.rail}"
+
+
+@dataclass(frozen=True, order=True)
+class VfId:
+    """An SR-IOV virtual function carved out of a physical RNIC."""
+
+    rnic: RnicId
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.rnic}/vf-{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class TaskId:
+    """A training task (one tenant job consisting of many containers)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"task-{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class ContainerId:
+    """A training container: the ``rank``-th node of a task."""
+
+    task: TaskId
+    rank: int
+
+    def __str__(self) -> str:
+        return f"{self.task}/node-{self.rank}"
+
+
+@dataclass(frozen=True, order=True)
+class EndpointId:
+    """A (container, local RNIC slot) pair — the unit of probing.
+
+    The paper terms the bound pair of a container and an RNIC an
+    *endpoint* (§1).  ``slot`` is the container-local index of the bound
+    RNIC, which equals the rail index on hosts where containers bind one
+    RNIC per rail.
+    """
+
+    container: ContainerId
+    slot: int
+
+    def __str__(self) -> str:
+        return f"{self.container}/ep-{self.slot}"
+
+
+@dataclass(frozen=True, order=True)
+class SwitchId:
+    """A physical switch: ``tier`` is 'tor' or 'spine'."""
+
+    tier: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.tier}-{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class LinkId:
+    """An undirected physical link between two device names.
+
+    Endpoint names are stored in sorted order so that
+    ``LinkId.between(a, b) == LinkId.between(b, a)``.
+    """
+
+    a: str
+    b: str
+
+    @staticmethod
+    def between(first: object, second: object) -> "LinkId":
+        """Create a canonical link id from two device identifiers."""
+        x, y = sorted((str(first), str(second)))
+        return LinkId(x, y)
+
+    def touches(self, device: object) -> bool:
+        """Whether ``device`` is one of the link's endpoints."""
+        name = str(device)
+        return name in (self.a, self.b)
+
+    def other(self, device: object) -> str:
+        """The endpoint name opposite ``device``."""
+        name = str(device)
+        if name == self.a:
+            return self.b
+        if name == self.b:
+            return self.a
+        raise ValueError(f"{name} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.a}<->{self.b}"

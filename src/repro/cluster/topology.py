@@ -1,0 +1,232 @@
+"""Rail-optimized data-center topology.
+
+Models the two-tier Clos fabric used for LLM training pods (§3.2 of the
+paper, Figure 10; see also Alibaba HPN and NVIDIA SuperPOD designs):
+
+* Hosts are grouped into *segments*.  Each host carries ``rails_per_host``
+  RNICs; the RNIC with rail index *r* connects to the *r*-th top-of-rack
+  (ToR) switch of its segment.  ToR switches therefore form *rails*.
+* Every ToR uplinks to every spine switch, and inter-segment traffic is
+  spread over spines by ECMP.
+
+With this wiring, same-rail inter-host communication crosses a single ToR
+(intra-segment) or ToR–spine–ToR (inter-segment), while cross-rail
+communication is what NCCL avoids by bouncing through NVLink first — the
+property SkeletonHunter's preload pruning relies on (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.cluster.identifiers import HostId, LinkId, RnicId, SwitchId
+
+__all__ = ["RailOptimizedTopology", "TopologyError", "UnderlayPath"]
+
+
+class TopologyError(ValueError):
+    """Raised for invalid topology parameters or unknown devices."""
+
+
+@dataclass(frozen=True)
+class UnderlayPath:
+    """An ordered underlay route: device names joined by physical links.
+
+    ``devices`` starts at the source RNIC name and ends at the destination
+    RNIC name; ``links`` has one entry per hop, so
+    ``len(links) == len(devices) - 1``.
+    """
+
+    devices: Tuple[str, ...]
+    links: Tuple[LinkId, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.links) != len(self.devices) - 1:
+            raise TopologyError(
+                f"path with {len(self.devices)} devices needs "
+                f"{len(self.devices) - 1} links, got {len(self.links)}"
+            )
+
+    @staticmethod
+    def through(devices: Sequence[object]) -> "UnderlayPath":
+        """Build a path from an ordered device sequence."""
+        names = tuple(str(d) for d in devices)
+        links = tuple(
+            LinkId.between(names[i], names[i + 1])
+            for i in range(len(names) - 1)
+        )
+        return UnderlayPath(devices=names, links=links)
+
+    @property
+    def hops(self) -> int:
+        """Number of physical links traversed."""
+        return len(self.links)
+
+    def switches(self) -> Tuple[str, ...]:
+        """Device names excluding the two endpoint RNICs."""
+        return self.devices[1:-1]
+
+
+class RailOptimizedTopology:
+    """The physical fabric: segments x rails of ToRs under shared spines.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of host segments (each segment owns one ToR per rail).
+    hosts_per_segment:
+        Hosts attached to each segment.
+    rails_per_host:
+        RNICs per host; also the number of ToRs per segment.
+    num_spines:
+        Spine switches shared by all ToRs (ECMP width).
+    """
+
+    def __init__(
+        self,
+        num_segments: int = 2,
+        hosts_per_segment: int = 8,
+        rails_per_host: int = 8,
+        num_spines: int = 4,
+    ) -> None:
+        if num_segments < 1:
+            raise TopologyError("need at least one segment")
+        if hosts_per_segment < 1:
+            raise TopologyError("need at least one host per segment")
+        if rails_per_host < 1:
+            raise TopologyError("need at least one rail per host")
+        if num_spines < 1:
+            raise TopologyError("need at least one spine switch")
+
+        self.num_segments = num_segments
+        self.hosts_per_segment = hosts_per_segment
+        self.rails_per_host = rails_per_host
+        self.num_spines = num_spines
+
+        self.hosts: List[HostId] = [
+            HostId(i) for i in range(num_segments * hosts_per_segment)
+        ]
+        self.spines: List[SwitchId] = [
+            SwitchId("spine", s) for s in range(num_spines)
+        ]
+        self._tors: Dict[Tuple[int, int], SwitchId] = {}
+        for seg in range(num_segments):
+            for rail in range(rails_per_host):
+                self._tors[(seg, rail)] = SwitchId(
+                    "tor", seg * rails_per_host + rail
+                )
+
+        self._links: List[LinkId] = []
+        for host in self.hosts:
+            seg = self.segment_of(host)
+            for rail in range(rails_per_host):
+                rnic = RnicId(host, rail)
+                self._links.append(
+                    LinkId.between(rnic, self._tors[(seg, rail)])
+                )
+        for tor in self._tors.values():
+            for spine in self.spines:
+                self._links.append(LinkId.between(tor, spine))
+        self._link_set = frozenset(self._links)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_hosts(self) -> int:
+        """Total hosts in the fabric."""
+        return len(self.hosts)
+
+    @property
+    def num_rnics(self) -> int:
+        """Total physical RNICs in the fabric."""
+        return self.num_hosts * self.rails_per_host
+
+    def segment_of(self, host: HostId) -> int:
+        """The segment index a host belongs to."""
+        if not 0 <= host.index < self.num_hosts:
+            raise TopologyError(f"unknown host {host}")
+        return host.index // self.hosts_per_segment
+
+    def rnics_of(self, host: HostId) -> List[RnicId]:
+        """All physical RNICs on ``host`` in rail order."""
+        self.segment_of(host)  # validates
+        return [RnicId(host, rail) for rail in range(self.rails_per_host)]
+
+    def all_rnics(self) -> List[RnicId]:
+        """Every physical RNIC, sorted by (host, rail)."""
+        return [r for h in self.hosts for r in self.rnics_of(h)]
+
+    def tor_of(self, rnic: RnicId) -> SwitchId:
+        """The ToR switch an RNIC attaches to."""
+        if not 0 <= rnic.rail < self.rails_per_host:
+            raise TopologyError(f"rail {rnic.rail} out of range for {rnic}")
+        seg = self.segment_of(rnic.host)
+        return self._tors[(seg, rnic.rail)]
+
+    def tors(self) -> List[SwitchId]:
+        """All ToR switches, sorted by index."""
+        return sorted(self._tors.values())
+
+    def links(self) -> List[LinkId]:
+        """All physical links."""
+        return list(self._links)
+
+    def has_link(self, link: LinkId) -> bool:
+        """Whether ``link`` exists in the fabric."""
+        return link in self._link_set
+
+    def device_names(self) -> List[str]:
+        """Names of every device: RNICs, ToRs, and spines."""
+        names = [str(r) for r in self.all_rnics()]
+        names += [str(t) for t in self.tors()]
+        names += [str(s) for s in self.spines]
+        return names
+
+    # ------------------------------------------------------------------
+    # Path computation
+    # ------------------------------------------------------------------
+
+    def ecmp_paths(self, src: RnicId, dst: RnicId) -> List[UnderlayPath]:
+        """All equal-cost underlay paths between two RNICs.
+
+        * Same RNIC: zero-hop path.
+        * Same ToR (same segment + rail): one path via that ToR.
+        * Different ToRs: one path per spine switch (ECMP fan-out).
+        """
+        if src == dst:
+            return [UnderlayPath.through([src])]
+        src_tor = self.tor_of(src)
+        dst_tor = self.tor_of(dst)
+        if src_tor == dst_tor:
+            return [UnderlayPath.through([src, src_tor, dst])]
+        return [
+            UnderlayPath.through([src, src_tor, spine, dst_tor, dst])
+            for spine in self.spines
+        ]
+
+    def pick_path(
+        self, src: RnicId, dst: RnicId, flow_hash: int = 0
+    ) -> UnderlayPath:
+        """Deterministic ECMP path selection by flow hash."""
+        paths = self.ecmp_paths(src, dst)
+        return paths[flow_hash % len(paths)]
+
+    def graph(self) -> nx.Graph:
+        """The fabric as an undirected networkx graph (for tomography)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.device_names())
+        for link in self._links:
+            g.add_edge(link.a, link.b, link=link)
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"RailOptimizedTopology(segments={self.num_segments}, "
+            f"hosts/segment={self.hosts_per_segment}, "
+            f"rails={self.rails_per_host}, spines={self.num_spines})"
+        )

@@ -1,0 +1,224 @@
+"""The analyzer: aggregates probing results and emits failure events.
+
+Plays the role of the paper's log-service + real-time-computing analyzer
+(§6): agents report probe results here; per-pair monitors close 30-second
+and 30-minute windows; the detector stack scores them; and consecutive
+anomalies on one pair are folded into a single :class:`FailureEvent` so a
+persistent fault raises one incident, not one alarm per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.detection import (
+    DetectedAnomaly,
+    DetectorConfig,
+    LongTermDetector,
+    PairMonitor,
+    ShortTermDetector,
+    WindowSummary,
+)
+from repro.core.pinglist import ProbePair
+from repro.network.issues import Symptom
+from repro.network.packet import ProbeResult
+
+__all__ = ["Analyzer", "FailureEvent"]
+
+
+@dataclass
+class FailureEvent:
+    """One incident: a pair misbehaving over a contiguous stretch."""
+
+    pair: ProbePair
+    first_detected_at: float
+    symptom: Symptom
+    anomalies: List[DetectedAnomaly] = field(default_factory=list)
+    resolved_at: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        """Whether the incident is still active."""
+        return self.resolved_at is None
+
+    @property
+    def last_seen_at(self) -> float:
+        """Time of the most recent anomaly in the incident."""
+        if not self.anomalies:
+            return self.first_detected_at
+        return max(a.detected_at for a in self.anomalies)
+
+    def absorb(self, anomaly: DetectedAnomaly) -> None:
+        """Attach a further anomaly to the incident.
+
+        Unconnectivity dominates packet loss dominates high latency when
+        deciding the incident's overall symptom.
+        """
+        self.anomalies.append(anomaly)
+        precedence = {
+            Symptom.UNCONNECTIVITY: 2,
+            Symptom.PACKET_LOSS: 1,
+            Symptom.HIGH_LATENCY: 0,
+        }
+        if precedence[anomaly.symptom] > precedence[self.symptom]:
+            self.symptom = anomaly.symptom
+
+
+class Analyzer:
+    """Routes probe results through monitors and detectors."""
+
+    def __init__(
+        self,
+        config: DetectorConfig = DetectorConfig(),
+        resolve_after_s: float = 90.0,
+    ) -> None:
+        self.config = config
+        self.resolve_after_s = resolve_after_s
+        self._monitors: Dict[ProbePair, PairMonitor] = {}
+        self._short = ShortTermDetector(config)
+        self._long = LongTermDetector(config)
+        self._open_events: Dict[ProbePair, FailureEvent] = {}
+        self.events: List[FailureEvent] = []
+        self.anomalies: List[DetectedAnomaly] = []
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, result: ProbeResult) -> List[DetectedAnomaly]:
+        """Feed one probe result; returns anomalies from closed windows."""
+        pair = ProbePair.canonical(result.src, result.dst)
+        monitor = self._monitors.get(pair)
+        if monitor is None:
+            monitor = PairMonitor(pair, self.config)
+            self._monitors[pair] = monitor
+        new: List[DetectedAnomaly] = []
+        for summary in monitor.ingest(result):
+            new.extend(self._score(summary))
+        fast = self._fast_unconnectivity(pair, monitor, result)
+        if fast is not None:
+            new.append(fast)
+        new.extend(self._maybe_long_window(pair, monitor, result.sent_at))
+        return new
+
+    def _fast_unconnectivity(
+        self, pair: ProbePair, monitor: PairMonitor, result: ProbeResult
+    ) -> Optional[DetectedAnomaly]:
+        """Alarm the moment a run of consecutive losses looks like a
+        dead path, without waiting for the 30-second window to close."""
+        threshold = self.config.fast_unconnectivity_probes
+        if threshold <= 0 or not result.lost:
+            return None
+        if monitor.consecutive_losses != threshold:
+            return None
+        anomaly = DetectedAnomaly(
+            pair=pair, detected_at=result.sent_at,
+            symptom=Symptom.UNCONNECTIVITY, detector="fast_loss",
+            score=float(threshold), window_start=result.sent_at,
+        )
+        self._record(anomaly)
+        return anomaly
+
+    def flush(self, now: float) -> List[DetectedAnomaly]:
+        """Close all elapsed windows across every monitored pair."""
+        new: List[DetectedAnomaly] = []
+        for pair, monitor in self._monitors.items():
+            for summary in monitor.flush(now):
+                new.extend(self._score(summary))
+            new.extend(self._maybe_long_window(pair, monitor, now))
+        return new
+
+    # ------------------------------------------------------------------
+    # Scoring and incident management
+    # ------------------------------------------------------------------
+
+    def _score(self, summary: WindowSummary) -> List[DetectedAnomaly]:
+        found: List[DetectedAnomaly] = []
+        anomaly = self._short.observe(summary)
+        if anomaly is not None:
+            found.append(anomaly)
+            self._record(anomaly)
+        else:
+            self._maybe_resolve(summary)
+        return found
+
+    def _maybe_long_window(
+        self, pair: ProbePair, monitor: PairMonitor, now: float
+    ) -> List[DetectedAnomaly]:
+        found: List[DetectedAnomaly] = []
+        while monitor.long_window_ready(now):
+            window_end = monitor._long_start + self.config.long_window_s
+            latencies = monitor.pop_long_window(now)
+            anomaly = self._long.observe(pair, window_end, latencies)
+            if anomaly is not None:
+                found.append(anomaly)
+                self._record(anomaly)
+        return found
+
+    def _record(self, anomaly: DetectedAnomaly) -> None:
+        self.anomalies.append(anomaly)
+        event = self._open_events.get(anomaly.pair)
+        if event is not None and event.open:
+            event.absorb(anomaly)
+            return
+        event = FailureEvent(
+            pair=anomaly.pair,
+            first_detected_at=anomaly.detected_at,
+            symptom=anomaly.symptom,
+        )
+        event.anomalies.append(anomaly)
+        self._open_events[anomaly.pair] = event
+        self.events.append(event)
+
+    def _maybe_resolve(self, summary: WindowSummary) -> None:
+        event = self._open_events.get(summary.pair)
+        if event is None or not event.open:
+            return
+        if summary.window_end - event.last_seen_at >= self.resolve_after_s:
+            event.resolved_at = summary.window_end
+            del self._open_events[summary.pair]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def open_events(self) -> List[FailureEvent]:
+        """Incidents that are still active."""
+        return [e for e in self._open_events.values() if e.open]
+
+    def reset_pairs_involving(self, endpoints, now: float) -> List[
+        ProbePair
+    ]:
+        """Invalidate monitoring state for pairs touching ``endpoints``.
+
+        Called when the control plane *changed* the data path (e.g. a
+        container migration): the old latency baseline is no longer
+        meaningful, so the pair's windows, detector baselines, and any
+        open incident are discarded and rebuilt from fresh probes.
+        """
+        targets = set(endpoints)
+        affected = [
+            pair for pair in self._monitors
+            if pair.src in targets or pair.dst in targets
+        ]
+        for pair in affected:
+            del self._monitors[pair]
+            self._short.reset(pair)
+            self._long.reset(pair)
+            event = self._open_events.pop(pair, None)
+            if event is not None and event.open:
+                event.resolved_at = now
+        return affected
+
+    def events_between(
+        self, start: float, end: float
+    ) -> List[FailureEvent]:
+        """Incidents first detected inside [start, end)."""
+        return [
+            e for e in self.events if start <= e.first_detected_at < end
+        ]
+
+    def monitored_pairs(self) -> List[ProbePair]:
+        """Every pair that has reported at least one probe."""
+        return sorted(self._monitors)

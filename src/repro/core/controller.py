@@ -1,0 +1,159 @@
+"""The SkeletonHunter controller (§6 of the paper).
+
+The controller owns per-task ping lists and drives the three ping-list
+phases: it generates the *basic* (rail-pruned) list at task submission,
+hands it to agents as containers come up, and — once the analyzer has
+inferred a traffic skeleton — swaps in the skeleton-restricted list.
+
+Crucially, activation is *not* the controller's job: containers register
+themselves in the data plane (here: in the shared
+:class:`~repro.core.pinglist.PingList` the agents hold), so the
+controller never becomes the bottleneck during the thousands-per-minute
+container churn of §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.container import Container, TrainingTask
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
+from repro.cluster.orchestrator import Cluster
+from repro.core.agent import AgentResourceModel, OverlayAgent
+from repro.core.pinglist import PingList
+from repro.core.skeleton import InferredSkeleton
+
+__all__ = ["Controller", "ControllerError"]
+
+
+class ControllerError(RuntimeError):
+    """Raised for invalid controller operations."""
+
+
+@dataclass
+class _TaskState:
+    task: TrainingTask
+    ping_list: PingList
+    agents: Dict[ContainerId, OverlayAgent] = field(default_factory=dict)
+    skeleton: Optional[InferredSkeleton] = None
+
+
+class Controller:
+    """Generates ping lists and manages per-container agents."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        resources: AgentResourceModel = AgentResourceModel(),
+        release_manager=None,
+    ) -> None:
+        self.cluster = cluster
+        self.resources = resources
+        # Optional AgentReleaseManager: new sidecars launch on the
+        # latest published version (§8, agent evolution).
+        self.release_manager = release_manager
+        self._tasks: Dict[TaskId, _TaskState] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1: preload
+    # ------------------------------------------------------------------
+
+    def preload_task(self, task: TrainingTask) -> PingList:
+        """Generate the basic (rail-pruned) ping list for a new task."""
+        if task.id in self._tasks:
+            raise ControllerError(f"{task.id} already preloaded")
+        endpoints = task.endpoints()
+        ping_list = PingList.basic(endpoints, self._rail_of(task))
+        self._tasks[task.id] = _TaskState(task=task, ping_list=ping_list)
+        return ping_list
+
+    def _rail_of(self, task: TrainingTask):
+        def rail(endpoint: EndpointId) -> int:
+            container = task.containers[endpoint.container]
+            return container.rail_of(endpoint)
+
+        return rail
+
+    # ------------------------------------------------------------------
+    # Phase 2: incremental activation via agent registration
+    # ------------------------------------------------------------------
+
+    def on_container_running(
+        self, container: Container, now: float
+    ) -> OverlayAgent:
+        """Launch the sidecar agent for a container that just came up."""
+        state = self._tasks.get(container.id.task)
+        if state is None:
+            raise ControllerError(
+                f"{container.id.task} was never preloaded"
+            )
+        version = (
+            self.release_manager.current_version(now)
+            if self.release_manager is not None else "v1.0.0"
+        )
+        agent = OverlayAgent(
+            container=container,
+            ping_list=state.ping_list,
+            started_at=now,
+            resources=self.resources,
+            version=version,
+        )
+        state.agents[container.id] = agent
+        agent.register()
+        return agent
+
+    def on_container_finished(self, container: Container) -> None:
+        """Tear down a container's agent and deactivate its targets."""
+        state = self._tasks.get(container.id.task)
+        if state is None:
+            return
+        state.ping_list.deregister(container.id)
+        state.agents.pop(container.id, None)
+
+    # ------------------------------------------------------------------
+    # Phase 3: runtime skeleton optimization
+    # ------------------------------------------------------------------
+
+    def apply_skeleton(
+        self, task_id: TaskId, skeleton: InferredSkeleton
+    ) -> PingList:
+        """Swap the task's ping list for the skeleton-restricted one."""
+        state = self._state(task_id)
+        optimized = state.ping_list.restrict_to(skeleton.edges)
+        state.ping_list = optimized
+        state.skeleton = skeleton
+        for agent in state.agents.values():
+            agent.ping_list = optimized
+        return optimized
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _state(self, task_id: TaskId) -> _TaskState:
+        state = self._tasks.get(task_id)
+        if state is None:
+            raise ControllerError(f"unknown task {task_id}")
+        return state
+
+    def ping_list_of(self, task_id: TaskId) -> PingList:
+        """The current ping list of ``task_id``."""
+        return self._state(task_id).ping_list
+
+    def skeleton_of(self, task_id: TaskId) -> Optional[InferredSkeleton]:
+        """The applied skeleton, if phase 3 has run."""
+        return self._state(task_id).skeleton
+
+    def agents_of(self, task_id: TaskId) -> List[OverlayAgent]:
+        """Live agents of ``task_id``, sorted by container."""
+        state = self._state(task_id)
+        return [state.agents[c] for c in sorted(state.agents)]
+
+    def phase_of(self, task_id: TaskId) -> str:
+        """Which ping-list phase ``task_id`` currently runs."""
+        return self._state(task_id).ping_list.phase
+
+    def monitored_tasks(self) -> List[TaskId]:
+        """All tasks with a preloaded ping list."""
+        return sorted(self._tasks)

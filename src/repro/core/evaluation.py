@@ -1,0 +1,217 @@
+"""Scoring detection and localization against injected ground truth.
+
+The paper validates SkeletonHunter by manually checking every alarm over
+six months of production (98.2% precision, 99.3% recall, 95.7%
+localization accuracy).  Here ground truth is exact: every fault knows
+which components it broke and the scorer knows which pairs it could
+affect, so precision, recall, localization accuracy, and detection delay
+are computed mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.container import Container
+from repro.cluster.identifiers import HostId, LinkId, RnicId, SwitchId
+from repro.cluster.orchestrator import Cluster
+from repro.core.analyzer import FailureEvent
+from repro.core.localization import LocalizationReport
+from repro.core.pinglist import ProbePair
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import Fault
+
+__all__ = [
+    "CampaignScore",
+    "CampaignScorer",
+    "FaultOutcome",
+    "fault_affects_pair",
+]
+
+
+def fault_affects_pair(
+    fault: Fault,
+    pair: ProbePair,
+    cluster: Cluster,
+    fabric: DataPlaneFabric,
+) -> bool:
+    """Whether ``fault``'s target sits on the pair's data path."""
+    target = fault.target
+    overlay = cluster.overlay
+    try:
+        src_rnic = overlay.rnic_of(pair.src)
+        dst_rnic = overlay.rnic_of(pair.dst)
+    except Exception:
+        return False
+
+    if isinstance(target, RnicId):
+        return target in (src_rnic, dst_rnic)
+    if isinstance(target, HostId):
+        return target in (src_rnic.host, dst_rnic.host)
+    if isinstance(target, Container):
+        return target.id in (pair.src.container, pair.dst.container)
+    path = fabric.traceroute(pair.src, pair.dst)
+    if path is None:
+        return False
+    if isinstance(target, LinkId):
+        return target in path.links
+    if isinstance(target, SwitchId):
+        return str(target) in path.switches()
+    return False
+
+
+@dataclass
+class FaultOutcome:
+    """How one injected fault fared against the monitoring system."""
+
+    fault: Fault
+    observable: bool                 # did any monitored pair cross it?
+    detected: bool = False
+    detection_delay_s: Optional[float] = None
+    localized: bool = False
+    localized_component: Optional[str] = None
+    matched_events: List[FailureEvent] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class CampaignScore:
+    """Aggregate detection/localization quality over a campaign."""
+
+    num_faults: int
+    num_observable_faults: int
+    num_events: int
+    true_positive_events: int
+    false_positive_events: int
+    detected_faults: int
+    localized_faults: int
+    mean_detection_delay_s: Optional[float]
+
+    @property
+    def precision(self) -> float:
+        """Fraction of raised events that correspond to a real fault."""
+        if self.num_events == 0:
+            return 1.0
+        return self.true_positive_events / self.num_events
+
+    @property
+    def recall(self) -> float:
+        """Fraction of observable faults that raised at least one event."""
+        if self.num_observable_faults == 0:
+            return 1.0
+        return self.detected_faults / self.num_observable_faults
+
+    @property
+    def localization_accuracy(self) -> float:
+        """Fraction of detected faults localized to a correct component."""
+        if self.detected_faults == 0:
+            return 1.0
+        return self.localized_faults / self.detected_faults
+
+
+class CampaignScorer:
+    """Matches events and diagnoses back to injected faults."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        fabric: DataPlaneFabric,
+        detection_grace_s: float = 90.0,
+    ) -> None:
+        self.cluster = cluster
+        self.fabric = fabric
+        self.detection_grace_s = detection_grace_s
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def _fault_matches_event(self, fault: Fault, event: FailureEvent) -> bool:
+        t = event.first_detected_at
+        active_window = (
+            fault.start <= t
+            and (fault.end is None or t <= fault.end + self.detection_grace_s)
+        )
+        if not active_window:
+            return False
+        return fault_affects_pair(fault, event.pair, self.cluster, self.fabric)
+
+    def outcome_of(
+        self,
+        fault: Fault,
+        events: Sequence[FailureEvent],
+        reports: Sequence[Tuple[float, LocalizationReport]],
+        monitored_pairs: Sequence[ProbePair],
+    ) -> FaultOutcome:
+        """Score one fault against the run's events and reports."""
+        observable = any(
+            fault_affects_pair(fault, pair, self.cluster, self.fabric)
+            for pair in monitored_pairs
+        )
+        outcome = FaultOutcome(fault=fault, observable=observable)
+        for event in events:
+            if self._fault_matches_event(fault, event):
+                outcome.matched_events.append(event)
+        if outcome.matched_events:
+            outcome.detected = True
+            first = min(
+                e.first_detected_at for e in outcome.matched_events
+            )
+            outcome.detection_delay_s = max(first - fault.start, 0.0)
+        for when, report in reports:
+            if not (
+                fault.start <= when
+                and (
+                    fault.end is None
+                    or when <= fault.end + self.detection_grace_s
+                )
+            ):
+                continue
+            for diagnosis in report.diagnoses:
+                if diagnosis.component in fault.culprits:
+                    outcome.localized = True
+                    outcome.localized_component = diagnosis.component
+                    break
+            if outcome.localized:
+                break
+        return outcome
+
+    def score(
+        self,
+        faults: Sequence[Fault],
+        events: Sequence[FailureEvent],
+        reports: Sequence[Tuple[float, LocalizationReport]],
+        monitored_pairs: Sequence[ProbePair],
+    ) -> Tuple[CampaignScore, List[FaultOutcome]]:
+        """Score a whole campaign; returns aggregates plus per-fault detail."""
+        outcomes = [
+            self.outcome_of(fault, events, reports, monitored_pairs)
+            for fault in faults
+        ]
+        matched_event_ids = {
+            id(event)
+            for outcome in outcomes
+            for event in outcome.matched_events
+        }
+        true_positives = sum(
+            1 for event in events if id(event) in matched_event_ids
+        )
+        detected = [o for o in outcomes if o.detected]
+        delays = [
+            o.detection_delay_s
+            for o in detected
+            if o.detection_delay_s is not None
+        ]
+        score = CampaignScore(
+            num_faults=len(faults),
+            num_observable_faults=sum(1 for o in outcomes if o.observable),
+            num_events=len(events),
+            true_positive_events=true_positives,
+            false_positive_events=len(events) - true_positives,
+            detected_faults=len(detected),
+            localized_faults=sum(1 for o in detected if o.localized),
+            mean_detection_delay_s=(
+                sum(delays) / len(delays) if delays else None
+            ),
+        )
+        return score, outcomes

@@ -1,0 +1,160 @@
+"""Failure handling: alerts, blacklisting, and scheduling integration.
+
+§8 of the paper ("Handling Detected Failures"): when SkeletonHunter
+detects an anomaly it (1) alerts the network operation team and (2)
+automatically blacklists the implicated hosts and RNICs so no new
+training task lands on them until the issue is resolved.  This module
+implements both, plus the placement-filter hook the orchestrator uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.identifiers import HostId
+from repro.core.localization import Diagnosis, LocalizationReport
+
+__all__ = ["Alert", "AlertSeverity", "Blacklist", "FailureHandler"]
+
+
+class AlertSeverity(enum.Enum):
+    """How loudly to page the operation team."""
+
+    CRITICAL = "critical"   # unconnectivity: training tasks will abort
+    MAJOR = "major"         # packet loss: collective retries, slowdowns
+    MINOR = "minor"         # high latency: degraded but progressing
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One notification sent to the network operation team."""
+
+    raised_at: float
+    severity: AlertSeverity
+    component: str
+    summary: str
+
+
+@dataclass
+class _BlacklistEntry:
+    component: str
+    since: float
+    reason: str
+    cleared_at: Optional[float] = None
+
+
+class Blacklist:
+    """Components excluded from new-task scheduling until repaired."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _BlacklistEntry] = {}
+
+    def add(self, component: str, at: float, reason: str) -> None:
+        """Blacklist a component (idempotent while active)."""
+        current = self._entries.get(component)
+        if current is not None and current.cleared_at is None:
+            return
+        self._entries[component] = _BlacklistEntry(
+            component=component, since=at, reason=reason
+        )
+
+    def clear(self, component: str, at: float) -> bool:
+        """Mark a component repaired; returns whether it was listed."""
+        entry = self._entries.get(component)
+        if entry is None or entry.cleared_at is not None:
+            return False
+        entry.cleared_at = at
+        return True
+
+    def contains(self, component: object) -> bool:
+        """Whether ``component`` is actively blacklisted."""
+        entry = self._entries.get(str(component))
+        return entry is not None and entry.cleared_at is None
+
+    def active(self) -> List[str]:
+        """Actively blacklisted component names, sorted."""
+        return sorted(
+            name for name, entry in self._entries.items()
+            if entry.cleared_at is None
+        )
+
+    def host_allowed(self, host: HostId) -> bool:
+        """Placement filter: is this host schedulable?
+
+        A host is unschedulable when the host itself, its OVS, or any
+        of its RNICs is blacklisted (one dead rail starves the GPU it
+        serves, so the whole node is pulled from rotation).
+        """
+        name = str(host)
+        for listed in self.active():
+            if listed == f"host:{name}" or listed == f"ovs:{name}":
+                return False
+            if listed.startswith(f"{name}/rnic-"):
+                return False
+            if listed.startswith(f"vtep:{name}/"):
+                return False
+        return True
+
+
+class FailureHandler:
+    """Turns localization reports into alerts and blacklist entries."""
+
+    #: Diagnosis layers whose components are worth pulling from rotation.
+    _BLACKLISTABLE_LAYERS = ("overlay", "underlay", "rnic", "host")
+
+    def __init__(
+        self,
+        blacklist: Optional[Blacklist] = None,
+        notify: Optional[Callable[[Alert], None]] = None,
+        min_confidence: float = 0.7,
+    ) -> None:
+        self.blacklist = blacklist or Blacklist()
+        self._notify = notify
+        self.min_confidence = min_confidence
+        self.alerts: List[Alert] = []
+
+    def handle(self, at: float, report: LocalizationReport) -> List[Alert]:
+        """Process one localization report: alert + blacklist."""
+        raised: List[Alert] = []
+        for diagnosis in report.diagnoses:
+            alert = Alert(
+                raised_at=at,
+                severity=self._severity_of(diagnosis),
+                component=diagnosis.component,
+                summary=f"{diagnosis.component}: {diagnosis.evidence}",
+            )
+            raised.append(alert)
+            self.alerts.append(alert)
+            if self._notify is not None:
+                self._notify(alert)
+            if (
+                diagnosis.confidence >= self.min_confidence
+                and diagnosis.layer in self._BLACKLISTABLE_LAYERS
+            ):
+                self.blacklist.add(
+                    diagnosis.component, at, diagnosis.evidence
+                )
+        return raised
+
+    @staticmethod
+    def _severity_of(diagnosis: Diagnosis) -> AlertSeverity:
+        evidence = diagnosis.evidence.lower()
+        if "unreachable" in evidence or "loop" in evidence or (
+            "down" in evidence
+        ):
+            return AlertSeverity.CRITICAL
+        if "loss" in evidence or "unconnectivity" in evidence:
+            return AlertSeverity.MAJOR
+        return AlertSeverity.MINOR
+
+    def mark_repaired(self, component: str, at: float) -> bool:
+        """The operation team fixed a component: re-admit it."""
+        return self.blacklist.clear(component, at)
+
+    def critical_alerts(self) -> List[Alert]:
+        """All critical alerts raised so far."""
+        return [
+            a for a in self.alerts if a.severity == AlertSeverity.CRITICAL
+        ]

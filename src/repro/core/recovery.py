@@ -1,0 +1,136 @@
+"""Recovery: migrating containers off failed components (§8).
+
+The paper's team was developing a live-migration mechanism "for the
+quick recovery of training containers ... to minimize the impact of
+network failures".  This module implements that extension: when a
+localization report blames a host, an RNIC, or a crashed container, the
+recovery manager migrates the affected RUNNING containers of watched
+tasks onto healthy (non-blacklisted) hosts, with a per-container
+cooldown so one flapping diagnosis cannot thrash the placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.container import Container
+from repro.cluster.identifiers import ContainerId, HostId
+from repro.cluster.orchestrator import Orchestrator, PlacementError
+from repro.core.handling import Blacklist
+from repro.core.localization import LocalizationReport
+
+__all__ = ["MigrationAction", "RecoveryManager"]
+
+
+@dataclass(frozen=True)
+class MigrationAction:
+    """One executed (or attempted) container migration."""
+
+    at: float
+    container: ContainerId
+    source: HostId
+    target: Optional[HostId]   # None when no healthy host was available
+    trigger: str               # the diagnosis component that caused it
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether a target host was found and the move happened."""
+        return self.target is not None
+
+
+class RecoveryManager:
+    """Executes migrations in response to localization reports."""
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        blacklist: Optional[Blacklist] = None,
+        cooldown_s: float = 300.0,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.blacklist = blacklist
+        self.cooldown_s = cooldown_s
+        self.actions: List[MigrationAction] = []
+        self._last_migration: Dict[ContainerId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Reaction
+    # ------------------------------------------------------------------
+
+    def react(self, at: float, report: LocalizationReport) -> List[
+        MigrationAction
+    ]:
+        """Migrate containers implicated by a localization report."""
+        performed: List[MigrationAction] = []
+        for diagnosis in report.diagnoses:
+            for container in self._victims_of(diagnosis.component):
+                if not self._cooled_down(container.id, at):
+                    continue
+                performed.append(self._migrate(
+                    at, container, diagnosis.component
+                ))
+        self.actions.extend(performed)
+        return performed
+
+    def _victims_of(self, component: str) -> List[Container]:
+        """RUNNING containers sitting on the blamed component."""
+        host_name = self._host_of_component(component)
+        if host_name is None:
+            return []
+        victims = []
+        for task in self.orchestrator.tasks.values():
+            for container in task.running_containers():
+                if str(container.host) == host_name:
+                    victims.append(container)
+        return victims
+
+    @staticmethod
+    def _host_of_component(component: str) -> Optional[str]:
+        """Extract the host a component name implicates, if any."""
+        if component.startswith("host:"):
+            return component.split(":", 1)[1]
+        if component.startswith(("ovs:", "vtep:")):
+            component = component.split(":", 1)[1]
+        if "/rnic-" in component and "<->" not in component:
+            return component.split("/")[0]
+        return None
+
+    def _cooled_down(self, container_id: ContainerId, at: float) -> bool:
+        last = self._last_migration.get(container_id)
+        return last is None or at - last >= self.cooldown_s
+
+    def _migrate(
+        self, at: float, container: Container, trigger: str
+    ) -> MigrationAction:
+        source = container.host
+        exclude = self._blacklisted_hosts()
+        try:
+            target = self.orchestrator.migrate_container(
+                container, exclude_hosts=exclude
+            )
+        except PlacementError:
+            target = None
+        if target is not None:
+            self._last_migration[container.id] = at
+        return MigrationAction(
+            at=at, container=container.id, source=source,
+            target=target, trigger=trigger,
+        )
+
+    def _blacklisted_hosts(self) -> List[HostId]:
+        if self.blacklist is None:
+            return []
+        hosts: Set[HostId] = set()
+        for host_id in self.orchestrator.cluster.hosts:
+            if not self.blacklist.host_allowed(host_id):
+                hosts.add(host_id)
+        return sorted(hosts)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def successful_migrations(self) -> List[MigrationAction]:
+        """Migrations that actually moved a container."""
+        return [a for a in self.actions if a.succeeded]

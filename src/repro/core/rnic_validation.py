@@ -1,0 +1,88 @@
+"""RNIC flow-table validation (§5.3, "Validating RNICs").
+
+When neither the overlay walk nor underlay tomography explains a failure,
+SkeletonHunter dumps the flow tables offloaded from OVS to the RNICs on
+both sides of the failing pair and diffs them against the OVS software
+tables.  Disagreements pinpoint the RNIC or the virtual switch:
+
+* OVS says *offloaded* but the hardware cache lacks the rule — the RNIC
+  silently invalidated it (the Figure-18 case; repetitive offloading).
+* rules stuck on the software path (never offloaded) — either one RNIC
+  cannot offload (offloading failure) or the host's virtual switch has
+  stopped using RDMA entirely.
+* stale or divergent hardware rules — RNIC-side corruption.
+
+The dump is flagged as *intrusive*: the paper notes it can temporarily
+degrade the data plane, so the localizer only reaches for it last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.cluster.flowtable import FlowInconsistency, diff_tables
+from repro.cluster.identifiers import RnicId
+from repro.cluster.orchestrator import Cluster
+
+__all__ = ["RnicFinding", "RnicValidator"]
+
+
+@dataclass(frozen=True)
+class RnicFinding:
+    """Result of validating one RNIC against its host's OVS table."""
+
+    rnic: RnicId
+    inconsistencies: List[FlowInconsistency]
+    invalidation_count: int
+
+    @property
+    def suspicious(self) -> bool:
+        """Whether the diff found anything at all."""
+        return bool(self.inconsistencies)
+
+    @property
+    def silently_invalidated(self) -> int:
+        """Rules OVS believes are in hardware but are not (Figure 18)."""
+        return sum(
+            1 for item in self.inconsistencies
+            if "absent from RNIC" in item.reason
+        )
+
+    @property
+    def software_path_rules(self) -> int:
+        """Rules that never made it into hardware."""
+        return sum(
+            1 for item in self.inconsistencies
+            if "not offloaded" in item.reason
+        )
+
+
+class RnicValidator:
+    """Dumps and diffs OVS vs RNIC hardware flow tables."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self.dumps_performed = 0
+
+    def validate(self, rnic: RnicId) -> RnicFinding:
+        """Diff one RNIC's hardware cache against its host's OVS table."""
+        overlay = self._cluster.overlay
+        self.dumps_performed += 1
+        ovs = overlay.ovs_table(rnic.host)
+        hw = overlay.offload_table(rnic)
+        inconsistencies = diff_tables(ovs, hw, rnic_name=str(rnic))
+        return RnicFinding(
+            rnic=rnic,
+            inconsistencies=inconsistencies,
+            invalidation_count=hw.invalidations,
+        )
+
+    def validate_many(
+        self, rnics: Iterable[RnicId]
+    ) -> Dict[RnicId, RnicFinding]:
+        """Validate several RNICs, deduplicated, in sorted order."""
+        findings: Dict[RnicId, RnicFinding] = {}
+        for rnic in sorted(set(rnics)):
+            findings[rnic] = self.validate(rnic)
+        return findings

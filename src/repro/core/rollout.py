@@ -1,0 +1,107 @@
+"""Agent release management (§8 of the paper, "Accelerating Agent
+Evolution").
+
+Sidecar deployment decouples agent updates from training tasks: after a
+new release, *new* tasks automatically run the latest agent, and the
+fleet converges as old tasks finish (over 20 online updates in ten
+months of production).  Two channels exist — monthly **routine**
+releases for significant upgrades and weekly **emergency** releases for
+hot fixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.controller import Controller
+
+__all__ = ["AgentRelease", "AgentReleaseManager", "ReleaseChannel"]
+
+
+class ReleaseChannel(enum.Enum):
+    """Which cadence a release ships on."""
+
+    ROUTINE = "routine"       # monthly: significant upgrades
+    EMERGENCY = "emergency"   # weekly: hot fixes
+
+
+@dataclass(frozen=True)
+class AgentRelease:
+    """One published sidecar agent version."""
+
+    version: str
+    channel: ReleaseChannel
+    released_at: float
+
+
+class AgentReleaseManager:
+    """Publishes agent versions and tracks fleet-wide convergence."""
+
+    def __init__(self, initial_version: str = "v1.0.0") -> None:
+        self._releases: List[AgentRelease] = [
+            AgentRelease(initial_version, ReleaseChannel.ROUTINE, 0.0)
+        ]
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, version: str, channel: ReleaseChannel, at: float
+    ) -> AgentRelease:
+        """Publish a new release; new agents pick it up immediately."""
+        if at < self._releases[-1].released_at:
+            raise ValueError(
+                "releases must be published in chronological order"
+            )
+        if any(r.version == version for r in self._releases):
+            raise ValueError(f"version {version!r} already published")
+        release = AgentRelease(version, channel, at)
+        self._releases.append(release)
+        return release
+
+    def current_version(self, at: Optional[float] = None) -> str:
+        """The version a sidecar launched at time ``at`` runs."""
+        if at is None:
+            return self._releases[-1].version
+        eligible = [r for r in self._releases if r.released_at <= at]
+        if not eligible:
+            return self._releases[0].version
+        return eligible[-1].version
+
+    def releases(self) -> List[AgentRelease]:
+        """All published releases, oldest first."""
+        return list(self._releases)
+
+    # ------------------------------------------------------------------
+    # Fleet view
+    # ------------------------------------------------------------------
+
+    def fleet_versions(self, controller: Controller) -> Dict[str, int]:
+        """How many live agents run each version."""
+        counts: Counter = Counter()
+        for task_id in controller.monitored_tasks():
+            for agent in controller.agents_of(task_id):
+                counts[getattr(agent, "version", "unknown")] += 1
+        return dict(counts)
+
+    def rollout_fraction(
+        self, controller: Controller, version: Optional[str] = None
+    ) -> float:
+        """Fraction of live agents on ``version`` (default: latest)."""
+        wanted = version or self.current_version()
+        counts = self.fleet_versions(controller)
+        total = sum(counts.values())
+        if total == 0:
+            return 1.0
+        return counts.get(wanted, 0) / total
+
+    def emergency_releases(self) -> List[AgentRelease]:
+        """Hot-fix releases published so far."""
+        return [
+            r for r in self._releases
+            if r.channel == ReleaseChannel.EMERGENCY
+        ]

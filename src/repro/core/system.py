@@ -1,0 +1,221 @@
+"""The SkeletonHunter facade: controller + agents + analyzer + localizer.
+
+Wires every component onto one simulation clock:
+
+* task submission triggers ping-list **preload**;
+* container RUNNING transitions launch sidecar agents that **register**
+  themselves, incrementally activating probe targets;
+* a periodic probing loop has every agent probe its active targets and
+  feed the analyzer;
+* throughput observations can be fed in to run **skeleton inference** and
+  shrink the ping list;
+* newly opened failure events are **localized** within the same round,
+  and each (time, report) is retained for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.container import Container, TrainingTask
+from repro.cluster.identifiers import EndpointId, TaskId
+from repro.cluster.orchestrator import Cluster, Orchestrator
+from repro.core.agent import AgentResourceModel
+from repro.core.analyzer import Analyzer, FailureEvent
+from repro.core.controller import Controller
+from repro.core.detection import DetectorConfig
+from repro.core.localization import LocalizationReport, Localizer
+from repro.core.pinglist import ProbePair
+from repro.core.skeleton import InferredSkeleton, SkeletonInference
+from repro.network.fabric import DataPlaneFabric
+from repro.sim.engine import PeriodicTask, SimulationEngine
+
+__all__ = ["SkeletonHunter"]
+
+
+class SkeletonHunter:
+    """The end-to-end monitoring and diagnosis system."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        engine: SimulationEngine,
+        fabric: DataPlaneFabric,
+        orchestrator: Orchestrator,
+        detector_config: Optional[DetectorConfig] = None,
+        probe_interval_s: float = 2.0,
+        resources: AgentResourceModel = AgentResourceModel(),
+        inference: Optional[SkeletonInference] = None,
+        handler=None,
+        recovery=None,
+        release_manager=None,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.fabric = fabric
+        self.orchestrator = orchestrator
+        self.probe_interval_s = probe_interval_s
+        self.controller = Controller(
+            cluster, resources, release_manager=release_manager
+        )
+        self.analyzer = Analyzer(detector_config or DetectorConfig())
+        self.localizer = Localizer(cluster, fabric)
+        self.inference = inference or SkeletonInference()
+        # Optional operational integrations (§8): alerting/blacklisting
+        # and migration-based recovery react to each new report.
+        self.handler = handler
+        self.recovery = recovery
+        self.reports: List[Tuple[float, LocalizationReport]] = []
+        self._watched: Set[TaskId] = set()
+        self._localized_events: Set[int] = set()
+        self._round_salt = 0
+        self._probe_task: Optional[PeriodicTask] = None
+
+        orchestrator.on_container_running(self._on_container_running)
+        orchestrator.on_container_finished(self._on_container_finished)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def watch_task(self, task: TrainingTask) -> None:
+        """Preload the basic ping list and begin monitoring ``task``."""
+        self.controller.preload_task(task)
+        self._watched.add(task.id)
+        # Containers that came up before the watch started still need
+        # their agents.
+        for container in task.running_containers():
+            self.controller.on_container_running(container, self.engine.now)
+
+    def start(self, first_round_at: Optional[float] = None) -> None:
+        """Arm the periodic probing loop on the simulation clock."""
+        if self._probe_task is not None and not self._probe_task.stopped:
+            return
+        self._probe_task = self.engine.schedule_periodic(
+            self.probe_interval_s,
+            self._probe_round,
+            first_at=(
+                self.engine.now + self.probe_interval_s
+                if first_round_at is None else first_round_at
+            ),
+            label="skeletonhunter-probe-round",
+        )
+
+    def stop(self) -> None:
+        """Disarm the probing loop."""
+        if self._probe_task is not None:
+            self._probe_task.stop()
+
+    def _on_container_running(self, container: Container) -> None:
+        if container.id.task not in self._watched:
+            return
+        self.controller.on_container_running(container, self.engine.now)
+
+    def _on_container_finished(self, container: Container) -> None:
+        if container.id.task not in self._watched:
+            return
+        # Crashed containers must stay in the ping list: their silence is
+        # the unconnectivity signal; only graceful exits deregister.
+        from repro.cluster.container import ContainerState
+
+        if container.state == ContainerState.TERMINATED:
+            self.controller.on_container_finished(container)
+
+    # ------------------------------------------------------------------
+    # Probing loop
+    # ------------------------------------------------------------------
+
+    def _probe_round(self) -> None:
+        now = self.engine.now
+        for task_id in self.controller.monitored_tasks():
+            for agent in self.controller.agents_of(task_id):
+                for result in agent.execute_round(
+                    self.fabric, now, self._round_salt
+                ):
+                    self.analyzer.ingest(result)
+        self.analyzer.flush(now)
+        self._localize_new_events(now)
+
+    def _localize_new_events(self, now: float) -> None:
+        fresh = [
+            event for event in self.analyzer.open_events()
+            if id(event) not in self._localized_events
+        ]
+        if not fresh:
+            return
+        failing_pairs = {event.pair for event in fresh}
+        healthy = [
+            pair for pair in self._all_active_pairs()
+            if pair not in failing_pairs
+        ]
+        report = self.localizer.localize(fresh, healthy_pairs=healthy)
+        self.reports.append((now, report))
+        for event in fresh:
+            self._localized_events.add(id(event))
+        if self.handler is not None:
+            self.handler.handle(now, report)
+        if self.recovery is not None:
+            for action in self.recovery.react(now, report):
+                if not action.succeeded:
+                    continue
+                # The migration changed the container's data paths: its
+                # pairs' baselines are stale by construction.
+                container = self._find_container(action.container)
+                if container is not None:
+                    self.analyzer.reset_pairs_involving(
+                        container.endpoints(), now
+                    )
+
+    def _find_container(self, container_id):
+        task = self.orchestrator.tasks.get(container_id.task)
+        if task is None:
+            return None
+        return task.containers.get(container_id)
+
+    def _all_active_pairs(self) -> List[ProbePair]:
+        pairs: List[ProbePair] = []
+        for task_id in self.controller.monitored_tasks():
+            pairs.extend(
+                self.controller.ping_list_of(task_id).active_pairs()
+            )
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Skeleton optimization
+    # ------------------------------------------------------------------
+
+    def observe_and_optimize(
+        self,
+        task_id: TaskId,
+        series_by_endpoint: Dict[EndpointId, np.ndarray],
+    ) -> InferredSkeleton:
+        """Infer the traffic skeleton and shrink the task's ping list.
+
+        ``series_by_endpoint`` is what the agents' throughput sampling
+        collected (in the simulator, generated by the training-traffic
+        substrate).
+        """
+        task = self.orchestrator.task(task_id)
+
+        def host_of(endpoint: EndpointId):
+            return task.containers[endpoint.container].host
+
+        skeleton = self.inference.infer(series_by_endpoint, host_of)
+        self.controller.apply_skeleton(task_id, skeleton)
+        return skeleton
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> List[FailureEvent]:
+        """All failure events raised so far."""
+        return self.analyzer.events
+
+    def monitored_pairs(self) -> List[ProbePair]:
+        """Every pair the analyzer has seen probes for."""
+        return self.analyzer.monitored_pairs()

@@ -1,0 +1,150 @@
+"""Underlay physical-intersection analysis (Algorithm 1, lines 16-21).
+
+ECMP multiplexing means a failing endpoint pair only tells us *one of*
+its physical path's links is bad.  Network tomography intersects the
+paths of many failing pairs: each failing path votes for every link it
+crosses (``PhyLinkCounter``), and the links with the maximum vote count —
+strictly above one, per Algorithm 1 — are the suspects.  Healthy-path
+exoneration (as in 007/NetBouncer) can additionally strike links that
+concurrently carried successful probes, which is sound for hard failures.
+
+A promotion step interprets the raw link votes: several top links meeting
+at one switch implicate the switch (e.g. switch offline); several leaf
+links of one host implicate the host (board/config trouble); a single
+leaf link implicates its RNIC.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.identifiers import LinkId
+from repro.cluster.topology import UnderlayPath
+
+__all__ = ["IntersectionResult", "PhysicalIntersection"]
+
+
+def _is_rnic_device(name: str) -> bool:
+    return "/rnic-" in name
+
+
+def _host_of_device(name: str) -> Optional[str]:
+    if _is_rnic_device(name):
+        return name.split("/")[0]
+    return None
+
+
+@dataclass(frozen=True)
+class IntersectionResult:
+    """Outcome of one tomography vote."""
+
+    votes: Dict[LinkId, int]
+    suspects: Tuple[LinkId, ...]          # max-count links (count > 1)
+    promoted_component: Optional[str]     # switch/host/RNIC, if inferable
+    promoted_kind: Optional[str]          # 'switch' | 'host' | 'rnic' | None
+
+    @property
+    def found(self) -> bool:
+        """Whether the vote produced any suspect."""
+        return bool(self.suspects)
+
+    def blamed_components(self) -> List[str]:
+        """Component names to report, promotion first."""
+        names: List[str] = []
+        if self.promoted_component is not None:
+            names.append(self.promoted_component)
+        names.extend(str(link) for link in self.suspects)
+        return names
+
+
+class PhysicalIntersection:
+    """Counts link votes across failing paths and promotes suspects."""
+
+    def __init__(self, min_votes: int = 2, tie_tolerance: int = 0) -> None:
+        if min_votes < 2:
+            raise ValueError(
+                "Algorithm 1 requires more than one vote per suspect link"
+            )
+        self.min_votes = min_votes
+        self.tie_tolerance = tie_tolerance
+
+    def vote(
+        self,
+        failing_paths: Sequence[UnderlayPath],
+        healthy_paths: Sequence[UnderlayPath] = (),
+        exonerate: bool = False,
+    ) -> IntersectionResult:
+        """Intersect failing paths; optionally exonerate healthy links.
+
+        ``exonerate=True`` is only sound for hard failures (a down link
+        cannot carry a successful probe); lossy or slow links may pass
+        some probes, so loss/latency votes must not exonerate.
+        """
+        counter: Counter = Counter()
+        for path in failing_paths:
+            for link in path.links:
+                counter[link] += 1
+
+        cleared: Set[LinkId] = set()
+        if exonerate:
+            for path in healthy_paths:
+                cleared.update(path.links)
+
+        eligible = {
+            link: count
+            for link, count in counter.items()
+            if count >= self.min_votes and link not in cleared
+        }
+        if not eligible:
+            return IntersectionResult(
+                votes=dict(counter), suspects=(), promoted_component=None,
+                promoted_kind=None,
+            )
+        top = max(eligible.values())
+        suspects = tuple(sorted(
+            link for link, count in eligible.items()
+            if count >= top - self.tie_tolerance
+        ))
+        component, kind = self._promote(suspects)
+        return IntersectionResult(
+            votes=dict(counter), suspects=suspects,
+            promoted_component=component, promoted_kind=kind,
+        )
+
+    @staticmethod
+    def _promote(
+        suspects: Tuple[LinkId, ...]
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Interpret the top-voted links as a device when they agree."""
+        if not suspects:
+            return None, None
+
+        if len(suspects) >= 2:
+            shared = {suspects[0].a, suspects[0].b}
+            for link in suspects[1:]:
+                shared &= {link.a, link.b}
+            if len(shared) == 1:
+                device = shared.pop()
+                if _is_rnic_device(device):
+                    return device, "rnic"
+                return device, "switch"
+            hosts = {
+                host
+                for link in suspects
+                for host in (
+                    _host_of_device(link.a), _host_of_device(link.b)
+                )
+                if host is not None
+            }
+            if len(hosts) == 1:
+                return f"host:{hosts.pop()}", "host"
+            return None, None
+
+        # A single top link: a leaf link implicates its RNIC port.
+        link = suspects[0]
+        for device in (link.a, link.b):
+            if _is_rnic_device(device):
+                return device, "rnic"
+        return None, None

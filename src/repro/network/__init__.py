@@ -1,0 +1,41 @@
+"""Network substrate: packets, latency, faults, and the data-plane fabric."""
+
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import (
+    Effects,
+    Fault,
+    FaultInjector,
+    container_component,
+    host_component,
+)
+from repro.network.issues import (
+    ISSUE_CATALOG,
+    ComponentClass,
+    IssueSpec,
+    IssueType,
+    Symptom,
+    issues_in_component,
+    issues_with_symptom,
+)
+from repro.network.latency import LatencyModel, TransientCongestion
+from repro.network.packet import ProbeResult, flow_hash
+
+__all__ = [
+    "ComponentClass",
+    "DataPlaneFabric",
+    "Effects",
+    "Fault",
+    "FaultInjector",
+    "ISSUE_CATALOG",
+    "IssueSpec",
+    "IssueType",
+    "LatencyModel",
+    "ProbeResult",
+    "Symptom",
+    "TransientCongestion",
+    "container_component",
+    "flow_hash",
+    "host_component",
+    "issues_in_component",
+    "issues_with_symptom",
+]

@@ -1,0 +1,180 @@
+"""The data-plane fabric: what actually happens to a probe packet.
+
+A probe from endpoint A to endpoint B goes through:
+
+1. the **overlay**: A's veth → A's host OVS (flow lookup, slow-path
+   install on first use) → A's RNIC VTEP (VXLAN encap, hardware or
+   software path) → ... → B's host OVS → B's veth;
+2. the **underlay**: the ECMP-selected physical path between A's and B's
+   RNICs (RNIC → ToR [→ spine → ToR] → RNIC).
+
+Faults registered with the :class:`~repro.network.faults.FaultInjector`
+perturb either layer; the latency model turns the healthy path shape plus
+fault/congestion extras into a sampled RTT.  The fabric is the single
+place where overlay state, underlay topology, faults, and noise combine —
+every probing strategy (SkeletonHunter, full-mesh Pingmesh, deTector)
+sends its probes through this same function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.identifiers import EndpointId
+from repro.cluster.orchestrator import Cluster
+from repro.cluster.overlay import ovs_name, veth_name, vtep_name
+from repro.cluster.topology import UnderlayPath
+from repro.network.faults import Effects, FaultInjector
+from repro.network.latency import LatencyModel, TransientCongestion
+from repro.network.packet import ProbeResult, flow_hash
+from repro.sim.rng import RngRegistry
+
+__all__ = ["DataPlaneFabric"]
+
+
+class DataPlaneFabric:
+    """Sends probes across the simulated overlay + underlay."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        injector: FaultInjector,
+        rng: RngRegistry,
+        latency_model: Optional[LatencyModel] = None,
+        congestion: Optional[TransientCongestion] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.injector = injector
+        self.latency_model = latency_model or LatencyModel()
+        self.congestion = congestion or TransientCongestion(rate=0.0)
+        self._rng = rng.stream("fabric")
+        self.probes_sent = 0
+        self.probes_lost = 0
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def send_probe(
+        self, src: EndpointId, dst: EndpointId, at: float, salt: int = 0
+    ) -> ProbeResult:
+        """Send one probe at simulated time ``at`` and observe its fate."""
+        self.probes_sent += 1
+        overlay = self.cluster.overlay
+        trace = overlay.trace(src, dst, install_missing=True)
+        if overlay.is_registered(src) and overlay.is_registered(dst):
+            # The echo response travels the reverse flow, whose rule the
+            # destination's first reply packet installs.
+            overlay.ensure_flow(dst, src)
+        fhash = flow_hash(src, dst, salt)
+
+        if not trace.reached:
+            self.probes_lost += 1
+            reason = "overlay forwarding loop" if trace.loop else (
+                f"overlay unreachable at {trace.failure_component}"
+            )
+            return ProbeResult(
+                src=src, dst=dst, sent_at=at, lost=True, reason=reason,
+                src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
+                overlay_trace=trace,
+            )
+
+        src_rnic = trace.src_rnic
+        dst_rnic = trace.dst_rnic
+        path = self.cluster.topology.pick_path(src_rnic, dst_rnic, fhash)
+
+        effects = self.injector.path_effects(path, at, fhash)
+        effects = effects.merge(self.injector.rnic_effects(src_rnic, at, fhash))
+        effects = effects.merge(self.injector.rnic_effects(dst_rnic, at, fhash))
+        effects = effects.merge(
+            self.injector.host_effects(src_rnic.host, at, fhash)
+        )
+        effects = effects.merge(
+            self.injector.host_effects(dst_rnic.host, at, fhash)
+        )
+
+        overlay_extra = self._overlay_extras(src, dst, src_rnic, dst_rnic)
+        effects = effects.merge(overlay_extra)
+
+        if effects.down:
+            self.probes_lost += 1
+            return ProbeResult(
+                src=src, dst=dst, sent_at=at, lost=True,
+                reason="component down on path",
+                src_rnic=src_rnic, dst_rnic=dst_rnic,
+                underlay_path=path, overlay_trace=trace,
+            )
+        if effects.loss_rate > 0 and float(
+            self._rng.random()
+        ) < effects.loss_rate:
+            self.probes_lost += 1
+            return ProbeResult(
+                src=src, dst=dst, sent_at=at, lost=True,
+                reason="packet dropped on path",
+                src_rnic=src_rnic, dst_rnic=dst_rnic,
+                underlay_path=path, overlay_trace=trace,
+            )
+
+        software = trace.software_path or effects.force_software_path
+        latency = self.latency_model.sample_rtt_us(
+            self._rng,
+            num_links=path.hops,
+            num_switches=len(path.switches()),
+            extra_us=effects.extra_latency_us,
+            software_path=software,
+        )
+        latency += self.congestion.sample_us(self._rng)
+        return ProbeResult(
+            src=src, dst=dst, sent_at=at, lost=False,
+            latency_us=latency, software_path=software,
+            src_rnic=src_rnic, dst_rnic=dst_rnic,
+            underlay_path=path, overlay_trace=trace,
+        )
+
+    def _overlay_extras(
+        self, src: EndpointId, dst: EndpointId, src_rnic, dst_rnic
+    ) -> Effects:
+        """Latency/loss contributed by overlay component health flags."""
+        overlay = self.cluster.overlay
+        combined = Effects()
+        components = (
+            veth_name(src), ovs_name(src_rnic.host), vtep_name(src_rnic),
+            vtep_name(dst_rnic), ovs_name(dst_rnic.host), veth_name(dst),
+        )
+        for name in components:
+            health = overlay.health(name)
+            combined = combined.merge(Effects(
+                down=health.down,
+                loss_rate=health.loss_rate,
+                extra_latency_us=health.extra_latency_us,
+                force_software_path=health.force_software_path,
+            ))
+        return combined
+
+    # ------------------------------------------------------------------
+    # Host-agent capabilities (used by the localizer)
+    # ------------------------------------------------------------------
+
+    def traceroute(
+        self, src: EndpointId, dst: EndpointId, salt: int = 0
+    ) -> Optional[UnderlayPath]:
+        """The underlay path the (src, dst) flow is pinned to, if known.
+
+        Mirrors the paper's per-host traceroute agents: reveals the actual
+        ECMP choice so tomography can intersect failing paths.  Returns
+        ``None`` when either endpoint is not attached to the overlay.
+        """
+        overlay = self.cluster.overlay
+        if not overlay.is_registered(src) or not overlay.is_registered(dst):
+            return None
+        src_rnic = overlay.rnic_of(src)
+        dst_rnic = overlay.rnic_of(dst)
+        fhash = flow_hash(src, dst, salt)
+        return self.cluster.topology.pick_path(src_rnic, dst_rnic, fhash)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of all probes ever sent that were lost."""
+        if self.probes_sent == 0:
+            return 0.0
+        return self.probes_lost / self.probes_sent

@@ -1,0 +1,214 @@
+"""The catalogue of network issues from Table 1 of the paper.
+
+Nineteen issue types across six component classes (physical switches /
+inter-host network, RNICs, host boards, virtual switches, container
+runtime, configurations — plus kernel-level causes), each with the symptom
+the paper reports (packet loss, unconnectivity, or high latency).  The
+fault injector turns each catalogue entry into a concrete perturbation of
+the simulated data plane, and the evaluation harness scores localization
+against the catalogue's component class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ComponentClass", "IssueSpec", "IssueType", "Symptom", "ISSUE_CATALOG"]
+
+
+class Symptom(enum.Enum):
+    """Observable symptom of an issue (Table 1, 'Symptoms' column)."""
+
+    PACKET_LOSS = "packet_loss"
+    UNCONNECTIVITY = "unconnectivity"
+    HIGH_LATENCY = "high_latency"
+
+
+class ComponentClass(enum.Enum):
+    """Component classes SkeletonHunter localizes issues to (Table 1)."""
+
+    INTER_HOST_NETWORK = "inter_host_network"
+    RNIC = "rnic"
+    KERNEL = "kernel"
+    HOST_BOARD = "host_board"
+    VIRTUAL_SWITCH = "virtual_switch"
+    CONTAINER_RUNTIME = "container_runtime"
+    CONFIGURATION = "configuration"
+
+
+class IssueType(enum.Enum):
+    """The nineteen production issue types of Table 1."""
+
+    CRC_ERROR = 1
+    SWITCH_PORT_DOWN = 2
+    SWITCH_PORT_FLAPPING = 3
+    SWITCH_OFFLINE = 4
+    RNIC_HARDWARE_FAILURE = 5
+    RNIC_FIRMWARE_NOT_RESPONDING = 6
+    RNIC_PORT_DOWN = 7
+    RNIC_PORT_FLAPPING = 8
+    OFFLOADING_FAILURE = 9
+    BOND_ERROR = 10
+    RNIC_GID_CHANGE = 11
+    PCIE_NIC_ERROR = 12
+    GPU_DIRECT_RDMA_ERROR = 13
+    NOT_USING_RDMA = 14
+    REPETITIVE_FLOW_OFFLOADING = 15
+    SUBOPTIMAL_FLOW_OFFLOADING = 16
+    CONTAINER_CRASH = 17
+    HUGEPAGE_MISCONFIGURATION = 18
+    CONGESTION_CONTROL_ISSUE = 19
+
+
+@dataclass(frozen=True)
+class IssueSpec:
+    """Catalogue metadata for one issue type."""
+
+    issue: IssueType
+    component: ComponentClass
+    symptom: Symptom
+    reason: str
+
+    @property
+    def number(self) -> int:
+        """The row number in Table 1."""
+        return self.issue.value
+
+
+ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
+    spec.issue: spec
+    for spec in [
+        IssueSpec(
+            IssueType.CRC_ERROR,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.PACKET_LOSS,
+            "Physical fabric causes packet corruption.",
+        ),
+        IssueSpec(
+            IssueType.SWITCH_PORT_DOWN,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.UNCONNECTIVITY,
+            "The switch port is unreachable.",
+        ),
+        IssueSpec(
+            IssueType.SWITCH_PORT_FLAPPING,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.PACKET_LOSS,
+            "The switch port is flapping.",
+        ),
+        IssueSpec(
+            IssueType.SWITCH_OFFLINE,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.UNCONNECTIVITY,
+            "The switch crashes or is manually set to offline for upgrade.",
+        ),
+        IssueSpec(
+            IssueType.RNIC_HARDWARE_FAILURE,
+            ComponentClass.RNIC,
+            Symptom.UNCONNECTIVITY,
+            "Hardware components of the RNIC are not working normally.",
+        ),
+        IssueSpec(
+            IssueType.RNIC_FIRMWARE_NOT_RESPONDING,
+            ComponentClass.RNIC,
+            Symptom.HIGH_LATENCY,
+            "RNIC firmware bugs result in high latency of specific flows.",
+        ),
+        IssueSpec(
+            IssueType.RNIC_PORT_DOWN,
+            ComponentClass.RNIC,
+            Symptom.UNCONNECTIVITY,
+            "The RNIC port is consistently down.",
+        ),
+        IssueSpec(
+            IssueType.RNIC_PORT_FLAPPING,
+            ComponentClass.RNIC,
+            Symptom.PACKET_LOSS,
+            "The RNIC port is periodically down.",
+        ),
+        IssueSpec(
+            IssueType.OFFLOADING_FAILURE,
+            ComponentClass.RNIC,
+            Symptom.HIGH_LATENCY,
+            "Packet en-/de-capsulation cannot be offloaded to the RNIC.",
+        ),
+        IssueSpec(
+            IssueType.BOND_ERROR,
+            ComponentClass.RNIC,
+            Symptom.UNCONNECTIVITY,
+            "Unable to bond the ports of the RNIC.",
+        ),
+        IssueSpec(
+            IssueType.RNIC_GID_CHANGE,
+            ComponentClass.KERNEL,
+            Symptom.UNCONNECTIVITY,
+            "The network service of the OS is restarted unexpectedly.",
+        ),
+        IssueSpec(
+            IssueType.PCIE_NIC_ERROR,
+            ComponentClass.HOST_BOARD,
+            Symptom.HIGH_LATENCY,
+            "The RNICs in the same host cannot communicate with each other.",
+        ),
+        IssueSpec(
+            IssueType.GPU_DIRECT_RDMA_ERROR,
+            ComponentClass.HOST_BOARD,
+            Symptom.HIGH_LATENCY,
+            "The GPU cannot directly communicate with the RNIC in the "
+            "container.",
+        ),
+        IssueSpec(
+            IssueType.NOT_USING_RDMA,
+            ComponentClass.VIRTUAL_SWITCH,
+            Symptom.HIGH_LATENCY,
+            "Flows that should be transmitted over RDMA are actually using "
+            "TCP/UDP.",
+        ),
+        IssueSpec(
+            IssueType.REPETITIVE_FLOW_OFFLOADING,
+            ComponentClass.VIRTUAL_SWITCH,
+            Symptom.HIGH_LATENCY,
+            "Offloaded flows are frequently invalidated in the RNIC.",
+        ),
+        IssueSpec(
+            IssueType.SUBOPTIMAL_FLOW_OFFLOADING,
+            ComponentClass.VIRTUAL_SWITCH,
+            Symptom.HIGH_LATENCY,
+            "Flows are offloaded with incorrect orders with high latency of "
+            "some flows.",
+        ),
+        IssueSpec(
+            IssueType.CONTAINER_CRASH,
+            ComponentClass.CONTAINER_RUNTIME,
+            Symptom.UNCONNECTIVITY,
+            "Containers crash shortly after creation due to container "
+            "runtime defects.",
+        ),
+        IssueSpec(
+            IssueType.HUGEPAGE_MISCONFIGURATION,
+            ComponentClass.CONFIGURATION,
+            Symptom.HIGH_LATENCY,
+            "The host's hugepage configuration is not consistent with the "
+            "RNIC.",
+        ),
+        IssueSpec(
+            IssueType.CONGESTION_CONTROL_ISSUE,
+            ComponentClass.CONFIGURATION,
+            Symptom.HIGH_LATENCY,
+            "The congestion control of a specific queue in the switch is "
+            "not enabled.",
+        ),
+    ]
+}
+
+
+def issues_with_symptom(symptom: Symptom) -> List[IssueSpec]:
+    """All catalogue entries exhibiting ``symptom``."""
+    return [s for s in ISSUE_CATALOG.values() if s.symptom == symptom]
+
+
+def issues_in_component(component: ComponentClass) -> List[IssueSpec]:
+    """All catalogue entries attributed to ``component``."""
+    return [s for s in ISSUE_CATALOG.values() if s.component == component]

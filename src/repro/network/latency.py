@@ -1,0 +1,90 @@
+"""The round-trip latency model.
+
+Healthy RoCE probes complete in well under 20 µs (§1 of the paper; the
+Figure-18 case study shows a stable ~16 µs before the failure).  We model
+the RTT as a per-hop budget with multiplicative log-normal noise — the
+paper's long-term detector explicitly relies on healthy pair latency
+being log-normally distributed (§5.2), so the substrate generates exactly
+that family.
+
+Transient congestion adds occasional latency spikes that are *not*
+failures; the short-term detector must ride through them (they are the
+source of detection false positives the precision metric charges for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyModel", "TransientCongestion"]
+
+
+@dataclass
+class LatencyModel:
+    """Per-hop RTT budget plus log-normal measurement noise.
+
+    Parameters are one-way per-traversal costs in microseconds; the RTT
+    doubles them.  ``sigma`` is the log-space standard deviation of the
+    multiplicative noise (a few percent in a healthy fabric).
+    """
+
+    host_stack_us: float = 1.2      # veth + OVS + PCIe per host side
+    per_link_us: float = 0.75       # serialization + propagation per link
+    per_switch_us: float = 1.0      # switching latency per switch
+    software_path_penalty_us: float = 104.0  # slow-path (Figure 18: ~120 µs)
+    sigma: float = 0.04
+
+    def base_rtt_us(self, num_links: int, num_switches: int) -> float:
+        """Median healthy RTT for a path shape (links, switches)."""
+        one_way = (
+            2 * self.host_stack_us
+            + num_links * self.per_link_us
+            + num_switches * self.per_switch_us
+        )
+        return 2.0 * one_way
+
+    def sample_rtt_us(
+        self,
+        rng: np.random.Generator,
+        num_links: int,
+        num_switches: int,
+        extra_us: float = 0.0,
+        software_path: bool = False,
+    ) -> float:
+        """One RTT sample: log-normal noise around the base, plus extras."""
+        base = self.base_rtt_us(num_links, num_switches)
+        noisy = base * float(rng.lognormal(mean=0.0, sigma=self.sigma))
+        if software_path:
+            noisy += self.software_path_penalty_us * float(
+                rng.lognormal(mean=0.0, sigma=self.sigma)
+            )
+        return noisy + extra_us
+
+    def lognormal_params(
+        self, num_links: int, num_switches: int
+    ) -> "tuple[float, float]":
+        """(mu, sigma) of ln(RTT) for a healthy path of this shape."""
+        return math.log(self.base_rtt_us(num_links, num_switches)), self.sigma
+
+
+@dataclass
+class TransientCongestion:
+    """Benign short latency spikes from resource contention.
+
+    Each probe independently hits a spike with probability ``rate``; the
+    spike magnitude is exponential with mean ``mean_spike_us``.  These
+    mimic the transient congestion the paper's analyzer must filter out
+    (§5.2: "a sudden high latency can be caused by transient congestion").
+    """
+
+    rate: float = 0.002
+    mean_spike_us: float = 12.0
+
+    def sample_us(self, rng: np.random.Generator) -> float:
+        """Extra latency (0 for the vast majority of probes)."""
+        if self.rate <= 0 or float(rng.random()) >= self.rate:
+            return 0.0
+        return float(rng.exponential(self.mean_spike_us))

@@ -1,0 +1,66 @@
+"""Probe packets and probing results.
+
+A probe is one RDMA echo between two endpoints (the unit the agents
+execute).  Its result carries everything the analyzer and localizer need:
+the measured round-trip latency (or loss), the overlay forwarding trace,
+and the underlay path the ECMP hash picked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.identifiers import EndpointId, LinkId, RnicId
+from repro.cluster.overlay import OverlayTrace
+from repro.cluster.topology import UnderlayPath
+
+__all__ = ["ProbeResult", "flow_hash"]
+
+
+def flow_hash(src: EndpointId, dst: EndpointId, salt: int = 0) -> int:
+    """A stable 64-bit flow hash used for ECMP path selection.
+
+    RDMA connections pin to one ECMP path for their lifetime, so the hash
+    depends only on the endpoint pair (plus an optional salt for flows
+    that are deliberately re-established).
+    """
+    acc = 0xCBF29CE484222325
+    for byte in f"{src}|{dst}|{salt}".encode("utf-8"):
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFF_FFFF_FFFF_FFFF
+    return acc
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one probe between two endpoints."""
+
+    src: EndpointId
+    dst: EndpointId
+    sent_at: float
+    lost: bool
+    latency_us: Optional[float] = None
+    reason: str = ""
+    software_path: bool = False
+    src_rnic: Optional[RnicId] = None
+    dst_rnic: Optional[RnicId] = None
+    underlay_path: Optional[UnderlayPath] = None
+    overlay_trace: Optional[OverlayTrace] = None
+
+    def __post_init__(self) -> None:
+        if not self.lost and self.latency_us is None:
+            raise ValueError("a delivered probe must carry a latency")
+        if self.lost and self.latency_us is not None:
+            raise ValueError("a lost probe cannot carry a latency")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the probe completed (regardless of how slowly)."""
+        return not self.lost
+
+    def underlay_links(self) -> Tuple[LinkId, ...]:
+        """Physical links the probe traversed (empty when lost pre-fabric)."""
+        if self.underlay_path is None:
+            return ()
+        return self.underlay_path.links

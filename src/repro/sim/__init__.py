@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate shared by every other subsystem."""
+
+from repro.sim.engine import (
+    Event,
+    PeriodicTask,
+    SimClock,
+    SimulationEngine,
+    SimulationError,
+)
+from repro.sim.metrics import MetricRegistry, SeriesStats, TimeSeries
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Event",
+    "PeriodicTask",
+    "SimClock",
+    "SimulationEngine",
+    "SimulationError",
+    "MetricRegistry",
+    "SeriesStats",
+    "TimeSeries",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,200 @@
+"""A minimal discrete-event simulation engine.
+
+The engine keeps a priority queue of timestamped events.  Components
+schedule callbacks (one-shot or periodic) and the engine advances a
+simulated clock — there is no wall-clock sleeping anywhere, so a six-month
+production deployment can be replayed in seconds.
+
+Time is measured in **seconds** as a float.  Sub-microsecond latencies are
+handled by the latency model, not by the event queue; probing rounds and
+container state transitions are the natural event granularity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "SimClock", "SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is misused (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence) for stable ties."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class SimClock:
+    """A read-only view of simulated time, shared by all components."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _advance(self, t: float) -> None:
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = t
+
+
+class SimulationEngine:
+    """Event loop: schedule callbacks, then ``run_until`` a horizon.
+
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule(5.0, lambda: fired.append(engine.now))
+    >>> engine.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, at: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``at`` (seconds)."""
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule at {at}; clock is already at {self.now}"
+            )
+        event = Event(time=at, sequence=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback, label)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        first_at: Optional[float] = None,
+        label: str = "",
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds until stopped."""
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be positive, got {interval}"
+            )
+        task = PeriodicTask(self, interval, callback, label)
+        task.start(self.now if first_at is None else first_at)
+        return task
+
+    def run_until(self, horizon: float) -> None:
+        """Execute queued events with ``time <= horizon`` in order."""
+        while self._queue and self._queue[0].time <= horizon:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock._advance(event.time)
+            self._processed += 1
+            event.callback()
+        self.clock._advance(max(horizon, self.now))
+
+    def run(self) -> None:
+        """Execute every queued event (periodic tasks must be stopped)."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock._advance(event.time)
+            self._processed += 1
+            event.callback()
+
+
+class PeriodicTask:
+    """A repeating event; reschedules itself after each firing."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self._engine = engine
+        self._interval = interval
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+        self._stopped = False
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive firings."""
+        return self._interval
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+    def start(self, first_at: float) -> None:
+        """(Re)arm the task; the first firing happens at ``first_at``."""
+        self._stopped = False
+        self._event = self._engine.schedule(
+            max(first_at, self._engine.now), self._fire, self._label
+        )
+
+    def stop(self) -> None:
+        """Cancel future firings."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._engine.schedule_in(
+                self._interval, self._fire, self._label
+            )

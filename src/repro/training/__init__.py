@@ -1,0 +1,36 @@
+"""Training substrate: parallelism, collectives, and traffic generation."""
+
+from repro.training.collectives import (
+    TrafficEdge,
+    dp_rank_edges,
+    ep_rank_edges,
+    neighbors_of,
+    pp_rank_edges,
+    sparsity,
+    traffic_edges,
+    traffic_matrix,
+)
+from repro.training.parallelism import (
+    ParallelismConfig,
+    ParallelismError,
+    RankPosition,
+)
+from repro.training.traffic import TrafficGenerator, TrafficModel
+from repro.training.workload import TrainingWorkload
+
+__all__ = [
+    "ParallelismConfig",
+    "ParallelismError",
+    "RankPosition",
+    "TrafficEdge",
+    "TrafficGenerator",
+    "TrafficModel",
+    "TrainingWorkload",
+    "dp_rank_edges",
+    "ep_rank_edges",
+    "neighbors_of",
+    "pp_rank_edges",
+    "sparsity",
+    "traffic_edges",
+    "traffic_matrix",
+]

@@ -1,0 +1,146 @@
+"""Collective-communication traffic patterns.
+
+Derives the set of endpoint pairs a workload actually exchanges data
+over — the ground-truth *traffic skeleton* that SkeletonHunter must infer.
+The patterns follow how NCCL-style libraries schedule collectives:
+
+* **TP** — intra-container over NVLink: no network edges.
+* **PP** — point-to-point activations/gradients between adjacent pipeline
+  stages: edges between the same slot of neighbouring stage containers.
+* **DP** — ring all-reduce over each DP group at iteration end: edges
+  between ring neighbours.
+* **EP** — all-to-all token routing inside each expert-parallel group:
+  a full mesh within the group (the MoE pattern of Figure 9b).
+
+Cross-rail pairs never appear: libraries convert cross-rail transfers into
+NVLink + same-rail hops (§3.2), which the rank/slot arithmetic reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.identifiers import EndpointId
+from repro.training.workload import TrainingWorkload
+
+__all__ = [
+    "TrafficEdge",
+    "traffic_edges",
+    "traffic_matrix",
+    "sparsity",
+]
+
+TrafficEdge = FrozenSet[EndpointId]
+
+
+def _edge(a: EndpointId, b: EndpointId) -> TrafficEdge:
+    return frozenset((a, b))
+
+
+def pp_rank_edges(workload: TrainingWorkload) -> Set[Tuple[int, int]]:
+    """Directed-free (rank, rank) pairs from pipeline p2p traffic."""
+    config = workload.config
+    edges: Set[Tuple[int, int]] = set()
+    if config.pp < 2:
+        return edges
+    for rank in range(config.num_gpus):
+        pos = config.position(rank)
+        if pos.pp_rank + 1 < config.pp:
+            nxt = config.rank_of(pos.tp_rank, pos.pp_rank + 1, pos.dp_rank)
+            edges.add((min(rank, nxt), max(rank, nxt)))
+    return edges
+
+
+def dp_rank_edges(workload: TrainingWorkload) -> Set[Tuple[int, int]]:
+    """(rank, rank) pairs from ring all-reduce in every DP group."""
+    config = workload.config
+    edges: Set[Tuple[int, int]] = set()
+    if config.dp < 2:
+        return edges
+    for group in config.all_dp_groups():
+        n = len(group)
+        for i in range(n):
+            a, b = group[i], group[(i + 1) % n]
+            if a != b:
+                edges.add((min(a, b), max(a, b)))
+    return edges
+
+
+def ep_rank_edges(workload: TrainingWorkload) -> Set[Tuple[int, int]]:
+    """(rank, rank) pairs from all-to-all inside EP groups."""
+    config = workload.config
+    edges: Set[Tuple[int, int]] = set()
+    if config.ep < 2:
+        return edges
+    seen: Set[int] = set()
+    for rank in range(config.num_gpus):
+        if rank in seen:
+            continue
+        group = config.ep_group(rank)
+        seen.update(group)
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                edges.add((min(a, b), max(a, b)))
+    return edges
+
+
+def traffic_edges(workload: TrainingWorkload) -> Set[TrafficEdge]:
+    """All *network* endpoint pairs the workload communicates over.
+
+    Rank pairs that land in the same container are dropped — that traffic
+    rides NVLink and never touches an RNIC.
+    """
+    rank_pairs = (
+        pp_rank_edges(workload)
+        | dp_rank_edges(workload)
+        | ep_rank_edges(workload)
+    )
+    edges: Set[TrafficEdge] = set()
+    for a, b in rank_pairs:
+        if workload.same_container(a, b):
+            continue
+        edges.add(_edge(workload.endpoint_of(a), workload.endpoint_of(b)))
+    return edges
+
+
+def traffic_matrix(workload: TrainingWorkload) -> np.ndarray:
+    """A dense NxN 0/1 matrix over global ranks (the paper's Figure 9)."""
+    n = workload.num_ranks
+    matrix = np.zeros((n, n), dtype=np.int8)
+    rank_pairs = (
+        pp_rank_edges(workload)
+        | dp_rank_edges(workload)
+        | ep_rank_edges(workload)
+    )
+    for a, b in rank_pairs:
+        if workload.same_container(a, b):
+            continue
+        matrix[a, b] = 1
+        matrix[b, a] = 1
+    return matrix
+
+
+def sparsity(matrix: np.ndarray) -> float:
+    """Fraction of off-diagonal entries that are zero."""
+    n = matrix.shape[0]
+    if n < 2:
+        return 1.0
+    off_diagonal = n * (n - 1)
+    nonzero = int(np.count_nonzero(matrix)) - int(
+        np.count_nonzero(np.diag(matrix))
+    )
+    return 1.0 - nonzero / off_diagonal
+
+
+def neighbors_of(
+    workload: TrainingWorkload, endpoint: EndpointId
+) -> List[EndpointId]:
+    """Endpoints that ``endpoint`` actually exchanges traffic with."""
+    partners: Set[EndpointId] = set()
+    for edge in traffic_edges(workload):
+        if endpoint in edge:
+            (other,) = edge - {endpoint}
+            partners.add(other)
+    return sorted(partners)

@@ -1,0 +1,154 @@
+"""Parallelism configurations and rank/group arithmetic.
+
+A large model training task divides its GPUs into tensor-parallel (TP),
+pipeline-parallel (PP), data-parallel (DP), and optionally expert-parallel
+(EP) groups (§3.2 of the paper, Figure 8).  We use the Megatron-style rank
+order with TP innermost:
+
+    tp_rank = rank % TP
+    pp_rank = (rank // TP) % PP
+    dp_rank = rank // (TP * PP)
+
+With TP equal to the number of GPUs per training node, every TP group
+lands inside one container and communicates over NVLink — the property
+that makes the network traffic matrix sparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ParallelismConfig", "ParallelismError", "RankPosition"]
+
+
+class ParallelismError(ValueError):
+    """Raised for inconsistent parallelism configurations."""
+
+
+@dataclass(frozen=True)
+class RankPosition:
+    """Where a global rank sits in the parallelism grid."""
+
+    rank: int
+    tp_rank: int
+    pp_rank: int
+    dp_rank: int
+
+    @property
+    def pipeline_position(self) -> "tuple[int, int]":
+        """(tp_rank, pp_rank): identifies the rank's role inside one
+        pipeline replica.  Ranks sharing this tuple across DP replicas show
+        the same traffic burst cycles (§5.1)."""
+        return (self.tp_rank, self.pp_rank)
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """A TP x PP x DP (x EP) decomposition of a training task."""
+
+    tp: int
+    pp: int
+    dp: int
+    ep: int = 1
+
+    def __post_init__(self) -> None:
+        for name, value in (("tp", self.tp), ("pp", self.pp),
+                            ("dp", self.dp), ("ep", self.ep)):
+            if value < 1:
+                raise ParallelismError(f"{name} must be >= 1, got {value}")
+        if self.ep > 1 and self.dp % self.ep != 0:
+            raise ParallelismError(
+                f"ep={self.ep} must divide dp={self.dp}"
+            )
+
+    @property
+    def num_gpus(self) -> int:
+        """Total GPUs (and RNICs) the configuration occupies."""
+        return self.tp * self.pp * self.dp
+
+    @property
+    def pipeline_scale(self) -> int:
+        """GPUs per pipeline replica: TP x PP (Equation 1's group count)."""
+        return self.tp * self.pp
+
+    # ------------------------------------------------------------------
+    # Rank arithmetic
+    # ------------------------------------------------------------------
+
+    def position(self, rank: int) -> RankPosition:
+        """Grid coordinates of a global rank."""
+        self._check_rank(rank)
+        return RankPosition(
+            rank=rank,
+            tp_rank=rank % self.tp,
+            pp_rank=(rank // self.tp) % self.pp,
+            dp_rank=rank // (self.tp * self.pp),
+        )
+
+    def rank_of(self, tp_rank: int, pp_rank: int, dp_rank: int) -> int:
+        """Global rank at the given grid coordinates."""
+        if not 0 <= tp_rank < self.tp:
+            raise ParallelismError(f"tp_rank {tp_rank} out of range")
+        if not 0 <= pp_rank < self.pp:
+            raise ParallelismError(f"pp_rank {pp_rank} out of range")
+        if not 0 <= dp_rank < self.dp:
+            raise ParallelismError(f"dp_rank {dp_rank} out of range")
+        return (dp_rank * self.pp + pp_rank) * self.tp + tp_rank
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_gpus:
+            raise ParallelismError(
+                f"rank {rank} out of range for {self.num_gpus} GPUs"
+            )
+
+    # ------------------------------------------------------------------
+    # Group enumeration
+    # ------------------------------------------------------------------
+
+    def tp_group(self, rank: int) -> List[int]:
+        """All ranks in the same tensor-parallel group (NVLink domain)."""
+        pos = self.position(rank)
+        return [
+            self.rank_of(t, pos.pp_rank, pos.dp_rank) for t in range(self.tp)
+        ]
+
+    def pp_group(self, rank: int) -> List[int]:
+        """All ranks in the same pipeline, ordered by stage."""
+        pos = self.position(rank)
+        return [
+            self.rank_of(pos.tp_rank, p, pos.dp_rank) for p in range(self.pp)
+        ]
+
+    def dp_group(self, rank: int) -> List[int]:
+        """All ranks holding the same model shard across DP replicas."""
+        pos = self.position(rank)
+        return [
+            self.rank_of(pos.tp_rank, pos.pp_rank, d) for d in range(self.dp)
+        ]
+
+    def ep_group(self, rank: int) -> List[int]:
+        """Expert-parallel group: a slice of the DP group of size ``ep``."""
+        if self.ep <= 1:
+            return [rank]
+        group = self.dp_group(rank)
+        pos = self.position(rank)
+        block = pos.dp_rank // self.ep
+        return group[block * self.ep:(block + 1) * self.ep]
+
+    def all_dp_groups(self) -> List[List[int]]:
+        """Every DP group exactly once (one per pipeline position)."""
+        groups = []
+        for pp_rank in range(self.pp):
+            for tp_rank in range(self.tp):
+                groups.append([
+                    self.rank_of(tp_rank, pp_rank, d) for d in range(self.dp)
+                ])
+        return groups
+
+    def describe(self) -> str:
+        """Human-readable summary like 'TP8 x PP8 x DP8 (512 GPUs)'."""
+        parts = f"TP{self.tp} x PP{self.pp} x DP{self.dp}"
+        if self.ep > 1:
+            parts += f" x EP{self.ep}"
+        return f"{parts} ({self.num_gpus} GPUs)"

@@ -1,0 +1,90 @@
+"""Binding a parallelism configuration to a placed training task.
+
+A :class:`TrainingWorkload` maps global GPU ranks onto the endpoints of a
+task's containers: rank ``g`` lives in container ``g // gpus_per_container``
+at local slot ``g % gpus_per_container``.  Because the rank order puts TP
+innermost and TP equals the per-container GPU count in the common case,
+TP groups stay inside one container while PP/DP/EP partners sit at the
+*same slot* of other containers — i.e. on the same rail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.container import TrainingTask
+from repro.cluster.identifiers import ContainerId, EndpointId
+from repro.training.parallelism import ParallelismConfig, ParallelismError
+
+__all__ = ["TrainingWorkload"]
+
+
+@dataclass(frozen=True)
+class TrainingWorkload:
+    """A training task plus the parallelism strategy it runs."""
+
+    task: TrainingTask
+    config: ParallelismConfig
+    iteration_period_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        expected = self.task.num_containers * self.task.gpus_per_container
+        if self.config.num_gpus != expected:
+            raise ParallelismError(
+                f"config needs {self.config.num_gpus} GPUs but the task "
+                f"provides {expected}"
+            )
+        if self.iteration_period_s <= 0:
+            raise ParallelismError("iteration period must be positive")
+
+    @property
+    def gpus_per_container(self) -> int:
+        """GPUs (== endpoints) per training node."""
+        return self.task.gpus_per_container
+
+    @property
+    def num_ranks(self) -> int:
+        """Total global ranks in the workload."""
+        return self.config.num_gpus
+
+    # ------------------------------------------------------------------
+    # Rank <-> endpoint mapping
+    # ------------------------------------------------------------------
+
+    def endpoint_of(self, rank: int) -> EndpointId:
+        """The endpoint hosting global rank ``rank``."""
+        if not 0 <= rank < self.num_ranks:
+            raise ParallelismError(f"rank {rank} out of range")
+        container_rank = rank // self.gpus_per_container
+        slot = rank % self.gpus_per_container
+        return EndpointId(ContainerId(self.task.id, container_rank), slot)
+
+    def rank_of(self, endpoint: EndpointId) -> int:
+        """The global rank living on ``endpoint``."""
+        if endpoint.container.task != self.task.id:
+            raise ParallelismError(f"{endpoint} is not part of {self.task.id}")
+        rank = (
+            endpoint.container.rank * self.gpus_per_container + endpoint.slot
+        )
+        if not 0 <= rank < self.num_ranks:
+            raise ParallelismError(f"{endpoint} maps outside the rank grid")
+        return rank
+
+    def endpoints(self) -> List[EndpointId]:
+        """All endpoints in global rank order."""
+        return [self.endpoint_of(r) for r in range(self.num_ranks)]
+
+    def same_container(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks share a container (NVLink, no network)."""
+        return (
+            rank_a // self.gpus_per_container
+            == rank_b // self.gpus_per_container
+        )
+
+    def tp_is_intra_node(self) -> bool:
+        """Whether every TP group stays inside one container."""
+        return (
+            self.config.tp <= self.gpus_per_container
+            and self.gpus_per_container % self.config.tp == 0
+        )

@@ -1,0 +1,14 @@
+"""Workload generators: production statistics, scenarios, and chaos."""
+
+from repro.workloads.chaos import ChaosSchedule, PlannedFault
+from repro.workloads.production import ProductionStatistics, empirical_cdf
+from repro.workloads.scenarios import MonitoredScenario, build_scenario
+
+__all__ = [
+    "ChaosSchedule",
+    "MonitoredScenario",
+    "PlannedFault",
+    "ProductionStatistics",
+    "build_scenario",
+    "empirical_cdf",
+]

@@ -1,0 +1,177 @@
+"""Synthetic production statistics for the paper's motivation figures.
+
+The paper motivates SkeletonHunter with distributional facts about a real
+containerized training cloud (Figures 2-6 and 12).  Those raw traces are
+proprietary; this module regenerates the *distributions* from documented
+parametric models calibrated to the shapes the paper reports:
+
+* Figure 2 — container lifetimes by task size: ~50% of containers in
+  tasks of <=256 containers live under 60 minutes; ~70% of all containers
+  live under 100 minutes.
+* Figure 3 — higher-end GPU configurations live longer (debug/test jobs
+  run on low-end nodes and die fast).
+* Figure 4 — container startup inside one task is phased, with tails up
+  to ~10 minutes that grow with task size.
+* Figure 5 — most containers bind 8 RNICs, a sizeable minority 4.
+* Figure 6 — per-host flow-table item counts average above 40 with a
+  heavy tail reaching ~9.3K.
+* Figure 12 — job sizes concentrate on multiples of eight GPUs, with
+  mass at 128, 512, and 1024.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.orchestrator import StartupModel
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ProductionStatistics", "empirical_cdf"]
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted values, cumulative fractions) for CDF plotting."""
+    data = np.sort(np.asarray(list(values), dtype=np.float64))
+    if data.size == 0:
+        raise ValueError("cannot build a CDF from no samples")
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions
+
+
+#: Lifetime medians (minutes) and log-sigmas per task-size bucket.
+_LIFETIME_BY_SIZE = {
+    "<=64": (42.0, 1.00),
+    "<=256": (58.0, 1.05),
+    "<=1024": (95.0, 1.10),
+}
+
+#: Lifetime medians (minutes) per container hardware configuration.
+_LIFETIME_BY_CONFIG = {
+    "low-end": (28.0, 1.00),    # debug / test containers
+    "mid-end": (65.0, 1.05),
+    "high-end": (140.0, 1.10),  # actual production training
+}
+
+#: RNICs bound per container (Figure 5).
+_RNIC_ALLOCATION = {8: 0.62, 4: 0.25, 2: 0.08, 1: 0.05}
+
+#: Job GPU-count mass (Figure 12) — multiples of eight only.
+_JOB_SIZES = {
+    8: 0.10, 16: 0.08, 32: 0.08, 64: 0.10, 128: 0.20,
+    256: 0.10, 512: 0.18, 1024: 0.12, 2048: 0.04,
+}
+
+
+@dataclass(frozen=True)
+class _Buckets:
+    sizes: Tuple[str, ...] = tuple(_LIFETIME_BY_SIZE)
+    configs: Tuple[str, ...] = tuple(_LIFETIME_BY_CONFIG)
+
+
+class ProductionStatistics:
+    """Samples the motivation-figure distributions reproducibly."""
+
+    buckets = _Buckets()
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = RngRegistry(seed)
+
+    # ------------------------------------------------------------------
+    # Figure 2: lifetime by task size
+    # ------------------------------------------------------------------
+
+    def container_lifetimes_minutes(
+        self, size_bucket: str, n: int = 10_000
+    ) -> np.ndarray:
+        """Container lifetimes (minutes) for a task-size bucket."""
+        if size_bucket not in _LIFETIME_BY_SIZE:
+            raise KeyError(
+                f"unknown size bucket {size_bucket!r}; "
+                f"choose from {sorted(_LIFETIME_BY_SIZE)}"
+            )
+        median, sigma = _LIFETIME_BY_SIZE[size_bucket]
+        rng = self._rng.stream(f"lifetime:{size_bucket}")
+        return rng.lognormal(mean=np.log(median), sigma=sigma, size=n)
+
+    # ------------------------------------------------------------------
+    # Figure 3: lifetime by container configuration
+    # ------------------------------------------------------------------
+
+    def lifetimes_by_config_minutes(
+        self, config: str, n: int = 10_000
+    ) -> np.ndarray:
+        """Container lifetimes (minutes) for a hardware configuration."""
+        if config not in _LIFETIME_BY_CONFIG:
+            raise KeyError(
+                f"unknown config {config!r}; "
+                f"choose from {sorted(_LIFETIME_BY_CONFIG)}"
+            )
+        median, sigma = _LIFETIME_BY_CONFIG[config]
+        rng = self._rng.stream(f"lifetime-config:{config}")
+        return rng.lognormal(mean=np.log(median), sigma=sigma, size=n)
+
+    # ------------------------------------------------------------------
+    # Figure 4: startup times within a task
+    # ------------------------------------------------------------------
+
+    def startup_times_seconds(
+        self, task_size: int, model: StartupModel = StartupModel()
+    ) -> np.ndarray:
+        """Per-container startup delays of one task of ``task_size``."""
+        if task_size < 1:
+            raise ValueError("task size must be positive")
+        rng = self._rng.stream(f"startup:{task_size}")
+        return np.asarray([
+            model.sample(rng, rank, task_size) for rank in range(task_size)
+        ])
+
+    # ------------------------------------------------------------------
+    # Figure 5: RNIC allocation
+    # ------------------------------------------------------------------
+
+    def rnic_allocations(self, n: int = 10_000) -> np.ndarray:
+        """Number of RNICs bound per container."""
+        rng = self._rng.stream("rnic-allocation")
+        counts = np.asarray(list(_RNIC_ALLOCATION), dtype=np.int64)
+        probs = np.asarray(list(_RNIC_ALLOCATION.values()))
+        return rng.choice(counts, size=n, p=probs / probs.sum())
+
+    # ------------------------------------------------------------------
+    # Figure 6: flow-table items per host
+    # ------------------------------------------------------------------
+
+    def flow_table_items(self, n_hosts: int = 4000) -> np.ndarray:
+        """Flow-table item counts per host (avg > 40, max ~9.3K)."""
+        rng = self._rng.stream("flow-tables")
+        counts = rng.lognormal(mean=np.log(22.0), sigma=1.25, size=n_hosts)
+        return np.clip(np.round(counts), 1, 9300).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Figure 12: job GPU counts
+    # ------------------------------------------------------------------
+
+    def job_gpu_counts(self, n: int = 10_000) -> np.ndarray:
+        """GPUs requested per job (concentrated on multiples of eight)."""
+        rng = self._rng.stream("job-sizes")
+        sizes = np.asarray(list(_JOB_SIZES), dtype=np.int64)
+        probs = np.asarray(list(_JOB_SIZES.values()))
+        return rng.choice(sizes, size=n, p=probs / probs.sum())
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def lifetime_summary(self) -> Dict[str, float]:
+        """Headline motivation numbers: fractions under 60/100 minutes."""
+        small = self.container_lifetimes_minutes("<=256")
+        pooled = np.concatenate([
+            self.container_lifetimes_minutes(bucket)
+            for bucket in _LIFETIME_BY_SIZE
+        ])
+        return {
+            "small_tasks_under_60min": float(np.mean(small < 60.0)),
+            "all_under_100min": float(np.mean(pooled < 100.0)),
+        }

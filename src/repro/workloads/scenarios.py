@@ -1,0 +1,181 @@
+"""Canned end-to-end scenarios: one call builds a monitored cluster.
+
+A :class:`MonitoredScenario` bundles the full stack — topology, hosts,
+overlay, fault injector, data-plane fabric, training workload, traffic
+generator, and a running SkeletonHunter — on one simulation clock.
+Examples, tests, and benchmarks all build on it so every experiment
+exercises the same code paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.container import TrainingTask
+from repro.cluster.identifiers import EndpointId
+from repro.cluster.orchestrator import Cluster, Orchestrator, StartupModel
+from repro.cluster.topology import RailOptimizedTopology
+from repro.core.detection import DetectorConfig
+from repro.core.evaluation import CampaignScore, CampaignScorer, FaultOutcome
+from repro.core.skeleton import InferredSkeleton, SkeletonInference
+from repro.core.system import SkeletonHunter
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import Fault, FaultInjector
+from repro.network.issues import IssueType
+from repro.network.latency import LatencyModel, TransientCongestion
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+from repro.training.parallelism import ParallelismConfig
+from repro.training.traffic import TrafficGenerator, TrafficModel
+from repro.training.workload import TrainingWorkload
+
+__all__ = ["MonitoredScenario", "build_scenario"]
+
+
+@dataclass
+class MonitoredScenario:
+    """Everything an experiment needs, pre-wired on one clock."""
+
+    topology: RailOptimizedTopology
+    cluster: Cluster
+    engine: SimulationEngine
+    rng: RngRegistry
+    orchestrator: Orchestrator
+    injector: FaultInjector
+    fabric: DataPlaneFabric
+    hunter: SkeletonHunter
+    task: TrainingTask
+    workload: TrainingWorkload
+    generator: TrafficGenerator
+
+    # ------------------------------------------------------------------
+    # Convenience operations
+    # ------------------------------------------------------------------
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance the simulation by ``duration_s`` seconds."""
+        self.engine.run_until(self.engine.now + duration_s)
+
+    def inject(self, issue: IssueType, target, **overrides) -> Fault:
+        """Inject an issue now (parameters from the Table-1 catalogue)."""
+        return self.injector.inject_issue(
+            issue, target, start=self.engine.now, **overrides
+        )
+
+    def clear(self, fault: Fault) -> None:
+        """End a fault now and revert its side effects."""
+        self.injector.clear(fault, self.engine.now)
+
+    def apply_skeleton(
+        self, observation_s: float = 600.0
+    ) -> InferredSkeleton:
+        """Collect throughput series and apply the inferred skeleton."""
+        series = self.generator.all_series(observation_s)
+        return self.hunter.observe_and_optimize(self.task.id, series)
+
+    def score(
+        self, faults: Optional[List[Fault]] = None
+    ) -> Tuple[CampaignScore, List[FaultOutcome]]:
+        """Score detection/localization against the injected faults."""
+        scorer = CampaignScorer(self.cluster, self.fabric)
+        return scorer.score(
+            faults if faults is not None else self.injector.all_faults(),
+            self.hunter.events,
+            self.hunter.reports,
+            self.hunter.monitored_pairs(),
+        )
+
+    def endpoint_of_rank(self, rank: int) -> EndpointId:
+        """The endpoint hosting global training rank ``rank``."""
+        return self.workload.endpoint_of(rank)
+
+    def rnic_of_rank(self, rank: int):
+        """The physical RNIC under global training rank ``rank``."""
+        return self.cluster.overlay.rnic_of(self.endpoint_of_rank(rank))
+
+
+def build_scenario(
+    num_containers: int = 8,
+    gpus_per_container: int = 8,
+    tp: Optional[int] = None,
+    pp: int = 2,
+    ep: int = 1,
+    seed: int = 0,
+    probe_interval_s: float = 2.0,
+    num_spines: int = 4,
+    hosts_per_segment: int = 8,
+    detector_config: Optional[DetectorConfig] = None,
+    congestion: Optional[TransientCongestion] = None,
+    latency_model: Optional[LatencyModel] = None,
+    traffic_model: Optional[TrafficModel] = None,
+    inference: Optional[SkeletonInference] = None,
+    startup_model: Optional[StartupModel] = None,
+    instant_startup: bool = True,
+    start_monitoring: bool = True,
+    iteration_period_s: float = 30.0,
+) -> MonitoredScenario:
+    """Build a monitored training task end to end.
+
+    The parallelism defaults to ``TP = gpus_per_container`` (the standard
+    intra-node tensor parallelism) with ``DP`` derived so that
+    ``TP x PP x DP`` exactly covers the task's GPUs.
+    """
+    if tp is None:
+        tp = gpus_per_container
+    total_gpus = num_containers * gpus_per_container
+    if total_gpus % (tp * pp) != 0:
+        raise ValueError(
+            f"tp*pp={tp * pp} must divide the task's {total_gpus} GPUs"
+        )
+    dp = total_gpus // (tp * pp)
+    config = ParallelismConfig(tp=tp, pp=pp, dp=dp, ep=ep)
+
+    num_segments = max(2, math.ceil(num_containers / hosts_per_segment))
+    topology = RailOptimizedTopology(
+        num_segments=num_segments,
+        hosts_per_segment=hosts_per_segment,
+        rails_per_host=gpus_per_container,
+        num_spines=num_spines,
+    )
+    cluster = Cluster(topology)
+    engine = SimulationEngine()
+    rng = RngRegistry(seed)
+    orchestrator = Orchestrator(cluster, engine, rng, startup_model)
+    injector = FaultInjector(cluster)
+    fabric = DataPlaneFabric(
+        cluster, injector, rng,
+        latency_model=latency_model, congestion=congestion,
+    )
+    hunter = SkeletonHunter(
+        cluster, engine, fabric, orchestrator,
+        detector_config=detector_config,
+        probe_interval_s=probe_interval_s,
+        inference=inference,
+    )
+
+    task = orchestrator.submit_task(
+        num_containers, gpus_per_container, instant_startup=instant_startup
+    )
+    hunter.watch_task(task)
+    if start_monitoring:
+        hunter.start()
+    if instant_startup:
+        engine.run_until(engine.now)  # flush the instant RUNNING events
+
+    workload = TrainingWorkload(
+        task, config, iteration_period_s=iteration_period_s
+    )
+    generator = TrafficGenerator(
+        workload,
+        model=traffic_model or TrafficModel(
+            iteration_period_s=iteration_period_s
+        ),
+        rng=rng,
+    )
+    return MonitoredScenario(
+        topology=topology, cluster=cluster, engine=engine, rng=rng,
+        orchestrator=orchestrator, injector=injector, fabric=fabric,
+        hunter=hunter, task=task, workload=workload, generator=generator,
+    )

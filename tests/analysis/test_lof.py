@@ -1,0 +1,71 @@
+"""Tests for the from-scratch Local Outlier Factor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lof import local_outlier_factor, lof_score_of_new_point
+
+
+@pytest.fixture
+def blob():
+    rng = np.random.default_rng(0)
+    return rng.normal(0.0, 1.0, size=(50, 3))
+
+
+class TestBatchLof:
+    def test_inliers_score_near_one(self, blob):
+        scores = local_outlier_factor(blob, k=5)
+        assert np.median(scores) == pytest.approx(1.0, abs=0.15)
+
+    def test_outlier_scores_high(self, blob):
+        data = np.vstack([blob, np.full((1, 3), 12.0)])
+        scores = local_outlier_factor(data, k=5)
+        assert scores[-1] > 3.0
+        assert scores[-1] == scores.max()
+
+    def test_uniform_grid_scores_flat(self):
+        xs, ys = np.meshgrid(np.arange(5.0), np.arange(5.0))
+        grid = np.column_stack([xs.ravel(), ys.ravel()])
+        scores = local_outlier_factor(grid, k=4)
+        assert scores.max() < 1.8
+
+    def test_single_point_defaults_to_one(self):
+        assert local_outlier_factor(np.zeros((1, 2))).tolist() == [1.0]
+
+    def test_k_clamped_to_population(self, blob):
+        few = blob[:3]
+        scores = local_outlier_factor(few, k=50)
+        assert scores.shape == (3,)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            local_outlier_factor(np.arange(5.0))
+
+
+class TestOnlineLof:
+    def test_inlier_candidate_near_one(self, blob):
+        score = lof_score_of_new_point(blob, np.zeros(3), k=5)
+        assert 0.5 < score < 1.8
+
+    def test_outlier_candidate_scores_high(self, blob):
+        score = lof_score_of_new_point(blob, np.full(3, 15.0), k=5)
+        assert score > 5.0
+
+    def test_farther_outliers_score_higher(self, blob):
+        near = lof_score_of_new_point(blob, np.full(3, 5.0), k=5)
+        far = lof_score_of_new_point(blob, np.full(3, 50.0), k=5)
+        assert far > near
+
+    def test_tiny_history_returns_neutral(self):
+        assert lof_score_of_new_point(np.zeros((1, 2)), np.ones(2)) == 1.0
+
+    def test_scale_shift_of_latency_vectors(self):
+        # Seven-number summaries of a healthy ~10 us pair vs a 120 us
+        # software-path window: the shifted window must stand out.
+        rng = np.random.default_rng(1)
+        healthy = np.column_stack([
+            rng.normal(loc, 0.2, size=20)
+            for loc in (9.5, 10.0, 10.5, 9.0, 10.0, 0.4, 11.5)
+        ])
+        slow = healthy[0] + 110.0
+        assert lof_score_of_new_point(healthy, slow, k=4) > 10.0

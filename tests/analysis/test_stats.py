@@ -1,0 +1,87 @@
+"""Tests for log-normal fitting and the long-term Z-test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    fit_lognormal,
+    lognormal_goodness,
+    z_test,
+)
+
+
+def lognormal_samples(mu=2.8, sigma=0.05, n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.exp(rng.normal(mu, sigma, size=n))
+
+
+class TestFit:
+    def test_recovers_parameters(self):
+        fit = fit_lognormal(lognormal_samples(mu=2.8, sigma=0.05))
+        assert fit.mu == pytest.approx(2.8, abs=0.01)
+        assert fit.sigma == pytest.approx(0.05, abs=0.01)
+
+    def test_median_latency(self):
+        fit = fit_lognormal(lognormal_samples(mu=np.log(16.0)))
+        assert fit.median_latency == pytest.approx(16.0, rel=0.02)
+
+    def test_quantiles_ordered(self):
+        fit = fit_lognormal(lognormal_samples())
+        assert fit.quantile(0.25) < fit.quantile(0.5) < fit.quantile(0.99)
+
+    def test_invalid_quantile(self):
+        fit = fit_lognormal(lognormal_samples())
+        with pytest.raises(ValueError):
+            fit.quantile(1.0)
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([1.0, -1.0])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([1.0])
+
+
+class TestZTest:
+    def test_same_distribution_not_anomalous(self):
+        fit = fit_lognormal(lognormal_samples(seed=0))
+        result = z_test(fit, lognormal_samples(seed=1, n=100))
+        assert not result.anomalous(alpha=1e-3)
+
+    def test_shifted_window_is_anomalous(self):
+        fit = fit_lognormal(lognormal_samples(seed=0))
+        drifted = lognormal_samples(seed=1, n=100) * 1.3
+        result = z_test(fit, drifted)
+        assert result.anomalous(alpha=1e-3)
+        assert result.z > 0
+
+    def test_small_shift_needs_more_samples(self):
+        fit = fit_lognormal(lognormal_samples(seed=0))
+        tiny = lognormal_samples(seed=1, n=4) * 1.02
+        large = lognormal_samples(seed=1, n=400) * 1.02
+        assert abs(z_test(fit, tiny).z) < abs(z_test(fit, large).z)
+
+    def test_z_sign_tracks_direction(self):
+        fit = fit_lognormal(lognormal_samples(seed=0))
+        faster = lognormal_samples(seed=1, n=100) * 0.8
+        assert z_test(fit, faster).z < 0
+
+    def test_nonpositive_window_rejected(self):
+        fit = fit_lognormal(lognormal_samples())
+        with pytest.raises(ValueError):
+            z_test(fit, [0.0, 1.0])
+
+
+class TestGoodness:
+    def test_lognormal_data_fits(self):
+        assert lognormal_goodness(lognormal_samples()) > 0.05
+
+    def test_uniform_data_rejected(self):
+        rng = np.random.default_rng(0)
+        uniform = rng.uniform(1.0, 100.0, size=2000)
+        assert lognormal_goodness(uniform) < 0.01
+
+    def test_minimum_sample_size(self):
+        with pytest.raises(ValueError):
+            lognormal_goodness([1.0] * 7)

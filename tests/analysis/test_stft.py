@@ -1,0 +1,89 @@
+"""Tests for STFT features and phase-shift estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stft import (
+    StftConfig,
+    dominant_frequency,
+    feature_matrix,
+    phase_shift_seconds,
+    stft_feature,
+)
+
+
+def tone(freq, n=600, rate=1.0, amplitude=5.0):
+    t = np.arange(n) / rate
+    return amplitude * (1.0 + np.cos(2 * np.pi * freq * t))
+
+
+class TestStftFeature:
+    def test_unit_norm(self):
+        feature = stft_feature(tone(0.1))
+        assert np.linalg.norm(feature) == pytest.approx(1.0)
+
+    def test_identical_series_identical_features(self):
+        assert np.allclose(stft_feature(tone(0.1)), stft_feature(tone(0.1)))
+
+    def test_different_frequencies_distant(self):
+        a = stft_feature(tone(0.1))
+        b = stft_feature(tone(0.3))
+        same = stft_feature(tone(0.1))
+        assert np.linalg.norm(a - b) > 5 * np.linalg.norm(a - same)
+
+    def test_amplitude_invariance(self):
+        a = stft_feature(tone(0.2, amplitude=1.0))
+        b = stft_feature(tone(0.2, amplitude=10.0))
+        assert np.linalg.norm(a - b) < 0.25
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            stft_feature(np.ones(10), StftConfig(nperseg=64))
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            stft_feature(np.ones((10, 10)))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            StftConfig(nperseg=4)
+        with pytest.raises(ValueError):
+            StftConfig(nperseg=64, noverlap=64)
+
+
+class TestFeatureMatrix:
+    def test_stacks_rows(self):
+        matrix = feature_matrix([tone(0.1), tone(0.2), tone(0.3)])
+        assert matrix.shape[0] == 3
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            feature_matrix([tone(0.1, n=600), tone(0.1, n=300)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            feature_matrix([])
+
+
+class TestDominantFrequency:
+    def test_recovers_tone_frequency(self):
+        config = StftConfig(nperseg=64)
+        freq = dominant_frequency(tone(0.25, n=640), config)
+        assert freq == pytest.approx(0.25, abs=1.0 / 64)
+
+
+class TestPhaseShift:
+    def test_zero_shift(self):
+        series = tone(0.1)
+        assert phase_shift_seconds(series, series) == 0.0
+
+    def test_recovers_known_shift(self):
+        base = np.tile(
+            np.concatenate([np.ones(5) * 10, np.zeros(25)]), 20
+        )
+        shifted = np.roll(base, 4)
+        assert phase_shift_seconds(base, shifted, max_shift_s=10) == 4.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            phase_shift_seconds(np.ones(10), np.ones(20))

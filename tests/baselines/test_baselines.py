@@ -1,0 +1,136 @@
+"""Tests for the Pingmesh / deTector / R-Pingmesh baselines."""
+
+import pytest
+
+from repro.baselines.detector import DetectorBaseline
+from repro.baselines.pingmesh import PingmeshBaseline
+from repro.baselines.rpingmesh import RPingmeshBaseline
+from repro.core.pinglist import PingList
+from repro.core.skeleton import SkeletonInference
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import FaultInjector
+from repro.sim.rng import RngRegistry
+from repro.training.parallelism import ParallelismConfig
+from repro.training.traffic import TrafficGenerator
+from repro.training.workload import TrainingWorkload
+
+
+class TestPingmesh:
+    def test_full_mesh_size(self, running_task):
+        baseline = PingmeshBaseline(running_task)
+        assert baseline.probe_count() == len(
+            PingList.full_mesh(running_task.endpoints())
+        )
+
+    def test_round_duration_positive(self, running_task):
+        assert PingmeshBaseline(running_task).round_duration_s() > 0
+
+    def test_stale_activation_probes_unready_containers(
+        self, orchestrator, engine, cluster, rng
+    ):
+        task = orchestrator.submit_task(4, 4)  # phased startup
+        engine.run_until(0)
+        baseline = PingmeshBaseline(task)
+        baseline.refresh_activation(now=0.0)
+        # Nothing is RUNNING yet, but the stale central view activated
+        # every created container: these are guaranteed false probes.
+        assert baseline.startup_false_probes(0.0)
+
+    def test_false_probes_vanish_once_everything_runs(
+        self, orchestrator, engine
+    ):
+        task = orchestrator.submit_task(4, 4, instant_startup=True)
+        engine.run_until(0)
+        baseline = PingmeshBaseline(task)
+        baseline.refresh_activation(now=0.0)
+        assert baseline.startup_false_probes(0.0) == []
+
+    def test_execute_round_probes_fabric(
+        self, orchestrator, engine, cluster, rng
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        fabric = DataPlaneFabric(cluster, FaultInjector(cluster), rng)
+        baseline = PingmeshBaseline(task)
+        results = baseline.execute_round(fabric, now=0.0)
+        assert len(results) == baseline.probe_count()
+
+
+class TestDetector:
+    def test_covers_every_used_link(self, cluster, running_task):
+        baseline = DetectorBaseline(cluster, running_task, coverage=1)
+        all_links = set()
+        full = PingList.full_mesh(running_task.endpoints())
+        for pair in full.pairs:
+            src = running_task.containers[pair.src.container]
+            dst = running_task.containers[pair.dst.container]
+            from repro.network.packet import flow_hash
+
+            path = cluster.topology.pick_path(
+                src.vf_of(pair.src).rnic, dst.vf_of(pair.dst).rnic,
+                flow_hash(pair.src, pair.dst),
+            )
+            all_links |= set(path.links)
+        assert baseline.covered_links() == all_links
+
+    def test_fewer_probes_than_full_mesh(self, cluster, running_task):
+        baseline = DetectorBaseline(cluster, running_task)
+        assert baseline.probe_count() < len(
+            PingList.full_mesh(running_task.endpoints())
+        )
+
+    def test_more_probes_than_skeleton(self, cluster, running_task):
+        baseline = DetectorBaseline(cluster, running_task, coverage=3)
+        workload = TrainingWorkload(running_task, ParallelismConfig(4, 2, 2))
+        generator = TrafficGenerator(workload, rng=RngRegistry(3))
+        skeleton = SkeletonInference().infer(
+            generator.all_series(600.0),
+            lambda e: running_task.containers[e.container].host,
+        )
+        assert baseline.probe_count() > len(skeleton.edges) / 2
+
+    def test_invalid_coverage_rejected(self, cluster, running_task):
+        with pytest.raises(ValueError):
+            DetectorBaseline(cluster, running_task, coverage=0)
+
+
+class TestRPingmesh:
+    def test_bounded_pairs_per_tor_pair(self, cluster, running_task):
+        baseline = RPingmeshBaseline(
+            cluster, running_task, pairs_per_tor_pair=2
+        )
+        from collections import Counter
+
+        buckets = Counter()
+        for pair in baseline.ping_list.pairs:
+            buckets[tuple(sorted((
+                baseline._tor_of(pair.src), baseline._tor_of(pair.dst)
+            )))] += 1
+        assert max(buckets.values()) <= 2
+
+    def test_smaller_than_full_mesh(self, cluster, running_task):
+        baseline = RPingmeshBaseline(cluster, running_task)
+        assert baseline.probe_count() < len(
+            PingList.full_mesh(running_task.endpoints())
+        )
+
+    def test_invalid_budget_rejected(self, cluster, running_task):
+        with pytest.raises(ValueError):
+            RPingmeshBaseline(cluster, running_task, pairs_per_tor_pair=0)
+
+
+class TestOrderingAcrossStrategies:
+    def test_probe_count_hierarchy(self, cluster, running_task):
+        """full mesh > R-Pingmesh >= deTector > skeleton (Figure 15)."""
+        full = len(PingList.full_mesh(running_task.endpoints()))
+        rp = RPingmeshBaseline(cluster, running_task).probe_count()
+        dt = DetectorBaseline(cluster, running_task).probe_count()
+        workload = TrainingWorkload(running_task, ParallelismConfig(4, 2, 2))
+        generator = TrafficGenerator(workload, rng=RngRegistry(3))
+        skeleton = SkeletonInference().infer(
+            generator.all_series(600.0),
+            lambda e: running_task.containers[e.container].host,
+        )
+        assert full > rp
+        assert full > dt
+        assert dt > len(skeleton.edges)

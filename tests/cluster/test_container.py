@@ -1,0 +1,123 @@
+"""Tests for container lifecycle and training tasks."""
+
+import pytest
+
+from repro.cluster.container import (
+    Container,
+    ContainerState,
+    LifecycleError,
+    TrainingTask,
+)
+from repro.cluster.host import Host
+from repro.cluster.identifiers import ContainerId, EndpointId, HostId, TaskId
+
+
+@pytest.fixture
+def container():
+    host = Host.build(HostId(0), num_gpus=4)
+    cid = ContainerId(TaskId(0), 0)
+    return Container(id=cid, allocation=host.allocate(cid, 2))
+
+
+class TestLifecycle:
+    def test_initial_state_is_pending(self, container):
+        assert container.state == ContainerState.PENDING
+
+    def test_normal_path(self, container):
+        container.transition(ContainerState.CREATING, 1.0)
+        container.transition(ContainerState.RUNNING, 5.0)
+        container.transition(ContainerState.TERMINATED, 100.0)
+        assert container.lifetime() == 99.0
+        assert container.startup_delay() == 4.0
+
+    def test_pending_cannot_run_directly(self, container):
+        with pytest.raises(LifecycleError):
+            container.transition(ContainerState.RUNNING, 1.0)
+
+    def test_terminal_states_are_final(self, container):
+        container.transition(ContainerState.CREATING, 1.0)
+        container.transition(ContainerState.FAILED, 2.0)
+        with pytest.raises(LifecycleError):
+            container.transition(ContainerState.RUNNING, 3.0)
+
+    def test_crash_during_creation(self, container):
+        container.transition(ContainerState.CREATING, 1.0)
+        container.transition(ContainerState.FAILED, 2.0)
+        assert container.is_terminal
+        assert not container.is_running
+        assert container.startup_delay() is None
+
+    def test_is_running_flag(self, container):
+        container.transition(ContainerState.CREATING, 1.0)
+        assert not container.is_running
+        container.transition(ContainerState.RUNNING, 2.0)
+        assert container.is_running
+
+
+class TestEndpoints:
+    def test_one_endpoint_per_vf(self, container):
+        endpoints = container.endpoints()
+        assert len(endpoints) == container.num_endpoints == 2
+        assert endpoints[0].slot == 0
+
+    def test_endpoint_slot_out_of_range(self, container):
+        with pytest.raises(LifecycleError):
+            container.endpoint(5)
+
+    def test_vf_of_maps_slot_to_vf(self, container):
+        endpoint = container.endpoint(1)
+        vf = container.vf_of(endpoint)
+        assert vf == container.allocation.vfs[1]
+
+    def test_vf_of_foreign_endpoint_rejected(self, container):
+        foreign = EndpointId(ContainerId(TaskId(9), 0), 0)
+        with pytest.raises(LifecycleError):
+            container.vf_of(foreign)
+
+    def test_rail_of_matches_allocation(self, container):
+        assert container.rail_of(container.endpoint(0)) == 0
+        assert container.rail_of(container.endpoint(1)) == 1
+
+
+class TestTrainingTask:
+    def _make_task(self, ranks=3):
+        task = TrainingTask(TaskId(1), num_containers=ranks,
+                            gpus_per_container=2)
+        for rank in range(ranks):
+            host = Host.build(HostId(rank), num_gpus=4)
+            cid = ContainerId(task.id, rank)
+            container = Container(id=cid, allocation=host.allocate(cid, 2))
+            container.transition(ContainerState.CREATING, 0.0)
+            task.containers[cid] = container
+        return task
+
+    def test_total_gpus(self):
+        assert self._make_task().total_gpus == 6
+
+    def test_container_lookup_by_rank(self):
+        task = self._make_task()
+        assert task.container(1).id.rank == 1
+        with pytest.raises(LifecycleError):
+            task.container(99)
+
+    def test_all_running_requires_every_container(self):
+        task = self._make_task()
+        assert not task.all_running
+        for container in task.all_containers():
+            container.transition(ContainerState.RUNNING, 1.0)
+        assert task.all_running
+
+    def test_running_containers_filters(self):
+        task = self._make_task()
+        task.container(0).transition(ContainerState.RUNNING, 1.0)
+        assert [c.id.rank for c in task.running_containers()] == [0]
+
+    def test_endpoints_flattened_in_rank_order(self):
+        task = self._make_task()
+        endpoints = task.endpoints()
+        assert len(endpoints) == 6
+        assert endpoints[0].container.rank == 0
+        assert endpoints[-1].container.rank == 2
+
+    def test_size_is_container_count(self):
+        assert self._make_task().size == 3

@@ -1,0 +1,136 @@
+"""Tests for OVS flow tables, RNIC offload caches, and their diff."""
+
+import pytest
+
+from repro.cluster.flowtable import (
+    ActionKind,
+    FlowAction,
+    FlowKey,
+    FlowTable,
+    RnicOffloadTable,
+    diff_tables,
+)
+from repro.cluster.identifiers import HostId, RnicId, VfId
+
+
+def encap(ip="10.0.0.1"):
+    return FlowAction(ActionKind.ENCAP, remote_underlay_ip=ip)
+
+
+def deliver(rail=0, index=0):
+    return FlowAction(
+        ActionKind.DELIVER, local_vf=VfId(RnicId(HostId(0), rail), index)
+    )
+
+
+class TestFlowActions:
+    def test_encap_requires_remote_ip(self):
+        with pytest.raises(ValueError):
+            FlowAction(ActionKind.ENCAP)
+
+    def test_deliver_requires_vf(self):
+        with pytest.raises(ValueError):
+            FlowAction(ActionKind.DELIVER)
+
+
+class TestFlowTable:
+    def test_install_and_lookup(self):
+        table = FlowTable()
+        key = FlowKey(100, "192.0.0.1")
+        table.install(key, encap())
+        assert table.lookup(key).action == encap()
+
+    def test_miss_returns_none(self):
+        assert FlowTable().lookup(FlowKey(1, "x")) is None
+
+    def test_install_replaces(self):
+        table = FlowTable()
+        key = FlowKey(100, "192.0.0.1")
+        table.install(key, encap("10.0.0.1"))
+        table.install(key, encap("10.0.0.2"))
+        assert len(table) == 1
+        assert table.lookup(key).action.remote_underlay_ip == "10.0.0.2"
+
+    def test_remove(self):
+        table = FlowTable()
+        key = FlowKey(100, "192.0.0.1")
+        table.install(key, encap())
+        assert table.remove(key)
+        assert not table.remove(key)
+
+    def test_rules_sorted_by_key(self):
+        table = FlowTable()
+        table.install(FlowKey(2, "b"), encap())
+        table.install(FlowKey(1, "a"), encap())
+        keys = [rule.key for rule in table.rules()]
+        assert keys == sorted(keys)
+
+    def test_hit_counter(self):
+        table = FlowTable()
+        rule = table.install(FlowKey(1, "a"), encap())
+        rule.hit()
+        rule.hit()
+        assert rule.packets == 2
+
+
+class TestOffloadTable:
+    def test_invalidate_counts(self):
+        hw = RnicOffloadTable()
+        key = FlowKey(1, "a")
+        hw.install(key, encap())
+        assert hw.invalidate(key)
+        assert hw.invalidations == 1
+        assert not hw.invalidate(key)
+        assert hw.invalidations == 1
+
+
+class TestDiff:
+    def test_consistent_tables_are_clean(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        key = FlowKey(1, "a")
+        rule = ovs.install(key, encap())
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-0"
+        hw.install(key, encap())
+        assert diff_tables(ovs, hw, "host-0/rnic-0") == []
+
+    def test_silent_invalidation_flagged(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        key = FlowKey(1, "a")
+        rule = ovs.install(key, encap())
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-0"
+        problems = diff_tables(ovs, hw, "host-0/rnic-0")
+        assert len(problems) == 1
+        assert "absent from RNIC" in problems[0].reason
+
+    def test_rule_for_other_rnic_ignored(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        rule = ovs.install(FlowKey(1, "a"), encap())
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-7"
+        assert diff_tables(ovs, hw, "host-0/rnic-0") == []
+
+    def test_action_mismatch_flagged(self):
+        ovs, hw = RnicOffloadTable(), RnicOffloadTable()
+        key = FlowKey(1, "a")
+        rule = ovs.install(key, encap("10.0.0.1"))
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-0"
+        hw.install(key, encap("10.0.0.9"))
+        problems = diff_tables(ovs, hw, "host-0/rnic-0")
+        assert any("differs" in p.reason for p in problems)
+
+    def test_stale_hardware_rule_flagged(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        hw.install(FlowKey(1, "ghost"), encap())
+        problems = diff_tables(ovs, hw, "host-0/rnic-0")
+        assert any("stale" in p.reason for p in problems)
+
+    def test_software_path_rule_flagged(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        rule = ovs.install(FlowKey(1, "a"), encap())
+        rule.offloaded = False
+        rule.offloaded_to = "host-0/rnic-0"
+        problems = diff_tables(ovs, hw, "host-0/rnic-0")
+        assert any("not offloaded" in p.reason for p in problems)

@@ -1,0 +1,103 @@
+"""Tests for hosts, GPUs, and SR-IOV RNICs."""
+
+import pytest
+
+from repro.cluster.host import Host, HostInventoryError, Rnic
+from repro.cluster.identifiers import ContainerId, HostId, RnicId, TaskId
+
+
+def cid(rank=0):
+    return ContainerId(TaskId(0), rank)
+
+
+class TestRnic:
+    def test_underlay_ip_is_unique_per_rnic(self):
+        a = Rnic(RnicId(HostId(0), 0))
+        b = Rnic(RnicId(HostId(0), 1))
+        c = Rnic(RnicId(HostId(1), 0))
+        assert len({a.underlay_ip, b.underlay_ip, c.underlay_ip}) == 3
+
+    def test_vf_allocation_takes_lowest_free(self):
+        rnic = Rnic(RnicId(HostId(0), 0), num_vfs=4)
+        vf0 = rnic.allocate_vf(cid(0))
+        vf1 = rnic.allocate_vf(cid(1))
+        assert (vf0.index, vf1.index) == (0, 1)
+        assert rnic.allocated_vfs == 2
+
+    def test_released_vf_is_reused(self):
+        rnic = Rnic(RnicId(HostId(0), 0), num_vfs=4)
+        vf0 = rnic.allocate_vf(cid(0))
+        rnic.allocate_vf(cid(1))
+        rnic.release_vf(vf0)
+        assert rnic.allocate_vf(cid(2)).index == 0
+
+    def test_exhaustion_raises(self):
+        rnic = Rnic(RnicId(HostId(0), 0), num_vfs=1)
+        rnic.allocate_vf(cid(0))
+        with pytest.raises(HostInventoryError):
+            rnic.allocate_vf(cid(1))
+
+    def test_release_foreign_vf_rejected(self):
+        rnic_a = Rnic(RnicId(HostId(0), 0), num_vfs=2)
+        rnic_b = Rnic(RnicId(HostId(0), 1), num_vfs=2)
+        vf = rnic_b.allocate_vf(cid(0))
+        with pytest.raises(HostInventoryError):
+            rnic_a.release_vf(vf)
+
+    def test_release_all_by_owner(self):
+        rnic = Rnic(RnicId(HostId(0), 0), num_vfs=8)
+        rnic.allocate_vf(cid(0))
+        rnic.allocate_vf(cid(0))
+        rnic.allocate_vf(cid(1))
+        assert rnic.release_all(cid(0)) == 2
+        assert rnic.allocated_vfs == 1
+
+    def test_owner_lookup(self):
+        rnic = Rnic(RnicId(HostId(0), 0), num_vfs=2)
+        vf = rnic.allocate_vf(cid(3))
+        assert rnic.owner_of(vf) == cid(3)
+
+
+class TestHost:
+    def test_build_pairs_gpus_with_rnics(self):
+        host = Host.build(HostId(0), num_gpus=4)
+        assert host.num_gpus == 4
+        assert len(host.rnics) == 4
+        assert [r.rail for r in host.rnics] == [0, 1, 2, 3]
+
+    def test_allocate_binds_matching_rails(self):
+        host = Host.build(HostId(0), num_gpus=4)
+        allocation = host.allocate(cid(0), num_gpus=2)
+        assert allocation.gpu_indices == [0, 1]
+        assert allocation.rails == [0, 1]
+
+    def test_allocate_over_capacity_raises(self):
+        host = Host.build(HostId(0), num_gpus=2)
+        host.allocate(cid(0), 2)
+        with pytest.raises(HostInventoryError):
+            host.allocate(cid(1), 1)
+
+    def test_release_frees_gpus_and_vfs(self):
+        host = Host.build(HostId(0), num_gpus=2)
+        allocation = host.allocate(cid(0), 2)
+        host.release(allocation)
+        assert len(host.free_gpus()) == 2
+        assert all(r.allocated_vfs == 0 for r in host.rnics)
+
+    def test_two_containers_share_host_disjoint_gpus(self):
+        host = Host.build(HostId(0), num_gpus=4)
+        a = host.allocate(cid(0), 2)
+        b = host.allocate(cid(1), 2)
+        assert set(a.gpu_indices).isdisjoint(b.gpu_indices)
+
+    def test_release_wrong_host_rejected(self):
+        host_a = Host.build(HostId(0), num_gpus=2)
+        host_b = Host.build(HostId(1), num_gpus=2)
+        allocation = host_a.allocate(cid(0), 1)
+        with pytest.raises(HostInventoryError):
+            host_b.release(allocation)
+
+    def test_rnic_out_of_range(self):
+        host = Host.build(HostId(0), num_gpus=2)
+        with pytest.raises(HostInventoryError):
+            host.rnic(5)

@@ -1,0 +1,80 @@
+"""Tests for typed cluster identifiers."""
+
+import pytest
+
+from repro.cluster.identifiers import (
+    ContainerId,
+    EndpointId,
+    HostId,
+    LinkId,
+    RnicId,
+    SwitchId,
+    TaskId,
+    VfId,
+)
+
+
+class TestNaming:
+    def test_host_name(self):
+        assert str(HostId(3)) == "host-3"
+
+    def test_rnic_name_includes_host_and_rail(self):
+        assert str(RnicId(HostId(1), 2)) == "host-1/rnic-2"
+
+    def test_vf_name(self):
+        assert str(VfId(RnicId(HostId(0), 1), 5)) == "host-0/rnic-1/vf-5"
+
+    def test_endpoint_name(self):
+        endpoint = EndpointId(ContainerId(TaskId(2), 3), 1)
+        assert str(endpoint) == "task-2/node-3/ep-1"
+
+    def test_switch_name(self):
+        assert str(SwitchId("tor", 7)) == "tor-7"
+
+
+class TestOrderingAndHashing:
+    def test_hosts_order_by_index(self):
+        assert HostId(1) < HostId(2)
+
+    def test_rnics_order_by_host_then_rail(self):
+        assert RnicId(HostId(0), 3) < RnicId(HostId(1), 0)
+        assert RnicId(HostId(0), 1) < RnicId(HostId(0), 2)
+
+    def test_endpoints_usable_as_dict_keys(self):
+        a = EndpointId(ContainerId(TaskId(0), 0), 0)
+        b = EndpointId(ContainerId(TaskId(0), 0), 0)
+        assert a == b
+        assert {a: 1}[b] == 1
+
+    def test_container_sorting_by_rank(self):
+        task = TaskId(0)
+        containers = [ContainerId(task, r) for r in (2, 0, 1)]
+        assert [c.rank for c in sorted(containers)] == [0, 1, 2]
+
+
+class TestLinkId:
+    def test_between_is_order_insensitive(self):
+        a, b = HostId(1), SwitchId("tor", 0)
+        assert LinkId.between(a, b) == LinkId.between(b, a)
+
+    def test_endpoints_stored_sorted(self):
+        link = LinkId.between("zeta", "alpha")
+        assert (link.a, link.b) == ("alpha", "zeta")
+
+    def test_touches(self):
+        link = LinkId.between("a", "b")
+        assert link.touches("a")
+        assert link.touches("b")
+        assert not link.touches("c")
+
+    def test_other_returns_opposite_endpoint(self):
+        link = LinkId.between("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+
+    def test_other_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            LinkId.between("a", "b").other("c")
+
+    def test_str_format(self):
+        assert str(LinkId.between("b", "a")) == "a<->b"

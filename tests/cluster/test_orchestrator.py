@@ -1,0 +1,114 @@
+"""Tests for placement, lifecycle driving, and callbacks."""
+
+import pytest
+
+from repro.cluster.container import ContainerState
+from repro.cluster.orchestrator import PlacementError, StartupModel
+from repro.sim.rng import RngRegistry
+
+
+class TestPlacement:
+    def test_one_container_per_host(self, orchestrator, engine):
+        task = orchestrator.submit_task(4, 4, instant_startup=True)
+        engine.run_until(0)
+        hosts = {c.host for c in task.all_containers()}
+        assert len(hosts) == 4
+
+    def test_over_capacity_rejected(self, orchestrator):
+        with pytest.raises(PlacementError):
+            orchestrator.submit_task(100, 4)
+
+    def test_gpus_bound_on_placement(self, orchestrator, cluster):
+        orchestrator.submit_task(2, 4)
+        assert cluster.total_free_gpus() == (8 - 2) * 4
+
+    def test_duplicate_task_id_rejected(self, orchestrator):
+        task = orchestrator.submit_task(1, 4)
+        with pytest.raises(PlacementError):
+            orchestrator.submit_task(1, 4, task_id=task.id)
+
+    def test_two_tasks_coexist(self, orchestrator, engine):
+        a = orchestrator.submit_task(2, 4, instant_startup=True)
+        b = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        assert a.all_running and b.all_running
+        hosts_a = {c.host for c in a.all_containers()}
+        hosts_b = {c.host for c in b.all_containers()}
+        assert hosts_a.isdisjoint(hosts_b)
+
+
+class TestLifecycle:
+    def test_asynchronous_startup(self, orchestrator, engine):
+        task = orchestrator.submit_task(4, 4)
+        engine.run_until(0)
+        assert not task.all_running
+        engine.run_until(3600)
+        assert task.all_running
+        delays = {c.startup_delay() for c in task.all_containers()}
+        assert len(delays) > 1  # containers came up at different times
+
+    def test_running_callback_fires_per_container(
+        self, orchestrator, engine
+    ):
+        seen = []
+        orchestrator.on_container_running(lambda c: seen.append(c.id))
+        task = orchestrator.submit_task(3, 4, instant_startup=True)
+        engine.run_until(0)
+        assert len(seen) == 3
+
+    def test_terminate_releases_resources(
+        self, orchestrator, engine, cluster
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        orchestrator.terminate_task(task.id)
+        assert cluster.total_free_gpus() == 8 * 4
+        assert all(c.is_terminal for c in task.all_containers())
+
+    def test_finished_callback(self, orchestrator, engine):
+        finished = []
+        orchestrator.on_container_finished(lambda c: finished.append(c.id))
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        orchestrator.terminate_task(task.id)
+        assert len(finished) == 2
+
+    def test_crash_marks_failed(self, orchestrator, engine):
+        task = orchestrator.submit_task(1, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        orchestrator.crash_container(container)
+        assert container.state == ContainerState.FAILED
+
+    def test_terminate_before_startup_completes(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4)  # phased startup
+        engine.run_until(0)
+        orchestrator.terminate_task(task.id)
+        engine.run_until(3600)  # pending startup events must be harmless
+        assert all(c.is_terminal for c in task.all_containers())
+
+    def test_overlay_attached_only_when_running(
+        self, orchestrator, engine, cluster
+    ):
+        task = orchestrator.submit_task(2, 4)
+        engine.run_until(0)
+        endpoint = task.container(0).endpoint(0)
+        assert not cluster.overlay.is_registered(endpoint)
+        engine.run_until(3600)
+        assert cluster.overlay.is_registered(endpoint)
+
+
+class TestStartupModel:
+    def test_samples_are_at_least_base(self):
+        model = StartupModel(base_s=20.0)
+        rng = RngRegistry(0).stream("t")
+        for rank in range(32):
+            assert model.sample(rng, rank, 64) >= 20.0
+
+    def test_larger_tasks_have_longer_tails(self):
+        model = StartupModel()
+        rng_small = RngRegistry(0).stream("a")
+        rng_large = RngRegistry(0).stream("a")
+        small = max(model.sample(rng_small, r, 16) for r in range(200))
+        large = max(model.sample(rng_large, r, 1024) for r in range(200))
+        assert large > small

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_succeeds_and_prints_diagnosis(self, capsys):
+        code = main([
+            "demo", "--containers", "4", "--gpus", "4", "--seed", "3",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "detected: True" in output
+        assert "localized: True" in output
+
+    def test_demo_with_specific_issue(self, capsys):
+        code = main([
+            "demo", "--containers", "4", "--gpus", "4", "--seed", "5",
+            "--issue", "CONTAINER_CRASH",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "container" in output
+
+    def test_unknown_issue_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--issue", "GREMLINS"])
+
+
+class TestStats:
+    def test_stats_prints_motivation_summaries(self, capsys):
+        assert main(["stats"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "Figure 5" in output
+        assert "Figure 12" in output
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCampaign:
+    @pytest.mark.slow
+    def test_campaign_sweeps_all_issue_types(self, capsys):
+        code = main(["campaign", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "detected 19/19" in output

@@ -1,0 +1,122 @@
+"""Tests for the controller's ping-list phases and agent management."""
+
+import pytest
+
+from repro.core.controller import Controller, ControllerError
+from repro.core.pinglist import PingListPhase
+from repro.core.skeleton import SkeletonInference
+from repro.sim.rng import RngRegistry
+from repro.training.parallelism import ParallelismConfig
+from repro.training.traffic import TrafficGenerator
+from repro.training.workload import TrainingWorkload
+
+
+@pytest.fixture
+def controller(cluster):
+    return Controller(cluster)
+
+
+class TestPreload:
+    def test_preload_builds_basic_list(self, controller, running_task):
+        ping_list = controller.preload_task(running_task)
+        assert ping_list.phase == PingListPhase.BASIC
+        assert len(ping_list) > 0
+        assert controller.phase_of(running_task.id) == PingListPhase.BASIC
+
+    def test_double_preload_rejected(self, controller, running_task):
+        controller.preload_task(running_task)
+        with pytest.raises(ControllerError):
+            controller.preload_task(running_task)
+
+    def test_unknown_task_queries_rejected(self, controller):
+        from repro.cluster.identifiers import TaskId
+
+        with pytest.raises(ControllerError):
+            controller.ping_list_of(TaskId(404))
+
+
+class TestAgentLifecycle:
+    def test_agent_created_and_registered(self, controller, running_task):
+        controller.preload_task(running_task)
+        agent = controller.on_container_running(
+            running_task.container(0), now=10.0
+        )
+        assert agent.started_at == 10.0
+        ping_list = controller.ping_list_of(running_task.id)
+        assert ping_list._registered == {running_task.container(0).id}
+
+    def test_activation_grows_as_agents_register(
+        self, controller, running_task
+    ):
+        controller.preload_task(running_task)
+        ping_list = controller.ping_list_of(running_task.id)
+        ratios = []
+        for rank in range(4):
+            controller.on_container_running(
+                running_task.container(rank), now=float(rank)
+            )
+            ratios.append(ping_list.activation_ratio())
+        assert ratios[-1] == 1.0
+        assert ratios == sorted(ratios)
+
+    def test_finished_container_deactivated(self, controller, running_task):
+        controller.preload_task(running_task)
+        for rank in range(4):
+            controller.on_container_running(
+                running_task.container(rank), now=0.0
+            )
+        controller.on_container_finished(running_task.container(0))
+        assert len(controller.agents_of(running_task.id)) == 3
+        ping_list = controller.ping_list_of(running_task.id)
+        assert ping_list.activation_ratio() < 1.0
+
+    def test_running_without_preload_rejected(
+        self, controller, running_task
+    ):
+        with pytest.raises(ControllerError):
+            controller.on_container_running(
+                running_task.container(0), now=0.0
+            )
+
+
+class TestSkeletonPhase:
+    def test_apply_skeleton_shrinks_and_swaps_lists(
+        self, controller, running_task
+    ):
+        controller.preload_task(running_task)
+        agents = [
+            controller.on_container_running(
+                running_task.container(rank), now=0.0
+            )
+            for rank in range(4)
+        ]
+        workload = TrainingWorkload(running_task, ParallelismConfig(4, 2, 2))
+        generator = TrafficGenerator(workload, rng=RngRegistry(2))
+        series = generator.all_series(600.0)
+
+        def host_of(endpoint):
+            return running_task.containers[endpoint.container].host
+
+        skeleton = SkeletonInference().infer(series, host_of)
+        basic_size = len(controller.ping_list_of(running_task.id))
+        optimized = controller.apply_skeleton(running_task.id, skeleton)
+        assert optimized.phase == PingListPhase.SKELETON
+        assert len(optimized) < basic_size
+        assert controller.skeleton_of(running_task.id) is skeleton
+        for agent in agents:
+            assert agent.ping_list is optimized
+
+    def test_skeleton_preserves_activation(self, controller, running_task):
+        controller.preload_task(running_task)
+        for rank in range(4):
+            controller.on_container_running(
+                running_task.container(rank), now=0.0
+            )
+        workload = TrainingWorkload(running_task, ParallelismConfig(4, 2, 2))
+        generator = TrafficGenerator(workload, rng=RngRegistry(2))
+        skeleton = SkeletonInference().infer(
+            generator.all_series(600.0),
+            lambda e: running_task.containers[e.container].host,
+        )
+        optimized = controller.apply_skeleton(running_task.id, skeleton)
+        assert optimized.activation_ratio() == 1.0

@@ -1,0 +1,254 @@
+"""Tests for window buffering and the detector stack."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
+from repro.core.detection import (
+    DetectorConfig,
+    LongTermDetector,
+    PairMonitor,
+    ShortTermDetector,
+    WindowSummary,
+)
+from repro.core.pinglist import ProbePair
+from repro.network.issues import Symptom
+from repro.network.packet import ProbeResult
+from repro.sim.metrics import TimeSeries
+
+
+def make_pair():
+    a = EndpointId(ContainerId(TaskId(0), 0), 0)
+    b = EndpointId(ContainerId(TaskId(0), 1), 0)
+    return ProbePair.canonical(a, b)
+
+
+def probe(pair, t, latency=10.0, lost=False):
+    return ProbeResult(
+        src=pair.src, dst=pair.dst, sent_at=t, lost=lost,
+        latency_us=None if lost else latency,
+    )
+
+
+def summary(pair, start=0.0, latencies=(10.0, 10.5, 9.8), lost=0):
+    sent = len(latencies) + lost
+    stats = TimeSeries.describe(latencies) if latencies else None
+    return WindowSummary(
+        pair=pair, window_start=start, window_end=start + 30.0,
+        sent=sent, lost=lost, stats=stats,
+    )
+
+
+class TestPairMonitor:
+    def test_window_closes_after_30s(self):
+        pair = make_pair()
+        monitor = PairMonitor(pair)
+        assert monitor.ingest(probe(pair, 0.0)) == []
+        closed = monitor.ingest(probe(pair, 31.0))
+        assert len(closed) == 1
+        assert closed[0].sent == 1
+
+    def test_flush_closes_elapsed_windows(self):
+        pair = make_pair()
+        monitor = PairMonitor(pair)
+        monitor.ingest(probe(pair, 0.0))
+        closed = monitor.flush(95.0)
+        assert len(closed) == 3  # [0,30) [30,60) [60,90)
+        assert closed[1].sent == 0
+
+    def test_loss_counted(self):
+        pair = make_pair()
+        monitor = PairMonitor(pair)
+        monitor.ingest(probe(pair, 0.0, lost=True))
+        monitor.ingest(probe(pair, 1.0))
+        closed = monitor.flush(31.0)
+        assert closed[0].lost == 1
+        assert closed[0].sent == 2
+        assert closed[0].loss_rate == 0.5
+
+    def test_consecutive_loss_counter(self):
+        pair = make_pair()
+        monitor = PairMonitor(pair)
+        for t in range(3):
+            monitor.ingest(probe(pair, float(t), lost=True))
+        assert monitor.consecutive_losses == 3
+        monitor.ingest(probe(pair, 4.0))
+        assert monitor.consecutive_losses == 0
+
+    def test_long_window_aggregation(self):
+        pair = make_pair()
+        config = DetectorConfig(long_window_s=120.0)
+        monitor = PairMonitor(pair, config)
+        for t in range(0, 150, 10):
+            monitor.ingest(probe(pair, float(t)))
+        assert monitor.long_window_ready(130.0)
+        values = monitor.pop_long_window(130.0)
+        assert len(values) == 12  # samples in [0, 120)
+        assert not monitor.long_window_ready(130.0)
+
+
+class TestShortTermDetector:
+    def test_total_loss_is_unconnectivity(self):
+        detector = ShortTermDetector()
+        anomaly = detector.observe(
+            summary(make_pair(), latencies=(), lost=10)
+        )
+        assert anomaly.symptom == Symptom.UNCONNECTIVITY
+
+    def test_partial_loss_is_packet_loss(self):
+        detector = ShortTermDetector()
+        anomaly = detector.observe(
+            summary(make_pair(), latencies=(10.0,) * 9, lost=1)
+        )
+        assert anomaly.symptom == Symptom.PACKET_LOSS
+        assert anomaly.score == pytest.approx(0.1)
+
+    def test_loss_below_threshold_ignored(self):
+        config = DetectorConfig(loss_rate_threshold=0.2)
+        detector = ShortTermDetector(config)
+        anomaly = detector.observe(
+            summary(make_pair(), latencies=(10.0,) * 9, lost=1)
+        )
+        assert anomaly is None
+
+    def test_lof_needs_history(self):
+        detector = ShortTermDetector()
+        pair = make_pair()
+        # First windows build the baseline; even an odd one passes.
+        anomaly = detector.observe(summary(pair, latencies=(500.0,) * 5))
+        assert anomaly is None
+
+    def test_latency_shift_detected_after_history(self):
+        detector = ShortTermDetector()
+        pair = make_pair()
+        rng = np.random.default_rng(0)
+        for i in range(6):
+            detector.observe(summary(
+                pair, start=i * 30.0,
+                latencies=tuple(rng.normal(10.0, 0.3, size=10)),
+            ))
+        anomaly = detector.observe(summary(
+            pair, start=200.0, latencies=(120.0, 118.0, 122.0, 119.0),
+        ))
+        assert anomaly is not None
+        assert anomaly.symptom == Symptom.HIGH_LATENCY
+        assert anomaly.detector == "short_term_lof"
+
+    def test_anomalous_window_kept_out_of_baseline(self):
+        detector = ShortTermDetector()
+        pair = make_pair()
+        rng = np.random.default_rng(0)
+        for i in range(6):
+            detector.observe(summary(
+                pair, start=i * 30.0,
+                latencies=tuple(rng.normal(10.0, 0.3, size=10)),
+            ))
+        slow = tuple(rng.normal(120.0, 0.5, size=10))
+        first = detector.observe(summary(pair, 200.0, slow))
+        second = detector.observe(summary(pair, 230.0, slow))
+        # A persistent failure must not teach the detector it is normal.
+        assert first is not None and second is not None
+
+    def test_unconnectivity_requires_min_probes(self):
+        detector = ShortTermDetector(
+            DetectorConfig(min_probes_for_unconnectivity=5)
+        )
+        anomaly = detector.observe(
+            summary(make_pair(), latencies=(), lost=2)
+        )
+        assert anomaly is None or anomaly.symptom != Symptom.UNCONNECTIVITY
+
+
+class TestLongTermDetector:
+    def _latencies(self, scale=1.0, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        return list(np.exp(rng.normal(np.log(10.0), 0.05, n)) * scale)
+
+    def test_first_window_becomes_reference(self):
+        detector = LongTermDetector()
+        pair = make_pair()
+        assert detector.observe(pair, 1800.0, self._latencies()) is None
+        assert detector.reference_of(pair) is not None
+
+    def test_stable_latency_not_flagged(self):
+        detector = LongTermDetector()
+        pair = make_pair()
+        detector.observe(pair, 1800.0, self._latencies(seed=0))
+        result = detector.observe(pair, 3600.0, self._latencies(seed=1))
+        assert result is None
+
+    def test_gradual_degradation_flagged(self):
+        detector = LongTermDetector()
+        pair = make_pair()
+        detector.observe(pair, 1800.0, self._latencies(seed=0))
+        anomaly = detector.observe(
+            pair, 3600.0, self._latencies(scale=1.25, seed=1)
+        )
+        assert anomaly is not None
+        assert anomaly.detector == "long_term_ztest"
+        assert anomaly.symptom == Symptom.HIGH_LATENCY
+
+    def test_improvement_not_flagged(self):
+        detector = LongTermDetector()
+        pair = make_pair()
+        detector.observe(pair, 1800.0, self._latencies(seed=0))
+        result = detector.observe(
+            pair, 3600.0, self._latencies(scale=0.8, seed=1)
+        )
+        assert result is None  # only slow-downs are failures
+
+    def test_small_windows_skipped(self):
+        detector = LongTermDetector()
+        pair = make_pair()
+        assert detector.observe(pair, 1800.0, [10.0] * 5) is None
+        assert detector.reference_of(pair) is None
+
+
+class TestMedianShiftGate:
+    def _prime(self, detector, pair, n=6):
+        rng = np.random.default_rng(0)
+        for i in range(n):
+            detector.observe(summary(
+                pair, start=i * 30.0,
+                latencies=tuple(rng.normal(10.0, 0.3, size=12)),
+            ))
+
+    def test_single_probe_spike_does_not_alarm(self):
+        """A transient congestion spike moves max/std but not the
+        median: the gate keeps it out of the event stream (§5.2)."""
+        detector = ShortTermDetector()
+        pair = make_pair()
+        self._prime(detector, pair)
+        spiky = (10.1, 9.9, 10.0, 10.2, 9.8, 10.1, 10.0, 9.9, 72.0)
+        assert detector.observe(summary(pair, 300.0, spiky)) is None
+
+    def test_median_shift_still_alarms(self):
+        detector = ShortTermDetector()
+        pair = make_pair()
+        self._prime(detector, pair)
+        shifted = tuple(
+            np.random.default_rng(1).normal(55.0, 0.5, size=12)
+        )
+        anomaly = detector.observe(summary(pair, 300.0, shifted))
+        assert anomaly is not None
+        assert anomaly.symptom == Symptom.HIGH_LATENCY
+
+    def test_small_shift_below_threshold_ignored(self):
+        detector = ShortTermDetector(
+            DetectorConfig(median_shift_threshold=0.5)
+        )
+        pair = make_pair()
+        self._prime(detector, pair)
+        mild = tuple(
+            np.random.default_rng(1).normal(13.0, 0.3, size=12)
+        )
+        assert detector.observe(summary(pair, 300.0, mild)) is None
+
+    def test_reset_forgets_baseline(self):
+        detector = ShortTermDetector()
+        pair = make_pair()
+        self._prime(detector, pair)
+        detector.reset(pair)
+        # Without history, even a wild window builds baseline silently.
+        wild = (120.0, 121.0, 119.0, 120.5)
+        assert detector.observe(summary(pair, 300.0, wild)) is None

@@ -1,0 +1,162 @@
+"""Tests for campaign scoring against ground truth."""
+
+import pytest
+
+from repro.core.analyzer import FailureEvent
+from repro.core.evaluation import CampaignScorer, fault_affects_pair
+from repro.core.localization import Diagnosis, LocalizationReport
+from repro.core.pinglist import ProbePair
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import FaultInjector
+from repro.network.issues import ComponentClass, IssueType, Symptom
+
+
+@pytest.fixture
+def stack(cluster, running_task, rng):
+    injector = FaultInjector(cluster)
+    fabric = DataPlaneFabric(cluster, injector, rng)
+    scorer = CampaignScorer(cluster, fabric)
+    return cluster, running_task, injector, fabric, scorer
+
+
+def pair_of(task, a, b, slot=0):
+    return ProbePair.canonical(
+        task.container(a).endpoint(slot), task.container(b).endpoint(slot)
+    )
+
+
+def event(pair, at, symptom=Symptom.UNCONNECTIVITY):
+    return FailureEvent(pair=pair, first_detected_at=at, symptom=symptom)
+
+
+def report_blaming(component, pair):
+    return LocalizationReport(diagnoses=[Diagnosis(
+        component=component,
+        component_class=ComponentClass.RNIC,
+        layer="underlay", evidence="test", pairs=(pair,),
+    )])
+
+
+class TestAffects:
+    def test_rnic_fault_affects_its_pairs_only(self, stack):
+        cluster, task, injector, fabric, _ = stack
+        rnic = cluster.overlay.rnic_of(task.container(1).endpoint(0))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=0.0
+        )
+        assert fault_affects_pair(
+            fault, pair_of(task, 0, 1), cluster, fabric
+        )
+        assert not fault_affects_pair(
+            fault, pair_of(task, 0, 2), cluster, fabric
+        )
+
+    def test_host_fault_affects_all_slots(self, stack):
+        cluster, task, injector, fabric, _ = stack
+        host = task.container(1).host
+        fault = injector.inject_issue(
+            IssueType.HUGEPAGE_MISCONFIGURATION, host, start=0.0
+        )
+        assert fault_affects_pair(
+            fault, pair_of(task, 0, 1, slot=2), cluster, fabric
+        )
+
+    def test_container_fault_scoped_to_container(self, stack):
+        cluster, task, injector, fabric, _ = stack
+        fault = injector.inject_issue(
+            IssueType.CONTAINER_CRASH, task.container(2), start=0.0
+        )
+        assert fault_affects_pair(
+            fault, pair_of(task, 0, 2), cluster, fabric
+        )
+        assert not fault_affects_pair(
+            fault, pair_of(task, 0, 1), cluster, fabric
+        )
+
+
+class TestScoring:
+    def test_perfect_run(self, stack):
+        cluster, task, injector, fabric, scorer = stack
+        rnic = cluster.overlay.rnic_of(task.container(1).endpoint(0))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=10.0
+        )
+        pair = pair_of(task, 0, 1)
+        events = [event(pair, at=18.0)]
+        reports = [(18.0, report_blaming(str(rnic), pair))]
+        score, outcomes = scorer.score(
+            [fault], events, reports, monitored_pairs=[pair]
+        )
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.localization_accuracy == 1.0
+        assert score.mean_detection_delay_s == pytest.approx(8.0)
+        assert outcomes[0].localized_component == str(rnic)
+
+    def test_false_positive_hurts_precision(self, stack):
+        cluster, task, injector, fabric, scorer = stack
+        rnic = cluster.overlay.rnic_of(task.container(1).endpoint(0))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=10.0
+        )
+        events = [
+            event(pair_of(task, 0, 1), at=18.0),
+            event(pair_of(task, 2, 3), at=18.0),  # unrelated pair
+        ]
+        score, _ = scorer.score(
+            [fault], events, [], monitored_pairs=[pair_of(task, 0, 1)]
+        )
+        assert score.precision == 0.5
+        assert score.false_positive_events == 1
+
+    def test_missed_fault_hurts_recall(self, stack):
+        cluster, task, injector, fabric, scorer = stack
+        rnic = cluster.overlay.rnic_of(task.container(1).endpoint(0))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=10.0
+        )
+        score, outcomes = scorer.score(
+            [fault], [], [], monitored_pairs=[pair_of(task, 0, 1)]
+        )
+        assert score.recall == 0.0
+        assert not outcomes[0].detected
+
+    def test_unobservable_fault_excluded_from_recall(self, stack):
+        cluster, task, injector, fabric, scorer = stack
+        rnic = cluster.overlay.rnic_of(task.container(3).endpoint(3))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=10.0
+        )
+        # No monitored pair crosses slot 3 of container 3.
+        score, outcomes = scorer.score(
+            [fault], [], [], monitored_pairs=[pair_of(task, 0, 1)]
+        )
+        assert not outcomes[0].observable
+        assert score.recall == 1.0  # vacuous
+
+    def test_event_before_fault_not_matched(self, stack):
+        cluster, task, injector, fabric, scorer = stack
+        rnic = cluster.overlay.rnic_of(task.container(1).endpoint(0))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=100.0
+        )
+        events = [event(pair_of(task, 0, 1), at=50.0)]
+        score, _ = scorer.score(
+            [fault], events, [], monitored_pairs=[pair_of(task, 0, 1)]
+        )
+        assert score.true_positive_events == 0
+
+    def test_wrong_component_not_localized(self, stack):
+        cluster, task, injector, fabric, scorer = stack
+        rnic = cluster.overlay.rnic_of(task.container(1).endpoint(0))
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=10.0
+        )
+        pair = pair_of(task, 0, 1)
+        reports = [(18.0, report_blaming("tor-99", pair))]
+        score, outcomes = scorer.score(
+            [fault], [event(pair, at=18.0)], reports,
+            monitored_pairs=[pair],
+        )
+        assert score.localization_accuracy == 0.0
+        assert outcomes[0].detected and not outcomes[0].localized

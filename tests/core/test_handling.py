@@ -1,0 +1,160 @@
+"""Tests for alerting and blacklisting (§8)."""
+
+import pytest
+
+from repro.cluster.identifiers import HostId
+from repro.core.handling import (
+    Alert,
+    AlertSeverity,
+    Blacklist,
+    FailureHandler,
+)
+from repro.core.localization import Diagnosis, LocalizationReport
+from repro.core.pinglist import ProbePair
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
+from repro.network.issues import ComponentClass
+
+
+def diagnosis(component, evidence="component down", layer="underlay",
+              confidence=1.0):
+    pair = ProbePair.canonical(
+        EndpointId(ContainerId(TaskId(0), 0), 0),
+        EndpointId(ContainerId(TaskId(0), 1), 0),
+    )
+    return Diagnosis(
+        component=component, component_class=ComponentClass.RNIC,
+        layer=layer, evidence=evidence, pairs=(pair,),
+        confidence=confidence,
+    )
+
+
+def report(*diagnoses):
+    return LocalizationReport(diagnoses=list(diagnoses))
+
+
+class TestBlacklist:
+    def test_add_and_contains(self):
+        blacklist = Blacklist()
+        blacklist.add("host-1/rnic-0", at=10.0, reason="port down")
+        assert blacklist.contains("host-1/rnic-0")
+        assert not blacklist.contains("host-1/rnic-1")
+
+    def test_clear_readmits(self):
+        blacklist = Blacklist()
+        blacklist.add("tor-3", at=10.0, reason="offline")
+        assert blacklist.clear("tor-3", at=20.0)
+        assert not blacklist.contains("tor-3")
+        assert not blacklist.clear("tor-3", at=30.0)  # already cleared
+
+    def test_relisting_after_clear(self):
+        blacklist = Blacklist()
+        blacklist.add("tor-3", at=10.0, reason="offline")
+        blacklist.clear("tor-3", at=20.0)
+        blacklist.add("tor-3", at=30.0, reason="offline again")
+        assert blacklist.contains("tor-3")
+
+    def test_host_allowed_blocks_rnic_level_entries(self):
+        blacklist = Blacklist()
+        blacklist.add("host-2/rnic-5", at=0.0, reason="down")
+        assert not blacklist.host_allowed(HostId(2))
+        assert blacklist.host_allowed(HostId(3))
+
+    def test_host_allowed_blocks_host_and_ovs_entries(self):
+        blacklist = Blacklist()
+        blacklist.add("host:host-4", at=0.0, reason="pcie")
+        blacklist.add("ovs:host-5", at=0.0, reason="vswitch")
+        assert not blacklist.host_allowed(HostId(4))
+        assert not blacklist.host_allowed(HostId(5))
+        assert blacklist.host_allowed(HostId(6))
+
+    def test_active_listing_sorted(self):
+        blacklist = Blacklist()
+        blacklist.add("b", at=0.0, reason="x")
+        blacklist.add("a", at=0.0, reason="y")
+        assert blacklist.active() == ["a", "b"]
+
+
+class TestFailureHandler:
+    def test_alert_raised_per_diagnosis(self):
+        handler = FailureHandler()
+        raised = handler.handle(5.0, report(
+            diagnosis("host-1/rnic-0"), diagnosis("tor-2"),
+        ))
+        assert len(raised) == 2
+        assert len(handler.alerts) == 2
+
+    def test_notification_callback(self):
+        seen = []
+        handler = FailureHandler(notify=seen.append)
+        handler.handle(5.0, report(diagnosis("host-1/rnic-0")))
+        assert len(seen) == 1
+        assert isinstance(seen[0], Alert)
+
+    def test_severity_mapping(self):
+        handler = FailureHandler()
+        handler.handle(0.0, report(
+            diagnosis("a", evidence="VTEP down"),
+            diagnosis("b", evidence="10% packet loss on link"),
+            diagnosis("c", evidence="latency distribution shifted"),
+        ))
+        severities = [a.severity for a in handler.alerts]
+        assert severities == [
+            AlertSeverity.CRITICAL, AlertSeverity.MAJOR,
+            AlertSeverity.MINOR,
+        ]
+        assert len(handler.critical_alerts()) == 1
+
+    def test_confident_diagnoses_blacklisted(self):
+        handler = FailureHandler()
+        handler.handle(0.0, report(diagnosis("host-1/rnic-0")))
+        assert handler.blacklist.contains("host-1/rnic-0")
+
+    def test_low_confidence_not_blacklisted(self):
+        handler = FailureHandler(min_confidence=0.7)
+        handler.handle(0.0, report(
+            diagnosis("host:host-3", confidence=0.6, layer="host")
+        ))
+        assert not handler.blacklist.contains("host:host-3")
+        assert handler.alerts  # but the team is still told
+
+    def test_mark_repaired_reopens_scheduling(self):
+        handler = FailureHandler()
+        handler.handle(0.0, report(diagnosis("host-1/rnic-0")))
+        assert not handler.blacklist.host_allowed(HostId(1))
+        assert handler.mark_repaired("host-1/rnic-0", at=100.0)
+        assert handler.blacklist.host_allowed(HostId(1))
+
+
+class TestSchedulingIntegration:
+    def test_blacklisted_host_not_used_for_new_tasks(
+        self, cluster, engine, rng
+    ):
+        from repro.cluster.orchestrator import Orchestrator
+
+        blacklist = Blacklist()
+        blacklist.add("host:host-0", at=0.0, reason="bad board")
+        orchestrator = Orchestrator(
+            cluster, engine, rng,
+            placement_filter=blacklist.host_allowed,
+        )
+        task = orchestrator.submit_task(3, 4, instant_startup=True)
+        engine.run_until(0)
+        hosts = {c.host for c in task.all_containers()}
+        assert HostId(0) not in hosts
+
+    def test_placement_fails_when_everything_blacklisted(
+        self, cluster, engine, rng
+    ):
+        from repro.cluster.orchestrator import (
+            Orchestrator, PlacementError,
+        )
+
+        blacklist = Blacklist()
+        for host_id in cluster.hosts:
+            blacklist.add(f"host:{host_id}", at=0.0, reason="outage")
+        orchestrator = Orchestrator(
+            cluster, engine, rng,
+            placement_filter=blacklist.host_allowed,
+        )
+        with pytest.raises(PlacementError):
+            orchestrator.submit_task(1, 4)

@@ -1,0 +1,140 @@
+"""Tests for phased ping-list generation and activation."""
+
+import pytest
+
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
+from repro.core.pinglist import PingList, PingListPhase, ProbePair
+
+
+def ep(rank, slot=0, task=0):
+    return EndpointId(ContainerId(TaskId(task), rank), slot)
+
+
+def make_endpoints(num_containers=4, slots=4):
+    return [
+        ep(rank, slot)
+        for rank in range(num_containers)
+        for slot in range(slots)
+    ]
+
+
+def rail_of(endpoint):
+    return endpoint.slot  # slot == rail on standard hosts
+
+
+class TestProbePair:
+    def test_canonical_is_order_insensitive(self):
+        assert ProbePair.canonical(ep(1), ep(0)) == ProbePair.canonical(
+            ep(0), ep(1)
+        )
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            ProbePair.canonical(ep(0), ep(0))
+
+    def test_other(self):
+        pair = ProbePair.canonical(ep(0), ep(1))
+        assert pair.other(pair.src) == pair.dst
+        assert pair.other(pair.dst) == pair.src
+        with pytest.raises(ValueError):
+            pair.other(ep(9))
+
+
+class TestFullMesh:
+    def test_counts_cross_container_pairs(self):
+        endpoints = make_endpoints(4, 4)  # 16 endpoints
+        mesh = PingList.full_mesh(endpoints)
+        # C(16,2)=120 minus C(4,2)*4=24 intra-container pairs... each
+        # container holds 4 endpoints -> C(4,2)=6 intra pairs x 4 = 24.
+        assert len(mesh) == 120 - 24
+        assert mesh.phase == PingListPhase.FULL_MESH
+
+    def test_no_intra_container_pairs(self):
+        mesh = PingList.full_mesh(make_endpoints(3, 2))
+        for pair in mesh.pairs:
+            assert pair.src.container != pair.dst.container
+
+
+class TestBasic:
+    def test_rail_pruning_factor(self):
+        endpoints = make_endpoints(4, 4)
+        mesh = PingList.full_mesh(endpoints)
+        basic = PingList.basic(endpoints, rail_of)
+        assert len(basic) * 4 == len(mesh)
+
+    def test_all_pairs_same_rail(self):
+        basic = PingList.basic(make_endpoints(4, 4), rail_of)
+        for pair in basic.pairs:
+            assert rail_of(pair.src) == rail_of(pair.dst)
+
+    def test_single_container_yields_empty_list(self):
+        basic = PingList.basic(make_endpoints(1, 4), rail_of)
+        assert len(basic) == 0
+
+
+class TestSkeletonRestriction:
+    def test_restrict_keeps_only_edges(self):
+        endpoints = make_endpoints(4, 2)
+        basic = PingList.basic(endpoints, rail_of)
+        edges = [frozenset((ep(0, 0), ep(1, 0))),
+                 frozenset((ep(1, 0), ep(2, 0)))]
+        skeleton = basic.restrict_to(edges)
+        assert len(skeleton) == 2
+        assert skeleton.phase == PingListPhase.SKELETON
+
+    def test_restrict_preserves_registration(self):
+        endpoints = make_endpoints(3, 1)
+        basic = PingList.basic(endpoints, rail_of)
+        basic.register(ContainerId(TaskId(0), 0))
+        basic.register(ContainerId(TaskId(0), 1))
+        skeleton = basic.restrict_to(
+            [frozenset((ep(0, 0), ep(1, 0)))]
+        )
+        assert skeleton.activation_ratio() == 1.0
+
+    def test_from_edges(self):
+        edges = [frozenset((ep(0), ep(1)))]
+        ping_list = PingList.from_edges(edges)
+        assert len(ping_list) == 1
+
+    def test_from_edges_rejects_non_pairs(self):
+        with pytest.raises(ValueError):
+            PingList.from_edges([frozenset((ep(0),))])
+
+
+class TestActivation:
+    def test_pairs_inactive_until_both_register(self):
+        basic = PingList.basic(make_endpoints(2, 1), rail_of)
+        pair = next(iter(basic.pairs))
+        assert not basic.is_active(pair)
+        basic.register(pair.src.container)
+        assert not basic.is_active(pair)
+        basic.register(pair.dst.container)
+        assert basic.is_active(pair)
+
+    def test_activation_ratio_grows_with_registration(self):
+        endpoints = make_endpoints(4, 1)
+        basic = PingList.basic(endpoints, rail_of)
+        ratios = [basic.activation_ratio()]
+        for rank in range(4):
+            basic.register(ContainerId(TaskId(0), rank))
+            ratios.append(basic.activation_ratio())
+        assert ratios == sorted(ratios)
+        assert ratios[0] == 0.0
+        assert ratios[-1] == 1.0
+
+    def test_deregister_deactivates(self):
+        basic = PingList.basic(make_endpoints(2, 1), rail_of)
+        for rank in (0, 1):
+            basic.register(ContainerId(TaskId(0), rank))
+        basic.deregister(ContainerId(TaskId(0), 1))
+        assert basic.active_pairs() == []
+
+    def test_empty_list_ratio_zero(self):
+        assert PingList().activation_ratio() == 0.0
+
+    def test_targets_of(self):
+        endpoints = make_endpoints(3, 1)
+        basic = PingList.basic(endpoints, rail_of)
+        targets = basic.targets_of(ep(0, 0))
+        assert targets == [ep(1, 0), ep(2, 0)]

@@ -1,0 +1,85 @@
+"""Tests for probe round execution and round-time estimation."""
+
+import pytest
+
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
+from repro.core.pinglist import PingList
+from repro.core.probing import (
+    ProbeCostModel,
+    ProbeRoundExecutor,
+    estimate_round_duration,
+    probes_per_round,
+)
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import FaultInjector
+
+
+def endpoints(num_containers, slots):
+    return [
+        EndpointId(ContainerId(TaskId(0), rank), slot)
+        for rank in range(num_containers)
+        for slot in range(slots)
+    ]
+
+
+class TestRoundEstimation:
+    def test_empty_list_costs_nothing(self):
+        assert estimate_round_duration(PingList()) == 0.0
+
+    def test_full_mesh_scales_with_targets(self):
+        eps = endpoints(8, 4)
+        mesh = PingList.full_mesh(eps)
+        cost = ProbeCostModel(per_probe_s=1.0, round_overhead_s=4.0)
+        duration = estimate_round_duration(mesh, cost)
+        # The busiest source pings 7 x 4 peers... targets_of counts only
+        # canonical-source pairs, so the first endpoint is busiest.
+        assert duration > 4.0
+        assert duration == 4.0 + max(
+            len([p for p in mesh.pairs if p.src == e]) for e in eps
+        )
+
+    def test_basic_list_cheaper_than_full_mesh(self):
+        eps = endpoints(8, 4)
+        mesh = PingList.full_mesh(eps)
+        basic = PingList.basic(eps, lambda e: e.slot)
+        assert estimate_round_duration(basic) < estimate_round_duration(
+            mesh
+        )
+
+    def test_probes_per_round(self):
+        eps = endpoints(4, 2)
+        assert probes_per_round(PingList.full_mesh(eps)) == len(
+            PingList.full_mesh(eps)
+        )
+
+
+class TestRoundExecutor:
+    def test_executes_only_active_pairs(
+        self, cluster, running_task, rng
+    ):
+        fabric = DataPlaneFabric(cluster, FaultInjector(cluster), rng)
+        ping_list = PingList.basic(
+            running_task.endpoints(),
+            lambda e: running_task.containers[e.container].rail_of(e),
+        )
+        executor = ProbeRoundExecutor(fabric)
+        assert executor.execute_round(ping_list, now=0.0) == []
+        for container in running_task.all_containers():
+            ping_list.register(container.id)
+        results = executor.execute_round(ping_list, now=1.0)
+        assert len(results) == len(ping_list)
+        assert executor.rounds_executed == 2
+        assert executor.probes_issued == len(ping_list)
+
+    def test_on_result_callback_invoked(self, cluster, running_task, rng):
+        fabric = DataPlaneFabric(cluster, FaultInjector(cluster), rng)
+        seen = []
+        ping_list = PingList.basic(
+            running_task.endpoints(),
+            lambda e: running_task.containers[e.container].rail_of(e),
+        )
+        for container in running_task.all_containers():
+            ping_list.register(container.id)
+        executor = ProbeRoundExecutor(fabric, on_result=seen.append)
+        executor.execute_round(ping_list, now=0.0)
+        assert len(seen) == len(ping_list)

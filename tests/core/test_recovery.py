@@ -1,0 +1,184 @@
+"""Tests for migration-based recovery (§8 live-migration extension)."""
+
+import pytest
+
+from repro.cluster.identifiers import HostId
+from repro.cluster.orchestrator import PlacementError
+from repro.core.handling import Blacklist
+from repro.core.localization import Diagnosis, LocalizationReport
+from repro.core.pinglist import ProbePair
+from repro.core.recovery import RecoveryManager
+from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
+from repro.network.issues import ComponentClass
+
+
+def host_report(host):
+    pair = ProbePair.canonical(
+        EndpointId(ContainerId(TaskId(0), 0), 0),
+        EndpointId(ContainerId(TaskId(0), 1), 0),
+    )
+    return LocalizationReport(diagnoses=[Diagnosis(
+        component=f"host:{host}",
+        component_class=ComponentClass.HOST_BOARD,
+        layer="host", evidence="board trouble", pairs=(pair,),
+    )])
+
+
+class TestMigration:
+    def test_migrate_container_moves_everything(
+        self, orchestrator, engine, cluster
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        old_host = container.host
+        old_endpoints = container.endpoints()
+        target = orchestrator.migrate_container(container)
+        assert target != old_host
+        assert container.host == target
+        # Identity preserved: the endpoints stay addressable.
+        assert container.endpoints() == old_endpoints
+        for endpoint in old_endpoints:
+            assert cluster.overlay.is_registered(endpoint)
+            assert cluster.overlay.rnic_of(endpoint).host == target
+        # The old host's resources are free again.
+        assert len(cluster.host(old_host).free_gpus()) == 4
+
+    def test_probing_works_after_migration(
+        self, orchestrator, engine, cluster, rng
+    ):
+        from repro.network.fabric import DataPlaneFabric
+        from repro.network.faults import FaultInjector
+
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        fabric = DataPlaneFabric(cluster, FaultInjector(cluster), rng)
+        container = task.container(0)
+        orchestrator.migrate_container(container)
+        result = fabric.send_probe(
+            container.endpoint(0), task.container(1).endpoint(0), 1.0
+        )
+        assert result.ok
+
+    def test_cannot_migrate_terminated_container(
+        self, orchestrator, engine
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        orchestrator.terminate_task(task.id)
+        with pytest.raises(PlacementError):
+            orchestrator.migrate_container(task.container(0))
+
+    def test_excluded_hosts_respected(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        exclude = [
+            h for h in orchestrator.cluster.hosts
+            if h not in (container.host, HostId(7))
+        ]
+        target = orchestrator.migrate_container(
+            container, exclude_hosts=exclude
+        )
+        assert target == HostId(7)
+
+    def test_no_healthy_host_raises(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        everything = list(orchestrator.cluster.hosts)
+        with pytest.raises(PlacementError):
+            orchestrator.migrate_container(
+                container, exclude_hosts=everything
+            )
+
+
+class TestRecoveryManager:
+    def test_host_diagnosis_triggers_migration(
+        self, orchestrator, engine
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        bad_host = container.host
+        manager = RecoveryManager(orchestrator)
+        actions = manager.react(10.0, host_report(bad_host))
+        assert len(actions) == 1
+        assert actions[0].succeeded
+        assert actions[0].source == bad_host
+        assert container.host != bad_host
+
+    def test_rnic_diagnosis_implicates_its_host(
+        self, orchestrator, engine, cluster
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        rnic = cluster.overlay.rnic_of(container.endpoint(0))
+        pair = ProbePair.canonical(
+            container.endpoint(0), task.container(1).endpoint(0)
+        )
+        report = LocalizationReport(diagnoses=[Diagnosis(
+            component=str(rnic),
+            component_class=ComponentClass.RNIC,
+            layer="underlay", evidence="port down", pairs=(pair,),
+        )])
+        manager = RecoveryManager(orchestrator)
+        actions = manager.react(10.0, report)
+        assert actions and actions[0].succeeded
+
+    def test_cooldown_prevents_thrashing(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        manager = RecoveryManager(orchestrator, cooldown_s=300.0)
+        first = manager.react(10.0, host_report(container.host))
+        assert first and first[0].succeeded
+        # A new report implicating the *new* host inside the cooldown
+        # must not bounce the container again.
+        second = manager.react(20.0, host_report(container.host))
+        assert second == []
+        # After the cooldown it may move again.
+        third = manager.react(400.0, host_report(container.host))
+        assert third and third[0].succeeded
+
+    def test_blacklisted_hosts_not_chosen_as_targets(
+        self, orchestrator, engine
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        blacklist = Blacklist()
+        for host_id in orchestrator.cluster.hosts:
+            if host_id not in (container.host, HostId(6)):
+                blacklist.add(f"host:{host_id}", at=0.0, reason="bad")
+        manager = RecoveryManager(orchestrator, blacklist=blacklist)
+        actions = manager.react(10.0, host_report(container.host))
+        assert actions[0].target == HostId(6)
+
+    def test_failed_migration_recorded(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        blacklist = Blacklist()
+        for host_id in orchestrator.cluster.hosts:
+            if host_id != container.host:
+                blacklist.add(f"host:{host_id}", at=0.0, reason="bad")
+        manager = RecoveryManager(orchestrator, blacklist=blacklist)
+        actions = manager.react(10.0, host_report(container.host))
+        assert actions and not actions[0].succeeded
+        assert manager.successful_migrations() == []
+
+    def test_link_diagnoses_do_not_migrate(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        pair = ProbePair.canonical(
+            task.container(0).endpoint(0), task.container(1).endpoint(0)
+        )
+        report = LocalizationReport(diagnoses=[Diagnosis(
+            component="tor-0<->spine-1",
+            component_class=ComponentClass.INTER_HOST_NETWORK,
+            layer="underlay", evidence="CRC errors", pairs=(pair,),
+        )])
+        manager = RecoveryManager(orchestrator)
+        assert manager.react(10.0, report) == []

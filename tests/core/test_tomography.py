@@ -1,0 +1,126 @@
+"""Tests for underlay physical-intersection (tomography) voting."""
+
+import pytest
+
+from repro.cluster.topology import UnderlayPath
+from repro.core.tomography import PhysicalIntersection
+
+
+def path(*devices):
+    return UnderlayPath.through(devices)
+
+
+class TestVoting:
+    def test_shared_link_wins(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-0/rnic-0", "tor-0", "spine-0", "tor-1",
+                 "host-4/rnic-0"),
+            path("host-1/rnic-0", "tor-0", "spine-0", "tor-1",
+                 "host-5/rnic-0"),
+            path("host-2/rnic-0", "tor-0", "spine-0", "tor-2",
+                 "host-8/rnic-0"),
+        ]
+        result = tomography.vote(failing)
+        suspects = {str(s) for s in result.suspects}
+        assert "spine-0<->tor-0" in suspects
+
+    def test_single_path_yields_nothing(self):
+        # Algorithm 1: every counter <= 1 means no underlay failure.
+        tomography = PhysicalIntersection()
+        result = tomography.vote([
+            path("host-0/rnic-0", "tor-0", "host-1/rnic-0")
+        ])
+        assert not result.found
+
+    def test_min_votes_enforced(self):
+        with pytest.raises(ValueError):
+            PhysicalIntersection(min_votes=1)
+
+    def test_exoneration_clears_healthy_links(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-0/rnic-0", "tor-0", "spine-0", "tor-1",
+                 "host-4/rnic-0"),
+            path("host-1/rnic-0", "tor-0", "spine-0", "tor-1",
+                 "host-5/rnic-0"),
+        ]
+        # A healthy probe crossed tor-0<->spine-0, so the real culprit
+        # must be spine-0<->tor-1.
+        healthy = [
+            path("host-2/rnic-0", "tor-0", "spine-0", "tor-2",
+                 "host-8/rnic-0"),
+        ]
+        result = tomography.vote(failing, healthy, exonerate=True)
+        suspects = {str(s) for s in result.suspects}
+        assert "spine-0<->tor-1" in suspects
+        assert "spine-0<->tor-0" not in suspects
+
+    def test_no_exoneration_for_soft_failures(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-0/rnic-0", "tor-0", "host-1/rnic-0"),
+            path("host-2/rnic-0", "tor-0", "host-1/rnic-0"),
+        ]
+        healthy = [path("host-3/rnic-0", "tor-0", "host-1/rnic-0")]
+        result = tomography.vote(failing, healthy, exonerate=False)
+        assert result.found  # lossy links may still pass some probes
+
+    def test_votes_recorded_per_link(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-0/rnic-0", "tor-0", "host-1/rnic-0"),
+            path("host-0/rnic-0", "tor-0", "host-2/rnic-0"),
+        ]
+        result = tomography.vote(failing)
+        from repro.cluster.identifiers import LinkId
+
+        assert result.votes[
+            LinkId.between("host-0/rnic-0", "tor-0")
+        ] == 2
+
+
+class TestPromotion:
+    def test_switch_promotion_when_links_meet(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-0/rnic-0", "tor-0", "host-1/rnic-0"),
+            path("host-0/rnic-0", "tor-0", "host-2/rnic-0"),
+            path("host-1/rnic-0", "tor-0", "host-2/rnic-0"),
+        ]
+        result = tomography.vote(failing)
+        assert result.promoted_kind == "switch"
+        assert result.promoted_component == "tor-0"
+
+    def test_rnic_promotion_for_leaf_link(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-1/rnic-0", "tor-0", "host-0/rnic-0"),
+            path("host-1/rnic-0", "tor-0", "host-2/rnic-0"),
+        ]
+        result = tomography.vote(failing)
+        assert result.promoted_kind == "rnic"
+        assert result.promoted_component == "host-1/rnic-0"
+
+    def test_host_promotion_when_leaf_links_share_host(self):
+        tomography = PhysicalIntersection(tie_tolerance=0)
+        failing = [
+            path("host-1/rnic-0", "tor-0", "host-0/rnic-0"),
+            path("host-1/rnic-0", "tor-0", "host-2/rnic-0"),
+            path("host-1/rnic-1", "tor-1", "host-0/rnic-1"),
+            path("host-1/rnic-1", "tor-1", "host-2/rnic-1"),
+        ]
+        result = tomography.vote(failing)
+        assert result.promoted_kind == "host"
+        assert result.promoted_component == "host:host-1"
+
+    def test_blamed_components_promotion_first(self):
+        tomography = PhysicalIntersection()
+        failing = [
+            path("host-1/rnic-0", "tor-0", "host-0/rnic-0"),
+            path("host-1/rnic-0", "tor-0", "host-2/rnic-0"),
+        ]
+        result = tomography.vote(failing)
+        names = result.blamed_components()
+        assert names[0] == "host-1/rnic-0"
+        assert "host-1/rnic-0<->tor-0" in names

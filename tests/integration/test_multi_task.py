@@ -1,0 +1,129 @@
+"""Integration: several tenants sharing the fabric concurrently."""
+
+import pytest
+
+from repro.cluster.orchestrator import Cluster, Orchestrator
+from repro.cluster.overlay import OverlayError
+from repro.cluster.topology import RailOptimizedTopology
+from repro.core.system import SkeletonHunter
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import FaultInjector
+from repro.network.issues import IssueType
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def stack():
+    topology = RailOptimizedTopology(
+        num_segments=2, hosts_per_segment=8, rails_per_host=4,
+        num_spines=2,
+    )
+    cluster = Cluster(topology)
+    engine = SimulationEngine()
+    rng = RngRegistry(404)
+    orchestrator = Orchestrator(cluster, engine, rng)
+    injector = FaultInjector(cluster)
+    fabric = DataPlaneFabric(cluster, injector, rng)
+    hunter = SkeletonHunter(cluster, engine, fabric, orchestrator)
+    task_a = orchestrator.submit_task(4, 4, instant_startup=True)
+    task_b = orchestrator.submit_task(4, 4, instant_startup=True)
+    engine.run_until(0)
+    hunter.watch_task(task_a)
+    hunter.watch_task(task_b)
+    hunter.start()
+    return cluster, engine, orchestrator, injector, fabric, hunter, \
+        task_a, task_b
+
+
+class TestTenantIsolation:
+    def test_distinct_vnis(self, stack):
+        cluster, *_, task_a, task_b = stack
+        assert cluster.overlay.vni_of(task_a.id) != \
+            cluster.overlay.vni_of(task_b.id)
+
+    def test_cross_tenant_flows_rejected(self, stack):
+        cluster, *_, task_a, task_b = stack
+        with pytest.raises(OverlayError):
+            cluster.overlay.ensure_flow(
+                task_a.container(0).endpoint(0),
+                task_b.container(0).endpoint(0),
+            )
+
+    def test_both_tasks_probed(self, stack):
+        _, engine, _, _, _, hunter, task_a, task_b = stack
+        engine.run_until(30)
+        tasks_probed = {
+            pair.src.container.task
+            for pair in hunter.monitored_pairs()
+        }
+        assert tasks_probed == {task_a.id, task_b.id}
+
+    def test_ping_lists_never_mix_tenants(self, stack):
+        *_, hunter, task_a, task_b = stack
+        for task in (task_a, task_b):
+            for pair in hunter.controller.ping_list_of(task.id).pairs:
+                assert pair.src.container.task == task.id
+                assert pair.dst.container.task == task.id
+
+
+class TestFaultScoping:
+    def test_fault_in_one_task_does_not_alarm_the_other(self, stack):
+        (cluster, engine, orchestrator, injector, fabric, hunter,
+         task_a, task_b) = stack
+        engine.run_until(150)
+        victim_rnic = cluster.overlay.rnic_of(
+            task_a.container(1).endpoint(0)
+        )
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, victim_rnic, start=engine.now
+        )
+        engine.run_until(engine.now + 60)
+        injector.clear(fault, engine.now)
+        assert hunter.events
+        for event in hunter.events:
+            assert event.pair.src.container.task == task_a.id
+
+    def test_shared_switch_fault_alarms_both_tasks(self, stack):
+        (cluster, engine, orchestrator, injector, fabric, hunter,
+         task_a, task_b) = stack
+        engine.run_until(150)
+        # Both tasks' rail-0 endpoints in segment 0 share this ToR.
+        rnic = cluster.overlay.rnic_of(task_a.container(0).endpoint(0))
+        tor = cluster.topology.tor_of(rnic)
+        fault = injector.inject_issue(
+            IssueType.SWITCH_OFFLINE, tor, start=engine.now
+        )
+        engine.run_until(engine.now + 60)
+        injector.clear(fault, engine.now)
+        tasks_alarmed = {
+            event.pair.src.container.task for event in hunter.events
+        }
+        assert task_a.id in tasks_alarmed
+        assert task_b.id in tasks_alarmed
+        # One shared diagnosis: the ToR (or its links).
+        components = {
+            d.component
+            for _, report in hunter.reports
+            for d in report.diagnoses
+        }
+        assert str(tor) in components
+
+    def test_terminating_one_task_keeps_the_other_monitored(
+        self, stack
+    ):
+        (cluster, engine, orchestrator, injector, fabric, hunter,
+         task_a, task_b) = stack
+        engine.run_until(30)
+        orchestrator.terminate_task(task_a.id)
+        sent_before = fabric.probes_sent
+        engine.run_until(60)
+        assert fabric.probes_sent > sent_before
+        for pair in hunter.controller.ping_list_of(
+            task_b.id
+        ).active_pairs():
+            assert pair.src.container.task == task_b.id
+        # The drained task's list has no active pairs left.
+        assert hunter.controller.ping_list_of(
+            task_a.id
+        ).active_pairs() == []

@@ -1,0 +1,73 @@
+"""Tests for the Table-1 issue catalogue."""
+
+from repro.network.issues import (
+    ISSUE_CATALOG,
+    ComponentClass,
+    IssueType,
+    Symptom,
+    issues_in_component,
+    issues_with_symptom,
+)
+
+
+class TestCatalog:
+    def test_all_nineteen_issues_present(self):
+        assert len(ISSUE_CATALOG) == 19
+        assert set(ISSUE_CATALOG) == set(IssueType)
+
+    def test_issue_numbers_match_table_rows(self):
+        for issue, spec in ISSUE_CATALOG.items():
+            assert spec.number == issue.value
+
+    def test_symptoms_match_table_one(self):
+        assert ISSUE_CATALOG[IssueType.CRC_ERROR].symptom == \
+            Symptom.PACKET_LOSS
+        assert ISSUE_CATALOG[IssueType.SWITCH_OFFLINE].symptom == \
+            Symptom.UNCONNECTIVITY
+        assert ISSUE_CATALOG[IssueType.OFFLOADING_FAILURE].symptom == \
+            Symptom.HIGH_LATENCY
+        assert ISSUE_CATALOG[IssueType.CONTAINER_CRASH].symptom == \
+            Symptom.UNCONNECTIVITY
+
+    def test_component_classes_match_table_one(self):
+        assert ISSUE_CATALOG[IssueType.RNIC_GID_CHANGE].component == \
+            ComponentClass.KERNEL
+        assert ISSUE_CATALOG[IssueType.PCIE_NIC_ERROR].component == \
+            ComponentClass.HOST_BOARD
+        assert ISSUE_CATALOG[IssueType.NOT_USING_RDMA].component == \
+            ComponentClass.VIRTUAL_SWITCH
+        assert ISSUE_CATALOG[IssueType.HUGEPAGE_MISCONFIGURATION].component \
+            == ComponentClass.CONFIGURATION
+
+    def test_every_issue_has_a_reason(self):
+        for spec in ISSUE_CATALOG.values():
+            assert spec.reason.strip()
+
+    def test_symptom_partition_is_complete(self):
+        total = sum(
+            len(issues_with_symptom(symptom)) for symptom in Symptom
+        )
+        assert total == 19
+
+    def test_component_partition_is_complete(self):
+        total = sum(
+            len(issues_in_component(c)) for c in ComponentClass
+        )
+        assert total == 19
+
+    def test_high_latency_is_most_common_symptom(self):
+        # Table 1: 9 of 19 issues manifest as high latency.
+        assert len(issues_with_symptom(Symptom.HIGH_LATENCY)) == 9
+
+    def test_inter_host_issues(self):
+        inter = issues_in_component(ComponentClass.INTER_HOST_NETWORK)
+        assert {s.issue for s in inter} == {
+            IssueType.CRC_ERROR,
+            IssueType.SWITCH_PORT_DOWN,
+            IssueType.SWITCH_PORT_FLAPPING,
+            IssueType.SWITCH_OFFLINE,
+        }
+
+    def test_rnic_is_largest_component_class(self):
+        rnic = issues_in_component(ComponentClass.RNIC)
+        assert len(rnic) == 6

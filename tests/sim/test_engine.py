@@ -1,0 +1,162 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_event_fires_at_scheduled_time(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(engine.now))
+        engine.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_event_after_horizon_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(15.0, lambda: fired.append(engine.now))
+        engine.run_until(10.0)
+        assert fired == []
+        assert engine.pending == 1
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run_until(2.0)
+        assert order == ["first", "second", "third"]
+
+    def test_scheduling_in_the_past_raises(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule(4.0, lambda: None)
+
+    def test_schedule_in_relative_delay(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: engine.schedule_in(
+            2.0, lambda: fired.append(engine.now)
+        ))
+        engine.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_negative_delay_raises(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_run_until_advances_clock_to_horizon(self):
+        engine = SimulationEngine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_events_scheduled_during_run_are_processed(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule_in(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run_until(2.0)
+        assert fired == []
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        engine.run_until(2.5)
+        assert engine.processed == 2
+
+    def test_run_executes_everything(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 5.0, 100.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run()
+        assert fired == [1.0, 5.0, 100.0]
+        assert engine.now == 100.0
+
+
+class TestPeriodicTasks:
+    def test_periodic_fires_repeatedly(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(2.0, lambda: ticks.append(engine.now))
+        engine.run_until(7.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+    def test_periodic_with_first_at(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(
+            3.0, lambda: ticks.append(engine.now), first_at=5.0
+        )
+        engine.run_until(12.0)
+        assert ticks == [5.0, 8.0, 11.0]
+
+    def test_stop_halts_future_firings(self):
+        engine = SimulationEngine()
+        ticks = []
+        task = engine.schedule_periodic(1.0, lambda: ticks.append(engine.now))
+        engine.run_until(2.5)
+        task.stop()
+        engine.run_until(10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert task.stopped
+
+    def test_stop_from_inside_callback(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+            if len(ticks) == 3:
+                task.stop()
+
+        task = engine.schedule_periodic(1.0, tick)
+        engine.run_until(10.0)
+        assert len(ticks) == 3
+
+    def test_zero_interval_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_periodic(0.0, lambda: None)
+
+    def test_restart_after_stop(self):
+        engine = SimulationEngine()
+        ticks = []
+        task = engine.schedule_periodic(1.0, lambda: ticks.append(engine.now))
+        engine.run_until(1.5)
+        task.stop()
+        engine.run_until(5.0)
+        task.start(first_at=6.0)
+        engine.run_until(7.5)
+        assert ticks == [0.0, 1.0, 6.0, 7.0]

@@ -1,0 +1,79 @@
+"""Tests for seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "latency") == derive_seed(42, "latency")
+
+    def test_different_names_differ(self):
+        assert derive_seed(42, "latency") != derive_seed(42, "faults")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "latency") != derive_seed(2, "latency")
+
+    def test_seed_fits_in_63_bits(self):
+        for name in ("a", "b", "a-very-long-stream-name"):
+            assert 0 <= derive_seed(7, name) < 2 ** 63
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_generator(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("x") is rngs.stream("x")
+
+    def test_streams_are_independent(self):
+        rngs = RngRegistry(7)
+        a = rngs.stream("a").random(100)
+        b = rngs.stream("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_registries(self):
+        first = RngRegistry(7).stream("x").random(10)
+        second = RngRegistry(7).stream("x").random(10)
+        assert np.allclose(first, second)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        solo = RngRegistry(7)
+        solo_values = solo.stream("a").random(5)
+
+        mixed = RngRegistry(7)
+        mixed.stream("b").random(5)  # interleaved use of another stream
+        mixed_values = mixed.stream("a").random(5)
+        assert np.allclose(solo_values, mixed_values)
+
+    def test_fork_is_independent_of_parent(self):
+        parent = RngRegistry(7)
+        child = parent.fork("child")
+        assert child.seed != parent.seed
+        assert not np.allclose(
+            parent.stream("x").random(20), child.stream("x").random(20)
+        )
+
+    def test_reset_single_stream(self):
+        rngs = RngRegistry(7)
+        first = rngs.stream("x").random(5)
+        rngs.reset("x")
+        assert np.allclose(first, rngs.stream("x").random(5))
+
+    def test_reset_all_streams(self):
+        rngs = RngRegistry(7)
+        a1 = rngs.stream("a").random(3)
+        b1 = rngs.stream("b").random(3)
+        rngs.reset()
+        assert np.allclose(a1, rngs.stream("a").random(3))
+        assert np.allclose(b1, rngs.stream("b").random(3))
+
+    def test_names_lists_created_streams(self):
+        rngs = RngRegistry(7)
+        rngs.stream("beta")
+        rngs.stream("alpha")
+        assert list(rngs.names()) == ["alpha", "beta"]
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("not-a-seed")

@@ -1,0 +1,114 @@
+"""Tests for collective traffic patterns and matrix sparsity."""
+
+import numpy as np
+import pytest
+
+from repro.training.collectives import (
+    dp_rank_edges,
+    ep_rank_edges,
+    neighbors_of,
+    pp_rank_edges,
+    sparsity,
+    traffic_edges,
+    traffic_matrix,
+)
+from repro.training.parallelism import ParallelismConfig
+from repro.training.workload import TrainingWorkload
+
+
+@pytest.fixture
+def workload(running_task):
+    return TrainingWorkload(running_task, ParallelismConfig(4, 2, 2))
+
+
+class TestRankEdges:
+    def test_pp_edges_link_adjacent_stages(self, workload):
+        edges = pp_rank_edges(workload)
+        # TP4 x DP2 pipelines, each with PP2 -> one edge per (tp, dp).
+        assert len(edges) == 4 * 2
+        for a, b in edges:
+            pa = workload.config.position(a)
+            pb = workload.config.position(b)
+            assert abs(pa.pp_rank - pb.pp_rank) == 1
+            assert pa.tp_rank == pb.tp_rank
+            assert pa.dp_rank == pb.dp_rank
+
+    def test_no_pp_edges_without_pipeline(self, running_task):
+        flat = TrainingWorkload(running_task, ParallelismConfig(4, 1, 4))
+        assert pp_rank_edges(flat) == set()
+
+    def test_dp_ring_edges(self, workload):
+        edges = dp_rank_edges(workload)
+        # DP2 ring degenerates to one edge per position group (8 groups).
+        assert len(edges) == 8
+        for a, b in edges:
+            pa = workload.config.position(a)
+            pb = workload.config.position(b)
+            assert pa.pipeline_position == pb.pipeline_position
+
+    def test_dp_ring_closes(self, running_task):
+        workload = TrainingWorkload(running_task, ParallelismConfig(2, 2, 4))
+        edges = dp_rank_edges(workload)
+        group = workload.config.dp_group(0)
+        ring = {(min(a, b), max(a, b)) for a, b in zip(
+            group, group[1:] + group[:1]
+        )}
+        assert ring <= edges
+
+    def test_ep_edges_trivial_without_moe(self, workload):
+        assert ep_rank_edges(workload) == set()
+
+    def test_ep_edges_full_mesh_within_group(self, running_task):
+        workload = TrainingWorkload(
+            running_task, ParallelismConfig(2, 2, 4, ep=2)
+        )
+        edges = ep_rank_edges(workload)
+        # 4 position groups x (4/2) EP groups x C(2,2)=1 edge each.
+        assert len(edges) == 8
+
+
+class TestEndpointEdges:
+    def test_intra_container_traffic_excluded(self, workload):
+        for edge in traffic_edges(workload):
+            a, b = sorted(edge)
+            assert a.container != b.container
+
+    def test_edges_stay_on_one_rail(self, workload, running_task):
+        for edge in traffic_edges(workload):
+            rails = {
+                running_task.containers[e.container].rail_of(e)
+                for e in edge
+            }
+            assert len(rails) == 1
+
+    def test_neighbors_are_symmetric(self, workload):
+        endpoint = workload.endpoint_of(0)
+        for peer in neighbors_of(workload, endpoint):
+            assert endpoint in neighbors_of(workload, peer)
+
+
+class TestTrafficMatrix:
+    def test_matrix_is_symmetric_zero_diagonal(self, workload):
+        matrix = traffic_matrix(workload)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matrix_matches_edge_count(self, workload):
+        matrix = traffic_matrix(workload)
+        assert np.count_nonzero(matrix) == 2 * len(traffic_edges(workload))
+
+    def test_sparsity_high_for_training_patterns(self, workload):
+        assert sparsity(traffic_matrix(workload)) > 0.7
+
+    def test_moe_less_sparse_than_dense(self, running_task):
+        dense = TrainingWorkload(running_task, ParallelismConfig(2, 2, 4))
+        moe = TrainingWorkload(
+            running_task, ParallelismConfig(2, 2, 4, ep=4)
+        )
+        assert sparsity(traffic_matrix(moe)) <= sparsity(
+            traffic_matrix(dense)
+        )
+
+    def test_sparsity_of_empty_matrix(self):
+        assert sparsity(np.zeros((4, 4))) == 1.0
+        assert sparsity(np.zeros((1, 1))) == 1.0

@@ -1,0 +1,103 @@
+"""Tests for parallelism configurations and group arithmetic."""
+
+import pytest
+
+from repro.training.parallelism import ParallelismConfig, ParallelismError
+
+
+@pytest.fixture
+def config():
+    return ParallelismConfig(tp=4, pp=2, dp=3)
+
+
+class TestValidation:
+    def test_num_gpus(self, config):
+        assert config.num_gpus == 24
+        assert config.pipeline_scale == 8
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ParallelismError):
+            ParallelismConfig(tp=0, pp=1, dp=1)
+
+    def test_ep_must_divide_dp(self):
+        with pytest.raises(ParallelismError):
+            ParallelismConfig(tp=1, pp=1, dp=4, ep=3)
+        ParallelismConfig(tp=1, pp=1, dp=4, ep=2)  # fine
+
+    def test_describe(self, config):
+        assert config.describe() == "TP4 x PP2 x DP3 (24 GPUs)"
+        assert "EP2" in ParallelismConfig(2, 2, 4, ep=2).describe()
+
+
+class TestRankArithmetic:
+    def test_position_roundtrip(self, config):
+        for rank in range(config.num_gpus):
+            pos = config.position(rank)
+            assert config.rank_of(
+                pos.tp_rank, pos.pp_rank, pos.dp_rank
+            ) == rank
+
+    def test_tp_is_innermost(self, config):
+        assert config.position(0).tp_rank == 0
+        assert config.position(1).tp_rank == 1
+        assert config.position(4).tp_rank == 0
+        assert config.position(4).pp_rank == 1
+
+    def test_dp_is_outermost(self, config):
+        assert config.position(8).dp_rank == 1
+        assert config.position(16).dp_rank == 2
+
+    def test_out_of_range_rank(self, config):
+        with pytest.raises(ParallelismError):
+            config.position(24)
+        with pytest.raises(ParallelismError):
+            config.rank_of(4, 0, 0)
+
+    def test_pipeline_position_shared_across_dp(self, config):
+        a = config.position(config.rank_of(2, 1, 0))
+        b = config.position(config.rank_of(2, 1, 2))
+        assert a.pipeline_position == b.pipeline_position
+
+
+class TestGroups:
+    def test_tp_group_is_consecutive(self, config):
+        assert config.tp_group(0) == [0, 1, 2, 3]
+        assert config.tp_group(6) == [4, 5, 6, 7]
+
+    def test_pp_group_strides_by_tp(self, config):
+        assert config.pp_group(0) == [0, 4]
+        assert config.pp_group(5) == [1, 5]
+
+    def test_dp_group_strides_by_tp_pp(self, config):
+        assert config.dp_group(0) == [0, 8, 16]
+
+    def test_groups_contain_their_rank(self, config):
+        for rank in range(config.num_gpus):
+            assert rank in config.tp_group(rank)
+            assert rank in config.pp_group(rank)
+            assert rank in config.dp_group(rank)
+
+    def test_all_dp_groups_partition_ranks(self, config):
+        seen = [r for group in config.all_dp_groups() for r in group]
+        assert sorted(seen) == list(range(config.num_gpus))
+
+    def test_all_dp_groups_count(self, config):
+        assert len(config.all_dp_groups()) == config.pipeline_scale
+
+    def test_ep_group_of_trivial_config(self, config):
+        assert config.ep_group(5) == [5]
+
+    def test_ep_group_partitions_dp_group(self):
+        config = ParallelismConfig(tp=1, pp=1, dp=8, ep=4)
+        group = config.ep_group(0)
+        assert len(group) == 4
+        assert group == config.dp_group(0)[:4]
+        later = config.ep_group(config.rank_of(0, 0, 5))
+        assert later == config.dp_group(0)[4:]
+
+    def test_ep_groups_are_consistent_for_members(self):
+        config = ParallelismConfig(tp=2, pp=1, dp=4, ep=2)
+        for rank in range(config.num_gpus):
+            group = config.ep_group(rank)
+            for member in group:
+                assert config.ep_group(member) == group

@@ -1,0 +1,79 @@
+"""Tests for the rank <-> endpoint mapping of workloads."""
+
+import pytest
+
+from repro.training.parallelism import ParallelismConfig, ParallelismError
+from repro.training.workload import TrainingWorkload
+
+
+@pytest.fixture
+def workload(running_task):
+    # 4 containers x 4 GPUs = 16 ranks: TP4 x PP2 x DP2
+    return TrainingWorkload(running_task, ParallelismConfig(4, 2, 2))
+
+
+class TestValidation:
+    def test_mismatched_gpu_count_rejected(self, running_task):
+        with pytest.raises(ParallelismError):
+            TrainingWorkload(running_task, ParallelismConfig(8, 8, 8))
+
+    def test_nonpositive_period_rejected(self, running_task):
+        with pytest.raises(ParallelismError):
+            TrainingWorkload(
+                running_task, ParallelismConfig(4, 2, 2),
+                iteration_period_s=0.0,
+            )
+
+
+class TestMapping:
+    def test_rank_roundtrip(self, workload):
+        for rank in range(workload.num_ranks):
+            assert workload.rank_of(workload.endpoint_of(rank)) == rank
+
+    def test_rank_zero_is_first_container_slot_zero(self, workload):
+        endpoint = workload.endpoint_of(0)
+        assert endpoint.container.rank == 0
+        assert endpoint.slot == 0
+
+    def test_consecutive_ranks_fill_a_container(self, workload):
+        containers = {
+            workload.endpoint_of(r).container.rank for r in range(4)
+        }
+        assert containers == {0}
+
+    def test_out_of_range_rank(self, workload):
+        with pytest.raises(ParallelismError):
+            workload.endpoint_of(16)
+
+    def test_foreign_endpoint_rejected(self, workload):
+        from repro.cluster.identifiers import (
+            ContainerId, EndpointId, TaskId,
+        )
+
+        with pytest.raises(ParallelismError):
+            workload.rank_of(EndpointId(ContainerId(TaskId(77), 0), 0))
+
+    def test_endpoints_cover_all_ranks(self, workload):
+        endpoints = workload.endpoints()
+        assert len(endpoints) == 16
+        assert len(set(endpoints)) == 16
+
+    def test_same_container_predicate(self, workload):
+        assert workload.same_container(0, 3)
+        assert not workload.same_container(0, 4)
+
+    def test_tp_intra_node_when_tp_divides_gpc(self, running_task):
+        assert TrainingWorkload(
+            running_task, ParallelismConfig(4, 2, 2)
+        ).tp_is_intra_node()
+        assert TrainingWorkload(
+            running_task, ParallelismConfig(2, 2, 4)
+        ).tp_is_intra_node()
+
+    def test_tp_group_stays_inside_one_container(self, workload):
+        for rank in range(workload.num_ranks):
+            group = workload.config.tp_group(rank)
+            containers = {
+                workload.endpoint_of(r).container for r in group
+            }
+            assert len(containers) == 1

@@ -1,0 +1,122 @@
+"""Tests for the synthetic production-statistics models (Figs 2-6, 12)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.production import ProductionStatistics, empirical_cdf
+
+
+@pytest.fixture
+def stats():
+    return ProductionStatistics(seed=42)
+
+
+class TestLifetimes:
+    def test_small_tasks_half_under_60_minutes(self, stats):
+        """Figure 2: ~50% of containers in <=256 tasks live < 60 min."""
+        lifetimes = stats.container_lifetimes_minutes("<=256")
+        fraction = np.mean(lifetimes < 60.0)
+        assert 0.40 < fraction < 0.60
+
+    def test_majority_under_100_minutes(self, stats):
+        """Figure 2: ~70% of all containers live < 100 minutes."""
+        summary = stats.lifetime_summary()
+        assert 0.60 < summary["all_under_100min"] < 0.80
+
+    def test_larger_tasks_live_longer(self, stats):
+        small = np.median(stats.container_lifetimes_minutes("<=64"))
+        large = np.median(stats.container_lifetimes_minutes("<=1024"))
+        assert large > small
+
+    def test_unknown_bucket_rejected(self, stats):
+        with pytest.raises(KeyError):
+            stats.container_lifetimes_minutes("huge")
+
+
+class TestConfigLifetimes:
+    def test_high_end_lives_longer(self, stats):
+        """Figure 3: higher-end configurations live longer."""
+        low = np.median(stats.lifetimes_by_config_minutes("low-end"))
+        mid = np.median(stats.lifetimes_by_config_minutes("mid-end"))
+        high = np.median(stats.lifetimes_by_config_minutes("high-end"))
+        assert low < mid < high
+
+    def test_unknown_config_rejected(self, stats):
+        with pytest.raises(KeyError):
+            stats.lifetimes_by_config_minutes("quantum")
+
+
+class TestStartupTimes:
+    def test_tail_grows_with_task_size(self, stats):
+        """Figure 4: larger tasks bear higher startup tails."""
+        small = stats.startup_times_seconds(32)
+        large = stats.startup_times_seconds(512)
+        assert np.percentile(large, 99) > np.percentile(small, 99)
+
+    def test_tail_can_reach_minutes(self, stats):
+        delays = stats.startup_times_seconds(1024)
+        assert delays.max() > 60.0
+        assert delays.max() < 1200.0  # bounded near the paper's ~10 min
+
+    def test_invalid_size_rejected(self, stats):
+        with pytest.raises(ValueError):
+            stats.startup_times_seconds(0)
+
+
+class TestRnicAllocation:
+    def test_eight_rnics_dominate(self, stats):
+        """Figure 5: the vast majority of containers bind 8 RNICs."""
+        allocations = stats.rnic_allocations()
+        p8 = np.mean(allocations == 8)
+        p4 = np.mean(allocations == 4)
+        assert p8 > 0.5
+        assert p4 > 0.15
+        assert p8 > p4
+
+    def test_only_power_of_two_allocations(self, stats):
+        assert set(np.unique(stats.rnic_allocations())) <= {1, 2, 4, 8}
+
+
+class TestFlowTables:
+    def test_mean_above_40(self, stats):
+        """Figure 6: the average host holds > 40 flow-table items."""
+        items = stats.flow_table_items()
+        assert items.mean() > 40.0
+
+    def test_heavy_tail_bounded_at_9300(self, stats):
+        items = stats.flow_table_items(n_hosts=50_000)
+        assert items.max() <= 9300
+        assert items.max() > 1000  # the tail is genuinely heavy
+
+    def test_counts_are_positive_integers(self, stats):
+        items = stats.flow_table_items()
+        assert items.min() >= 1
+        assert items.dtype == np.int64
+
+
+class TestJobSizes:
+    def test_all_multiples_of_eight(self, stats):
+        """Figure 12: jobs request multiples of eight GPUs."""
+        sizes = stats.job_gpu_counts()
+        assert np.all(sizes % 8 == 0)
+
+    def test_mass_concentrates_on_128_512_1024(self, stats):
+        sizes = stats.job_gpu_counts(n=20_000)
+        top = np.mean(np.isin(sizes, [128, 512, 1024]))
+        assert top > 0.4
+
+
+class TestCdfHelper:
+    def test_cdf_monotone(self):
+        values, fractions = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_reproducibility_across_instances(self):
+        a = ProductionStatistics(7).flow_table_items(100)
+        b = ProductionStatistics(7).flow_table_items(100)
+        assert np.array_equal(a, b)
