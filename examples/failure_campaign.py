@@ -42,10 +42,11 @@ def main() -> None:
     print("-" * len(header))
 
     detected = localized = 0
+    campaign_counters: dict = {}
     for issue in IssueType:
         scenario = build_scenario(
             num_containers=4, gpus_per_container=4, pp=2,
-            seed=7000 + issue.value, hosts_per_segment=4,
+            seed=7000 + issue.value, hosts_per_segment=4, observe=True,
         )
         scenario.run_for(200)
         fault = scenario.inject(issue, target_for(scenario, issue))
@@ -64,10 +65,18 @@ def main() -> None:
               f"{spec.symptom.value:<15} "
               f"{'yes' if outcome.detected else 'NO':<9} {delay:<7} "
               f"{outcome.localized_component or '(not localized)'}")
+        for name, value in \
+                scenario.observability.metrics.counters().items():
+            campaign_counters[name] = \
+                campaign_counters.get(name, 0) + value
 
     print("-" * len(header))
     print(f"detected {detected}/19 issue types, "
           f"localized {localized}/19 to a correct component")
+    print("\ncampaign-wide counters (summed over all 19 runs):")
+    for name in ("probes.sent", "probes.lost", "anomalies.detected",
+                 "events.opened", "diagnoses.made"):
+        print(f"  {name:<20} {campaign_counters.get(name, 0):.0f}")
 
 
 if __name__ == "__main__":

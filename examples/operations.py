@@ -10,7 +10,7 @@ newly started tasks.
 Run:  python examples/operations.py
 """
 
-from repro import IssueType, build_scenario
+from repro import IssueType, build_scenario, explain_report
 from repro.core.handling import FailureHandler
 from repro.core.recovery import RecoveryManager
 from repro.core.rollout import AgentReleaseManager, ReleaseChannel
@@ -19,7 +19,7 @@ from repro.core.rollout import AgentReleaseManager, ReleaseChannel
 def main() -> None:
     scenario = build_scenario(
         num_containers=4, gpus_per_container=4, pp=2, seed=88,
-        hosts_per_segment=4,
+        hosts_per_segment=4, observe=True,
     )
     # Wire the §8 integrations onto the running system.
     handler = FailureHandler(
@@ -77,6 +77,18 @@ def main() -> None:
     scenario.clear(fault)
     handler.mark_repaired(f"host:{bad_host}", scenario.engine.now)
     print(f"blacklist now: {handler.blacklist.active() or '(empty)'}")
+
+    # The same run, from the observability side (§6 dashboards): the
+    # shared recorder counted every pipeline stage and kept the evidence
+    # behind each diagnosis.
+    obs = scenario.observability
+    print("\n== run-wide metrics ==")
+    for name, value in sorted(obs.metrics.counters().items()):
+        print(f"  {name:<24} {value:.0f}")
+    if scenario.hunter.reports:
+        when, report = scenario.hunter.reports[0]
+        print(f"\n== why the diagnosis (localization @ {when:.0f}s) ==")
+        print(explain_report(report, obs))
 
 
 if __name__ == "__main__":

@@ -76,7 +76,17 @@ from repro.network import (
     Symptom,
     TransientCongestion,
 )
-from repro.sim import RngRegistry, SimulationEngine
+from repro.obs import (
+    Span,
+    TraceEvent,
+    TraceRecorder,
+    explain_diagnosis,
+    explain_report,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.sim import MetricRegistry, RngRegistry, SimulationEngine, TimeSeries
 from repro.training import (
     ParallelismConfig,
     TrafficGenerator,
@@ -115,6 +125,7 @@ __all__ = [
     "LinkId",
     "LocalizationReport",
     "Localizer",
+    "MetricRegistry",
     "MonitoredScenario",
     "Orchestrator",
     "ParallelismConfig",
@@ -128,16 +139,25 @@ __all__ = [
     "SimulationEngine",
     "SkeletonHunter",
     "SkeletonInference",
+    "Span",
     "SwitchId",
     "Symptom",
     "TaskId",
+    "TimeSeries",
+    "TraceEvent",
+    "TraceRecorder",
     "TrafficGenerator",
     "TrainingTask",
     "TrainingWorkload",
     "TransientCongestion",
     "build_scenario",
     "estimate_round_duration",
+    "explain_diagnosis",
+    "explain_report",
+    "to_jsonl",
+    "to_prometheus",
     "traffic_edges",
     "traffic_matrix",
+    "write_jsonl",
     "__version__",
 ]

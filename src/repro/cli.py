@@ -5,11 +5,22 @@ Usage::
     python -m repro demo [--containers N] [--gpus N] [--seed S]
     python -m repro campaign [--seed S]
     python -m repro stats
+    python -m repro report [--faults N]
+    python -m repro status [--faults N]
+    python -m repro trace [--faults N] [--out FILE] [--explain]
+    python -m repro export-metrics [--faults N]
 
 ``demo`` monitors one training task, applies skeleton inference, injects
 an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
 Table-1 issue types.  ``stats`` prints the production-statistics
 summaries behind the paper's motivation figures.
+
+The last four commands run a monitored scenario with observability
+enabled and surface the run from the operator's side (§6 dashboards):
+``report`` prints the incident timeline, ``status`` the run-wide
+counters and pipeline timings, ``trace`` the JSONL event/span trace
+(``--explain`` renders the evidence chain behind every diagnosis), and
+``export-metrics`` the registry in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -57,17 +68,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="print the production-statistics summaries"
     )
 
+    def add_scenario_args(command) -> None:
+        command.add_argument("--containers", type=int, default=4)
+        command.add_argument("--gpus", type=int, default=4)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--faults", type=int, default=2,
+            help="number of faults to inject during the run",
+        )
+
     report = commands.add_parser(
         "report", help="run a monitored scenario and print the "
         "operator incident report"
     )
-    report.add_argument("--containers", type=int, default=4)
-    report.add_argument("--gpus", type=int, default=4)
-    report.add_argument("--seed", type=int, default=0)
-    report.add_argument(
-        "--faults", type=int, default=2,
-        help="number of faults to inject during the run",
+    add_scenario_args(report)
+
+    status = commands.add_parser(
+        "status", help="run a monitored scenario and print run-wide "
+        "counters, open incidents, and pipeline timings"
     )
+    add_scenario_args(status)
+
+    trace = commands.add_parser(
+        "trace", help="run a monitored scenario and dump the JSONL "
+        "trace (events + spans)"
+    )
+    add_scenario_args(trace)
+    trace.add_argument(
+        "--out", default=None,
+        help="write the JSONL trace to this file instead of stdout",
+    )
+    trace.add_argument(
+        "--explain", action="store_true",
+        help="render the evidence chain behind every diagnosis "
+        "instead of the raw trace",
+    )
+
+    export = commands.add_parser(
+        "export-metrics", help="run a monitored scenario and print its "
+        "metrics in Prometheus text format"
+    )
+    add_scenario_args(export)
     return parser
 
 
@@ -167,12 +208,11 @@ def _run_stats(_: argparse.Namespace) -> int:
     return 0
 
 
-def _run_report(args: argparse.Namespace) -> int:
-    from repro.core.reporting import build_report, render_report
-
+def _observed_run(args: argparse.Namespace):
+    """Build, fault, and run the scenario the operator commands share."""
     scenario = build_scenario(
         num_containers=args.containers, gpus_per_container=args.gpus,
-        pp=2, seed=args.seed,
+        pp=2, seed=args.seed, observe=True,
     )
     scenario.run_for(200)
     issues = [IssueType.RNIC_PORT_DOWN,
@@ -185,7 +225,77 @@ def _run_report(args: argparse.Namespace) -> int:
         scenario.run_for(80)
         scenario.clear(fault)
         scenario.run_for(140)
+    return scenario
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.core.reporting import build_report, render_report
+
+    scenario = _observed_run(args)
     print(render_report(build_report(scenario.hunter)))
+    return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    scenario = _observed_run(args)
+    obs = scenario.observability
+    hunter = scenario.hunter
+    print(f"status @ {scenario.engine.now:.0f}s simulated")
+    print("counters:")
+    for name, value in sorted(obs.metrics.counters().items()):
+        print(f"  {name:<24} {value:.0f}")
+    print(f"monitored pairs: {len(hunter.monitored_pairs())}")
+    open_events = hunter.analyzer.open_events()
+    print(f"open incidents: {len(open_events)}")
+    for event in open_events:
+        print(f"  {event.pair.src}<->{event.pair.dst} "
+              f"({event.symptom.value} since "
+              f"{event.first_detected_at:.0f}s)")
+    print("pipeline timings (wall clock):")
+    for name in ("probe_round", "analyzer.flush", "localize.run"):
+        spans = [s for s in obs.spans(name) if s.closed]
+        if not spans:
+            continue
+        total_ms = sum(s.wall_duration_s for s in spans) * 1e3
+        print(f"  {name:<16} {len(spans):>5} spans, "
+              f"total {total_ms:.1f} ms, "
+              f"mean {total_ms / len(spans):.3f} ms")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.obs.explain import explain_report
+    from repro.obs.export import to_jsonl, write_jsonl
+
+    scenario = _observed_run(args)
+    obs = scenario.observability
+    if args.explain:
+        reports = scenario.hunter.reports
+        if not reports:
+            print("no localization reports: nothing to explain")
+            return 0
+        for when, report in reports:
+            print(f"=== localization @ {when:.0f}s ===")
+            print(explain_report(report, obs))
+        return 0
+    if args.out:
+        try:
+            rows = write_jsonl(obs, args.out)
+        except OSError as error:
+            print(f"cannot write trace to {args.out}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {rows} trace rows to {args.out}")
+        return 0
+    print(to_jsonl(obs))
+    return 0
+
+
+def _run_export_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import to_prometheus
+
+    scenario = _observed_run(args)
+    print(to_prometheus(scenario.observability), end="")
     return 0
 
 
@@ -200,6 +310,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "export-metrics":
+        return _run_export_metrics(args)
     return 2  # unreachable: argparse enforces the choices
 
 

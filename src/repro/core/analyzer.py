@@ -10,7 +10,7 @@ persistent fault raises one incident, not one alarm per window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.detection import (
     DetectedAnomaly,
@@ -43,6 +43,17 @@ class FailureEvent:
         return self.resolved_at is None
 
     @property
+    def key(self) -> Tuple[ProbePair, float]:
+        """A stable identity for the incident.
+
+        ``id(event)`` is unusable as a dedup key — CPython reuses object
+        ids after garbage collection — but (pair, first detection time)
+        uniquely names an incident: the analyzer never opens two events
+        for one pair at the same instant.
+        """
+        return (self.pair, self.first_detected_at)
+
+    @property
     def last_seen_at(self) -> float:
         """Time of the most recent anomaly in the incident."""
         if not self.anomalies:
@@ -72,12 +83,14 @@ class Analyzer:
         self,
         config: DetectorConfig = DetectorConfig(),
         resolve_after_s: float = 90.0,
+        recorder=None,
     ) -> None:
         self.config = config
         self.resolve_after_s = resolve_after_s
+        self.recorder = recorder
         self._monitors: Dict[ProbePair, PairMonitor] = {}
-        self._short = ShortTermDetector(config)
-        self._long = LongTermDetector(config)
+        self._short = ShortTermDetector(config, recorder=recorder)
+        self._long = LongTermDetector(config, recorder=recorder)
         self._open_events: Dict[ProbePair, FailureEvent] = {}
         self.events: List[FailureEvent] = []
         self.anomalies: List[DetectedAnomaly] = []
@@ -122,6 +135,14 @@ class Analyzer:
 
     def flush(self, now: float) -> List[DetectedAnomaly]:
         """Close all elapsed windows across every monitored pair."""
+        if self.recorder is None:
+            return self._flush(now)
+        with self.recorder.span("analyzer.flush", sim_time=now) as span:
+            new = self._flush(now)
+            span.set(pairs=len(self._monitors), anomalies=len(new))
+        return new
+
+    def _flush(self, now: float) -> List[DetectedAnomaly]:
         new: List[DetectedAnomaly] = []
         for pair, monitor in self._monitors.items():
             for summary in monitor.flush(now):
@@ -158,6 +179,18 @@ class Analyzer:
 
     def _record(self, anomaly: DetectedAnomaly) -> None:
         self.anomalies.append(anomaly)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.count("anomalies.detected")
+            recorder.event(
+                "detect.anomaly", sim_time=anomaly.detected_at,
+                pair=f"{anomaly.pair.src}<->{anomaly.pair.dst}",
+                detector=anomaly.detector,
+                symptom=anomaly.symptom.value,
+                score=float(anomaly.score),
+                threshold=self._threshold_of(anomaly.detector),
+                window_start=anomaly.window_start,
+            )
         event = self._open_events.get(anomaly.pair)
         if event is not None and event.open:
             event.absorb(anomaly)
@@ -170,6 +203,22 @@ class Analyzer:
         event.anomalies.append(anomaly)
         self._open_events[anomaly.pair] = event
         self.events.append(event)
+        if recorder is not None:
+            recorder.count("events.opened")
+            recorder.event(
+                "detect.event_opened", sim_time=anomaly.detected_at,
+                pair=f"{event.pair.src}<->{event.pair.dst}",
+                symptom=event.symptom.value,
+            )
+
+    def _threshold_of(self, detector: str) -> Optional[float]:
+        """The alarm threshold the named detector applied."""
+        return {
+            "short_term_lof": self.config.lof_threshold,
+            "loss_rule": self.config.loss_rate_threshold,
+            "fast_loss": float(self.config.fast_unconnectivity_probes),
+            "long_term_ztest": self.config.ztest_alpha,
+        }.get(detector)
 
     def _maybe_resolve(self, summary: WindowSummary) -> None:
         event = self._open_events.get(summary.pair)
@@ -178,6 +227,15 @@ class Analyzer:
         if summary.window_end - event.last_seen_at >= self.resolve_after_s:
             event.resolved_at = summary.window_end
             del self._open_events[summary.pair]
+            if self.recorder is not None:
+                self.recorder.count("events.resolved")
+                self.recorder.event(
+                    "detect.event_resolved",
+                    sim_time=summary.window_end,
+                    pair=f"{event.pair.src}<->{event.pair.dst}",
+                    duration_s=summary.window_end
+                    - event.first_detected_at,
+                )
 
     # ------------------------------------------------------------------
     # Queries

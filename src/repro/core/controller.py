@@ -47,12 +47,15 @@ class Controller:
         cluster: Cluster,
         resources: AgentResourceModel = AgentResourceModel(),
         release_manager=None,
+        recorder=None,
     ) -> None:
         self.cluster = cluster
         self.resources = resources
         # Optional AgentReleaseManager: new sidecars launch on the
         # latest published version (§8, agent evolution).
         self.release_manager = release_manager
+        # Optional TraceRecorder: ping-list and agent lifecycle events.
+        self.recorder = recorder
         self._tasks: Dict[TaskId, _TaskState] = {}
 
     # ------------------------------------------------------------------
@@ -66,6 +69,12 @@ class Controller:
         endpoints = task.endpoints()
         ping_list = PingList.basic(endpoints, self._rail_of(task))
         self._tasks[task.id] = _TaskState(task=task, ping_list=ping_list)
+        if self.recorder is not None:
+            self.recorder.count("tasks.preloaded")
+            self.recorder.event(
+                "controller.preload", task=str(task.id),
+                endpoints=len(endpoints), pairs=len(ping_list.pairs),
+            )
         return ping_list
 
     def _rail_of(self, task: TrainingTask):
@@ -101,6 +110,12 @@ class Controller:
         )
         state.agents[container.id] = agent
         agent.register()
+        if self.recorder is not None:
+            self.recorder.count("agents.started")
+            self.recorder.event(
+                "controller.agent_started", sim_time=now,
+                container=str(container.id), version=version,
+            )
         return agent
 
     def on_container_finished(self, container: Container) -> None:
@@ -109,7 +124,12 @@ class Controller:
         if state is None:
             return
         state.ping_list.deregister(container.id)
-        state.agents.pop(container.id, None)
+        removed = state.agents.pop(container.id, None)
+        if removed is not None and self.recorder is not None:
+            self.recorder.count("agents.stopped")
+            self.recorder.event(
+                "controller.agent_stopped", container=str(container.id),
+            )
 
     # ------------------------------------------------------------------
     # Phase 3: runtime skeleton optimization
@@ -120,11 +140,18 @@ class Controller:
     ) -> PingList:
         """Swap the task's ping list for the skeleton-restricted one."""
         state = self._state(task_id)
+        before = len(state.ping_list.pairs)
         optimized = state.ping_list.restrict_to(skeleton.edges)
         state.ping_list = optimized
         state.skeleton = skeleton
         for agent in state.agents.values():
             agent.ping_list = optimized
+        if self.recorder is not None:
+            self.recorder.count("skeletons.applied")
+            self.recorder.event(
+                "controller.skeleton_applied", task=str(task_id),
+                pairs_before=before, pairs_after=len(optimized.pairs),
+            )
         return optimized
 
     # ------------------------------------------------------------------

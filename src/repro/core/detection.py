@@ -98,10 +98,18 @@ class DetectorConfig:
 
 
 class ShortTermDetector:
-    """Per-pair loss rules + LOF over 30-second window summaries."""
+    """Per-pair loss rules + LOF over 30-second window summaries.
 
-    def __init__(self, config: DetectorConfig = DetectorConfig()) -> None:
+    ``recorder`` (a :class:`~repro.obs.trace.TraceRecorder`) is optional:
+    when attached, every scored window emits a ``detect.lof`` event with
+    the LOF score and threshold so verdicts stay inspectable.
+    """
+
+    def __init__(
+        self, config: DetectorConfig = DetectorConfig(), recorder=None
+    ) -> None:
         self.config = config
+        self.recorder = recorder
         self._history: Dict[ProbePair, Deque[np.ndarray]] = {}
 
     def reset(self, pair: ProbePair) -> None:
@@ -139,9 +147,16 @@ class ShortTermDetector:
             score = lof_score_of_new_point(
                 np.vstack(history), feature, k=cfg.lof_k
             )
-            if score > cfg.lof_threshold and self._median_shifted(
-                history, feature
-            ):
+            shifted = self._median_shifted(history, feature)
+            if self.recorder is not None:
+                self.recorder.event(
+                    "detect.lof", sim_time=summary.window_end,
+                    pair=f"{summary.pair.src}<->{summary.pair.dst}",
+                    score=float(score), threshold=cfg.lof_threshold,
+                    median_shifted=shifted,
+                    anomalous=score > cfg.lof_threshold and shifted,
+                )
+            if score > cfg.lof_threshold and shifted:
                 anomaly = DetectedAnomaly(
                     pair=summary.pair, detected_at=summary.window_end,
                     symptom=Symptom.HIGH_LATENCY, detector="short_term_lof",
@@ -164,10 +179,17 @@ class ShortTermDetector:
 
 
 class LongTermDetector:
-    """Log-normal Z-tests over 30-minute latency aggregates."""
+    """Log-normal Z-tests over 30-minute latency aggregates.
 
-    def __init__(self, config: DetectorConfig = DetectorConfig()) -> None:
+    Like the short-term detector, an optional ``recorder`` makes every
+    Z-test decision inspectable via ``detect.ztest`` events.
+    """
+
+    def __init__(
+        self, config: DetectorConfig = DetectorConfig(), recorder=None
+    ) -> None:
         self.config = config
+        self.recorder = recorder
         self._fits: Dict[ProbePair, LognormalFit] = {}
 
     def reset(self, pair: ProbePair) -> None:
@@ -192,6 +214,14 @@ class LongTermDetector:
             self._fits[pair] = fit_lognormal(latencies)
             return None
         result = z_test(self._fits[pair], latencies)
+        if self.recorder is not None:
+            self.recorder.event(
+                "detect.ztest", sim_time=window_end,
+                pair=f"{pair.src}<->{pair.dst}", z=float(result.z),
+                alpha=cfg.ztest_alpha, samples=len(latencies),
+                anomalous=result.anomalous(cfg.ztest_alpha)
+                and result.z > 0,
+            )
         if result.anomalous(cfg.ztest_alpha) and result.z > 0:
             return DetectedAnomaly(
                 pair=pair, detected_at=window_end,

@@ -41,6 +41,10 @@ from repro.network.issues import ComponentClass, Symptom
 __all__ = ["Diagnosis", "LocalizationReport", "Localizer"]
 
 
+def _pair_label(pair: ProbePair) -> str:
+    return f"{pair.src}<->{pair.dst}"
+
+
 @dataclass(frozen=True)
 class Diagnosis:
     """One localized culprit with its supporting evidence."""
@@ -51,6 +55,18 @@ class Diagnosis:
     evidence: str
     pairs: Tuple[ProbePair, ...]
     confidence: float = 1.0
+
+    def explain(self, recorder=None) -> str:
+        """Render the evidence chain behind this verdict.
+
+        With the :class:`~repro.obs.trace.TraceRecorder` the localizer
+        emitted into, the chain includes the captured walk steps,
+        tomography votes, or flow-table findings; without one it falls
+        back to the one-line ``evidence`` summary.
+        """
+        from repro.obs.explain import explain_diagnosis
+
+        return explain_diagnosis(self, recorder)
 
 
 @dataclass
@@ -70,6 +86,12 @@ class LocalizationReport:
             return None
         return max(self.diagnoses, key=lambda d: d.confidence)
 
+    def explain(self, recorder=None) -> str:
+        """Render every diagnosis with its evidence chain."""
+        from repro.obs.explain import explain_report
+
+        return explain_report(self, recorder)
+
 
 class Localizer:
     """Runs Algorithm 1 over batches of failure events."""
@@ -79,11 +101,14 @@ class Localizer:
         cluster: Cluster,
         fabric: DataPlaneFabric,
         intersection: Optional[PhysicalIntersection] = None,
+        recorder=None,
     ) -> None:
         self.cluster = cluster
         self.fabric = fabric
         self.intersection = intersection or PhysicalIntersection()
         self.validator = RnicValidator(cluster)
+        self.recorder = recorder
+        self._now = 0.0     # sim time of the localize() call in flight
 
     # ------------------------------------------------------------------
     # Entry point
@@ -93,15 +118,34 @@ class Localizer:
         self,
         events: Sequence[FailureEvent],
         healthy_pairs: Sequence[ProbePair] = (),
+        now: float = 0.0,
     ) -> LocalizationReport:
         """Run the full disentanglement over a batch of events."""
+        if self.recorder is None:
+            return self._localize(events, healthy_pairs)
+        self._now = now
+        with self.recorder.span(
+            "localize.run", sim_time=now, events=len(events)
+        ) as span:
+            report = self._localize(events, healthy_pairs)
+            span.set(
+                diagnoses=len(report.diagnoses),
+                unexplained=len(report.unexplained),
+            )
+        return report
+
+    def _localize(
+        self,
+        events: Sequence[FailureEvent],
+        healthy_pairs: Sequence[ProbePair],
+    ) -> LocalizationReport:
         report = LocalizationReport()
         remaining: List[FailureEvent] = []
 
         for event in events:
             diagnosis = self._overlay_reachability(event)
             if diagnosis is not None:
-                report.diagnoses.append(diagnosis)
+                self._add(report, diagnosis)
             else:
                 remaining.append(event)
 
@@ -112,6 +156,23 @@ class Localizer:
         remaining = self._host_concentration(remaining, report)
         report.unexplained = remaining
         return report
+
+    def _add(
+        self, report: LocalizationReport, diagnosis: Diagnosis
+    ) -> None:
+        """Append a diagnosis and record the verdict event."""
+        report.diagnoses.append(diagnosis)
+        if self.recorder is not None:
+            self.recorder.count("diagnoses.made")
+            self.recorder.event(
+                "localize.diagnosis", sim_time=self._now,
+                component=diagnosis.component,
+                component_class=diagnosis.component_class.value,
+                layer=diagnosis.layer,
+                evidence=diagnosis.evidence,
+                pairs=[_pair_label(p) for p in diagnosis.pairs],
+                confidence=diagnosis.confidence,
+            )
 
     # ------------------------------------------------------------------
     # Step 1: overlay logical reachability (Algorithm 1, lines 7-15)
@@ -131,7 +192,27 @@ class Localizer:
             )
             if trace.reached and not trace.loop:
                 return None
-        return self._classify_overlay_break(event, trace)
+        diagnosis = self._classify_overlay_break(event, trace)
+        if self.recorder is not None:
+            self.recorder.event(
+                "localize.overlay", sim_time=self._now,
+                pair=_pair_label(pair),
+                reached=trace.reached, loop=trace.loop,
+                steps=[
+                    {
+                        "component": hop.component, "kind": hop.kind,
+                        "ok": hop.ok, "note": hop.note,
+                    }
+                    for hop in trace.hops
+                ],
+                component=(
+                    diagnosis.component if diagnosis is not None else None
+                ),
+                evidence=(
+                    diagnosis.evidence if diagnosis is not None else None
+                ),
+            )
+        return diagnosis
 
     def _classify_overlay_break(
         self, event: FailureEvent, trace: OverlayTrace
@@ -254,20 +335,31 @@ class Localizer:
             result = self.intersection.vote(
                 list(paths.values()), healthy_paths, exonerate=exonerate
             )
-            if not result.found:
-                continue
             blamed_pairs = tuple(sorted(
                 pair for pair, path in paths.items()
                 if any(link in result.suspects for link in path.links)
             ))
+            if self.recorder is not None:
+                self.recorder.event(
+                    "localize.tomography", sim_time=self._now,
+                    group="hard" if exonerate else "soft",
+                    exonerate=exonerate,
+                    failing_paths=len(paths),
+                    healthy_paths=len(healthy_paths),
+                    components=result.blamed_components(),
+                    blamed_pairs=[_pair_label(p) for p in blamed_pairs],
+                    **result.as_fields(),
+                )
+            if not result.found:
+                continue
             primary = self._underlay_diagnosis(result, blamed_pairs, group)
-            report.diagnoses.append(primary)
+            self._add(report, primary)
             # Path evidence cannot separate a device from its attached
             # link(s); report the voted links as secondary suspects.
             for link in result.suspects:
                 if str(link) == primary.component:
                     continue
-                report.diagnoses.append(Diagnosis(
+                self._add(report, Diagnosis(
                     component=str(link),
                     component_class=ComponentClass.INTER_HOST_NETWORK,
                     layer="underlay",
@@ -339,7 +431,7 @@ class Localizer:
             ]
             diagnosis = self._diagnose_from_findings(event, rnics)
             if diagnosis is not None:
-                report.diagnoses.append(diagnosis)
+                self._add(report, diagnosis)
             else:
                 remaining.append(event)
         return remaining
@@ -351,44 +443,58 @@ class Localizer:
             finding = self.validator.validate(rnic)
             if not finding.suspicious:
                 continue
-            if finding.silently_invalidated > 0:
+            diagnosis = self._diagnosis_for_finding(event, rnic, finding)
+            if self.recorder is not None:
+                self.recorder.event(
+                    "localize.rnic", sim_time=self._now,
+                    pair=_pair_label(event.pair),
+                    component=diagnosis.component,
+                    evidence=diagnosis.evidence,
+                    **finding.as_fields(),
+                )
+            return diagnosis
+        return None
+
+    def _diagnosis_for_finding(
+        self, event: FailureEvent, rnic: RnicId, finding
+    ) -> Diagnosis:
+        if finding.silently_invalidated > 0:
+            return Diagnosis(
+                component=str(rnic),
+                component_class=ComponentClass.VIRTUAL_SWITCH,
+                layer="rnic",
+                evidence=(
+                    f"{finding.silently_invalidated} flows marked "
+                    "offloaded in OVS but absent from the RNIC "
+                    "(silent invalidation)"
+                ),
+                pairs=(event.pair,),
+            )
+        if finding.software_path_rules > 0:
+            if self._whole_host_on_software_path(rnic):
                 return Diagnosis(
-                    component=str(rnic),
+                    component=f"host:{rnic.host}",
                     component_class=ComponentClass.VIRTUAL_SWITCH,
                     layer="rnic",
-                    evidence=(
-                        f"{finding.silently_invalidated} flows marked "
-                        "offloaded in OVS but absent from the RNIC "
-                        "(silent invalidation)"
-                    ),
-                    pairs=(event.pair,),
-                )
-            if finding.software_path_rules > 0:
-                if self._whole_host_on_software_path(rnic):
-                    return Diagnosis(
-                        component=f"host:{rnic.host}",
-                        component_class=ComponentClass.VIRTUAL_SWITCH,
-                        layer="rnic",
-                        evidence="every RNIC of the host is on the "
-                        "software path (virtual switch not using RDMA)",
-                        pairs=(event.pair,),
-                    )
-                return Diagnosis(
-                    component=str(rnic),
-                    component_class=ComponentClass.RNIC,
-                    layer="rnic",
-                    evidence=f"{finding.software_path_rules} flows stuck "
-                    "on the software path (offloading failure)",
+                    evidence="every RNIC of the host is on the "
+                    "software path (virtual switch not using RDMA)",
                     pairs=(event.pair,),
                 )
             return Diagnosis(
                 component=str(rnic),
                 component_class=ComponentClass.RNIC,
                 layer="rnic",
-                evidence="RNIC hardware rules diverge from OVS",
+                evidence=f"{finding.software_path_rules} flows stuck "
+                "on the software path (offloading failure)",
                 pairs=(event.pair,),
             )
-        return None
+        return Diagnosis(
+            component=str(rnic),
+            component_class=ComponentClass.RNIC,
+            layer="rnic",
+            evidence="RNIC hardware rules diverge from OVS",
+            pairs=(event.pair,),
+        )
 
     def _whole_host_on_software_path(self, rnic: RnicId) -> bool:
         host = self.cluster.host(rnic.host)
@@ -430,7 +536,7 @@ class Localizer:
                 self._host_of_endpoint(e.pair.dst),
             )
         ))
-        report.diagnoses.append(Diagnosis(
+        diagnosis = Diagnosis(
             component=f"host:{host}",
             component_class=ComponentClass.HOST_BOARD,
             layer="host",
@@ -438,7 +544,15 @@ class Localizer:
             "handed to host fine-checking",
             pairs=pairs,
             confidence=0.6,
-        ))
+        )
+        if self.recorder is not None:
+            self.recorder.event(
+                "localize.host", sim_time=self._now,
+                votes={str(h): c for h, c in votes.items()},
+                component=diagnosis.component,
+                evidence=diagnosis.evidence,
+            )
+        self._add(report, diagnosis)
         return [e for e in events if e.pair not in set(pairs)]
 
     # ------------------------------------------------------------------

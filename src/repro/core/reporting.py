@@ -9,6 +9,7 @@ of the paper's log-service dashboards (§6).
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -46,7 +47,11 @@ class IncidentReport:
     incidents: List[IncidentSummary] = field(default_factory=list)
     diagnoses: List[Tuple[float, Diagnosis]] = field(default_factory=list)
     probes_sent: int = 0
+    probes_lost: int = 0
     monitored_pairs: int = 0
+    # Whether probe counts cover exactly [start, end) (derived from the
+    # per-round metrics series) or had to fall back to lifetime totals.
+    probes_windowed: bool = False
 
     @property
     def open_incidents(self) -> int:
@@ -79,9 +84,14 @@ def build_report(
 ) -> IncidentReport:
     """Collect a hunter's activity inside [start, end)."""
     horizon = end if end is not None else hunter.engine.now
+    # The range is half-open, but ``end=None`` means "everything so
+    # far": a probe round (or detection) that fired exactly at ``now``
+    # belongs in that report, so the effective upper bound is nudged
+    # past the boundary instant.
+    upper = math.nextafter(horizon, math.inf) if end is None else horizon
     report = IncidentReport(start=start, end=horizon)
     for event in hunter.events:
-        if not start <= event.first_detected_at < horizon:
+        if not start <= event.first_detected_at < upper:
             continue
         report.incidents.append(IncidentSummary(
             pair=f"{event.pair.src} <-> {event.pair.dst}",
@@ -91,21 +101,48 @@ def build_report(
             anomaly_count=len(event.anomalies),
         ))
     for when, localization in hunter.reports:
-        if not start <= when < horizon:
+        if not start <= when < upper:
             continue
         for diagnosis in localization.diagnoses:
             report.diagnoses.append((when, diagnosis))
-    report.probes_sent = hunter.fabric.probes_sent
+    report.probes_sent, report.probes_lost, report.probes_windowed = (
+        _probes_in_range(hunter, start, upper)
+    )
     report.monitored_pairs = len(hunter.monitored_pairs())
     return report
 
 
+def _probes_in_range(
+    hunter: SkeletonHunter, start: float, end: float
+) -> Tuple[int, int, bool]:
+    """Probe sent/lost counts for [start, end).
+
+    Summed from the per-round metrics series the hunter records, so a
+    windowed report counts only its own range; falls back to lifetime
+    fabric totals when the series does not (or no longer, after bounded
+    retention evicted it) cover the range.
+    """
+    registry = hunter.metrics
+    if registry.has_series("probes.sent_in_round"):
+        sent_series = registry.series("probes.sent_in_round")
+        lost_series = registry.series("probes.lost_in_round")
+        if sent_series.complete_since(start):
+            return (
+                int(sum(sent_series.window(start, end))),
+                int(sum(lost_series.window(start, end))),
+                True,
+            )
+    return hunter.fabric.probes_sent, hunter.fabric.probes_lost, False
+
+
 def render_report(report: IncidentReport) -> str:
     """Render an incident report as operator-readable text."""
+    scope = "in range" if report.probes_windowed else "lifetime"
     lines = [
         f"incident report [{report.start:.0f}s .. {report.end:.0f}s]",
         f"  monitored pairs: {report.monitored_pairs}, "
-        f"probes sent: {report.probes_sent}",
+        f"probes sent: {report.probes_sent} "
+        f"(lost {report.probes_lost}, {scope})",
         f"  incidents: {len(report.incidents)} "
         f"({report.open_incidents} still open)",
     ]
@@ -136,9 +173,16 @@ def render_report(report: IncidentReport) -> str:
             )
     components = report.component_breakdown()
     if components:
+        evidence: dict = {}
+        for _, diagnosis in report.diagnoses:
+            evidence.setdefault(diagnosis.component, diagnosis.evidence)
         lines.append("  blamed components:")
         for component, count in components.most_common():
-            lines.append(f"    {component} (x{count})")
+            why = evidence.get(component, "")
+            lines.append(
+                f"    {component} (x{count})"
+                + (f" -- {why}" if why else "")
+            )
     if not report.incidents:
         lines.append("  network healthy: no incidents in range")
     return "\n".join(lines)

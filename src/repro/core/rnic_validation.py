@@ -57,6 +57,19 @@ class RnicFinding:
             if "not offloaded" in item.reason
         )
 
+    def as_fields(self, examples: int = 3) -> Dict[str, object]:
+        """A JSON-serializable view of the finding (for trace events)."""
+        return {
+            "rnic": str(self.rnic),
+            "inconsistencies": len(self.inconsistencies),
+            "silently_invalidated": self.silently_invalidated,
+            "software_path_rules": self.software_path_rules,
+            "invalidation_count": self.invalidation_count,
+            "examples": [
+                item.reason for item in self.inconsistencies[:examples]
+            ],
+        }
+
 
 class RnicValidator:
     """Dumps and diffs OVS vs RNIC hardware flow tables."""

@@ -31,7 +31,9 @@ from repro.core.localization import LocalizationReport, Localizer
 from repro.core.pinglist import ProbePair
 from repro.core.skeleton import InferredSkeleton, SkeletonInference
 from repro.network.fabric import DataPlaneFabric
+from repro.obs.trace import TraceRecorder
 from repro.sim.engine import PeriodicTask, SimulationEngine
+from repro.sim.metrics import MetricRegistry
 
 __all__ = ["SkeletonHunter"]
 
@@ -52,17 +54,28 @@ class SkeletonHunter:
         handler=None,
         recovery=None,
         release_manager=None,
+        observability: Optional[TraceRecorder] = None,
     ) -> None:
         self.cluster = cluster
         self.engine = engine
         self.fabric = fabric
         self.orchestrator = orchestrator
         self.probe_interval_s = probe_interval_s
+        # Observability (§6 log-service dashboards): one shared recorder
+        # + metric registry threaded through every pipeline stage.  When
+        # absent, components skip all emission; the fabric's own registry
+        # still backs the probe counters and per-round series.
+        self.obs = observability
+        if observability is not None:
+            fabric.attach_metrics(observability.metrics)
         self.controller = Controller(
-            cluster, resources, release_manager=release_manager
+            cluster, resources, release_manager=release_manager,
+            recorder=observability,
         )
-        self.analyzer = Analyzer(detector_config or DetectorConfig())
-        self.localizer = Localizer(cluster, fabric)
+        self.analyzer = Analyzer(
+            detector_config or DetectorConfig(), recorder=observability
+        )
+        self.localizer = Localizer(cluster, fabric, recorder=observability)
         self.inference = inference or SkeletonInference()
         # Optional operational integrations (§8): alerting/blacklisting
         # and migration-based recovery react to each new report.
@@ -70,12 +83,19 @@ class SkeletonHunter:
         self.recovery = recovery
         self.reports: List[Tuple[float, LocalizationReport]] = []
         self._watched: Set[TaskId] = set()
-        self._localized_events: Set[int] = set()
+        self._localized_events: Set[Tuple[ProbePair, float]] = set()
         self._round_salt = 0
         self._probe_task: Optional[PeriodicTask] = None
 
         orchestrator.on_container_running(self._on_container_running)
         orchestrator.on_container_finished(self._on_container_finished)
+
+    @property
+    def metrics(self) -> MetricRegistry:
+        """The run's metric registry (shared with the fabric)."""
+        if self.obs is not None:
+            return self.obs.metrics
+        return self.fabric.metrics
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -130,6 +150,29 @@ class SkeletonHunter:
 
     def _probe_round(self) -> None:
         now = self.engine.now
+        if self.obs is not None and self.obs.enabled:
+            with self.obs.span("probe_round", sim_time=now) as span:
+                sent, lost, anomalies, opened = self._run_round(now)
+                span.set(
+                    probes_sent=sent, probes_lost=lost,
+                    anomalies=anomalies, events_opened=opened,
+                )
+            self.obs.event(
+                "round.complete", sim_time=now, probes_sent=sent,
+                probes_lost=lost, anomalies=anomalies,
+                events_opened=opened,
+                open_events=len(self.analyzer.open_events()),
+            )
+        else:
+            self._run_round(now)
+
+    def _run_round(self, now: float) -> Tuple[int, int, int, int]:
+        """One probing round; returns this round's (sent, lost,
+        anomalies, events-opened) deltas."""
+        sent0 = self.fabric.probes_sent
+        lost0 = self.fabric.probes_lost
+        anomalies0 = len(self.analyzer.anomalies)
+        opened0 = len(self.analyzer.events)
         for task_id in self.controller.monitored_tasks():
             for agent in self.controller.agents_of(task_id):
                 for result in agent.execute_round(
@@ -138,11 +181,25 @@ class SkeletonHunter:
                     self.analyzer.ingest(result)
         self.analyzer.flush(now)
         self._localize_new_events(now)
+        sent = self.fabric.probes_sent - sent0
+        lost = self.fabric.probes_lost - lost0
+        # The per-round series back windowed reporting (probes sent in a
+        # [start, end) range), so they are recorded even when tracing is
+        # off: one append per round is negligible next to the probes
+        # themselves.
+        registry = self.metrics
+        registry.series("probes.sent_in_round").record(now, sent)
+        registry.series("probes.lost_in_round").record(now, lost)
+        return (
+            sent, lost,
+            len(self.analyzer.anomalies) - anomalies0,
+            len(self.analyzer.events) - opened0,
+        )
 
     def _localize_new_events(self, now: float) -> None:
         fresh = [
             event for event in self.analyzer.open_events()
-            if id(event) not in self._localized_events
+            if event.key not in self._localized_events
         ]
         if not fresh:
             return
@@ -151,10 +208,12 @@ class SkeletonHunter:
             pair for pair in self._all_active_pairs()
             if pair not in failing_pairs
         ]
-        report = self.localizer.localize(fresh, healthy_pairs=healthy)
+        report = self.localizer.localize(
+            fresh, healthy_pairs=healthy, now=now
+        )
         self.reports.append((now, report))
         for event in fresh:
-            self._localized_events.add(id(event))
+            self._localized_events.add(event.key)
         if self.handler is not None:
             self.handler.handle(now, report)
         if self.recovery is not None:

@@ -58,6 +58,20 @@ class IntersectionResult:
         names.extend(str(link) for link in self.suspects)
         return names
 
+    def as_fields(self) -> Dict[str, object]:
+        """A JSON-serializable view of the vote (for trace events)."""
+        return {
+            "votes": {
+                str(link): count for link, count in sorted(
+                    self.votes.items(),
+                    key=lambda kv: (-kv[1], str(kv[0])),
+                )
+            },
+            "suspects": [str(link) for link in self.suspects],
+            "promoted_component": self.promoted_component,
+            "promoted_kind": self.promoted_kind,
+        }
+
 
 class PhysicalIntersection:
     """Counts link votes across failing paths and promotes suspects."""

@@ -27,6 +27,7 @@ from repro.cluster.topology import UnderlayPath
 from repro.network.faults import Effects, FaultInjector
 from repro.network.latency import LatencyModel, TransientCongestion
 from repro.network.packet import ProbeResult, flow_hash
+from repro.sim.metrics import MetricRegistry
 from repro.sim.rng import RngRegistry
 
 __all__ = ["DataPlaneFabric"]
@@ -42,14 +43,35 @@ class DataPlaneFabric:
         rng: RngRegistry,
         latency_model: Optional[LatencyModel] = None,
         congestion: Optional[TransientCongestion] = None,
+        metrics: Optional[MetricRegistry] = None,
     ) -> None:
         self.cluster = cluster
         self.injector = injector
         self.latency_model = latency_model or LatencyModel()
         self.congestion = congestion or TransientCongestion(rate=0.0)
         self._rng = rng.stream("fabric")
-        self.probes_sent = 0
-        self.probes_lost = 0
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+
+    def attach_metrics(self, metrics: MetricRegistry) -> None:
+        """Adopt a shared registry, folding in any counts so far.
+
+        Called when the fabric joins an observed SkeletonHunter after
+        construction; past ``probes.*`` counts are preserved.
+        """
+        if metrics is self.metrics:
+            return
+        metrics.merge_from(self.metrics)
+        self.metrics = metrics
+
+    @property
+    def probes_sent(self) -> int:
+        """Lifetime count of probes sent (backed by the registry)."""
+        return int(self.metrics.counter("probes.sent"))
+
+    @property
+    def probes_lost(self) -> int:
+        """Lifetime count of probes lost (backed by the registry)."""
+        return int(self.metrics.counter("probes.lost"))
 
     # ------------------------------------------------------------------
     # Probing
@@ -59,7 +81,7 @@ class DataPlaneFabric:
         self, src: EndpointId, dst: EndpointId, at: float, salt: int = 0
     ) -> ProbeResult:
         """Send one probe at simulated time ``at`` and observe its fate."""
-        self.probes_sent += 1
+        self.metrics.increment("probes.sent")
         overlay = self.cluster.overlay
         trace = overlay.trace(src, dst, install_missing=True)
         if overlay.is_registered(src) and overlay.is_registered(dst):
@@ -69,7 +91,7 @@ class DataPlaneFabric:
         fhash = flow_hash(src, dst, salt)
 
         if not trace.reached:
-            self.probes_lost += 1
+            self.metrics.increment("probes.lost")
             reason = "overlay forwarding loop" if trace.loop else (
                 f"overlay unreachable at {trace.failure_component}"
             )
@@ -97,7 +119,7 @@ class DataPlaneFabric:
         effects = effects.merge(overlay_extra)
 
         if effects.down:
-            self.probes_lost += 1
+            self.metrics.increment("probes.lost")
             return ProbeResult(
                 src=src, dst=dst, sent_at=at, lost=True,
                 reason="component down on path",
@@ -107,7 +129,7 @@ class DataPlaneFabric:
         if effects.loss_rate > 0 and float(
             self._rng.random()
         ) < effects.loss_rate:
-            self.probes_lost += 1
+            self.metrics.increment("probes.lost")
             return ProbeResult(
                 src=src, dst=dst, sent_at=at, lost=True,
                 reason="packet dropped on path",
@@ -116,6 +138,8 @@ class DataPlaneFabric:
             )
 
         software = trace.software_path or effects.force_software_path
+        if software:
+            self.metrics.increment("probes.software_path")
         latency = self.latency_model.sample_rtt_us(
             self._rng,
             num_links=path.hops,

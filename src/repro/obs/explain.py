@@ -1,0 +1,220 @@
+"""Explainable diagnoses: render the evidence chain behind a verdict.
+
+Fault-localization systems are only trusted when the evidence behind
+each blamed component is inspectable (Flock's votes, deTector's walk
+steps).  The localizer records its working — overlay walk steps,
+tomography votes per link, flow-table validation outcomes, host
+concentration counts — as trace events; this module re-assembles those
+events into the operator-readable chain for any
+:class:`~repro.core.localization.Diagnosis`.
+
+Without a recorder the explanation degrades gracefully to the one-line
+``evidence`` string the diagnosis has always carried.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.localization import Diagnosis, LocalizationReport
+
+__all__ = ["explain_diagnosis", "explain_report", "pair_label"]
+
+
+def pair_label(pair: Any) -> str:
+    """The canonical display form of a probe pair."""
+    return f"{pair.src}<->{pair.dst}"
+
+
+# ----------------------------------------------------------------------
+# Per-diagnosis explanation
+# ----------------------------------------------------------------------
+
+def explain_diagnosis(
+    diagnosis: "Diagnosis",
+    recorder: Optional[TraceRecorder] = None,
+) -> str:
+    """Render the full evidence chain behind one diagnosis."""
+    lines = [
+        f"diagnosis: {diagnosis.component} "
+        f"[{diagnosis.component_class.value}]",
+        f"  layer: {diagnosis.layer}, "
+        f"confidence: {diagnosis.confidence:.2f}",
+        f"  verdict: {diagnosis.evidence}",
+        "  failing pairs: " + ", ".join(
+            pair_label(p) for p in diagnosis.pairs
+        ),
+    ]
+    if recorder is None:
+        lines.append("  (no trace recorder attached: evidence chain "
+                     "unavailable)")
+        return "\n".join(lines)
+    chain = _evidence_lines(diagnosis, recorder)
+    if chain:
+        lines.append("  evidence chain:")
+        lines.extend("    " + line for line in chain)
+    detection = _detection_lines(diagnosis, recorder)
+    if detection:
+        lines.append("  triggering anomalies:")
+        lines.extend("    " + line for line in detection)
+    return "\n".join(lines)
+
+
+def _evidence_lines(
+    diagnosis: "Diagnosis", recorder: TraceRecorder
+) -> List[str]:
+    layer = diagnosis.layer
+    if layer == "overlay":
+        return _overlay_chain(diagnosis, recorder)
+    if layer == "underlay":
+        return _tomography_chain(diagnosis, recorder)
+    if layer == "rnic":
+        return _rnic_chain(diagnosis, recorder)
+    if layer == "host":
+        return _host_chain(diagnosis, recorder)
+    return []
+
+
+def _matching(
+    recorder: TraceRecorder, kind: str, diagnosis: "Diagnosis"
+) -> Optional[TraceEvent]:
+    """The latest ``kind`` event that blamed this diagnosis's component."""
+    component = diagnosis.component
+    for event in reversed(recorder.events(kind)):
+        blamed = event.fields.get("components")
+        if blamed is None:
+            blamed = [event.fields.get("component")]
+        if component in blamed:
+            return event
+    return None
+
+
+def _overlay_chain(
+    diagnosis: "Diagnosis", recorder: TraceRecorder
+) -> List[str]:
+    event = _matching(recorder, "localize.overlay", diagnosis)
+    if event is None:
+        return []
+    fields = event.fields
+    lines = [
+        f"overlay walk for {fields.get('pair')} "
+        f"(reached={fields.get('reached')}, loop={fields.get('loop')}):"
+    ]
+    for step in fields.get("steps", []):
+        marker = "ok " if step.get("ok") else "XX "
+        note = f"  ({step['note']})" if step.get("note") else ""
+        lines.append(f"  {marker}{step.get('component')}{note}")
+    return lines
+
+
+def _tomography_chain(
+    diagnosis: "Diagnosis", recorder: TraceRecorder
+) -> List[str]:
+    event = _matching(recorder, "localize.tomography", diagnosis)
+    if event is None:
+        return []
+    fields = event.fields
+    votes: Dict[str, int] = fields.get("votes", {})
+    lines = [
+        f"tomography over {fields.get('failing_paths')} failing paths "
+        f"({fields.get('group')} symptoms, "
+        f"exonerate={fields.get('exonerate')}, "
+        f"{fields.get('healthy_paths')} healthy paths):"
+    ]
+    for link, count in sorted(
+        votes.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        suspect = " <- suspect" if link in fields.get("suspects", []) else ""
+        lines.append(f"  {count} vote(s): {link}{suspect}")
+    promoted = fields.get("promoted_component")
+    if promoted:
+        lines.append(
+            f"  promoted to {fields.get('promoted_kind')}: {promoted}"
+        )
+    return lines
+
+
+def _rnic_chain(
+    diagnosis: "Diagnosis", recorder: TraceRecorder
+) -> List[str]:
+    event = _matching(recorder, "localize.rnic", diagnosis)
+    if event is None:
+        return []
+    fields = event.fields
+    lines = [
+        f"flow-table validation of {fields.get('rnic')} "
+        f"(pair {fields.get('pair')}):",
+        f"  {fields.get('inconsistencies')} OVS/RNIC inconsistencies, "
+        f"{fields.get('silently_invalidated')} silently invalidated, "
+        f"{fields.get('software_path_rules')} stuck on software path",
+    ]
+    for reason in fields.get("examples", []):
+        lines.append(f"  e.g. {reason}")
+    return lines
+
+
+def _host_chain(
+    diagnosis: "Diagnosis", recorder: TraceRecorder
+) -> List[str]:
+    event = _matching(recorder, "localize.host", diagnosis)
+    if event is None:
+        return []
+    votes: Dict[str, int] = event.fields.get("votes", {})
+    lines = ["failing-endpoint concentration per host:"]
+    for host, count in sorted(
+        votes.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        lines.append(f"  {count} endpoint(s): {host}")
+    return lines
+
+
+def _detection_lines(
+    diagnosis: "Diagnosis", recorder: TraceRecorder, limit: int = 4
+) -> List[str]:
+    pairs = {pair_label(p) for p in diagnosis.pairs}
+    matches = [
+        e for e in recorder.events("detect.anomaly")
+        if e.fields.get("pair") in pairs
+    ]
+    lines = [
+        f"@{e.sim_time:.0f}s {e.fields.get('pair')}: "
+        f"{e.fields.get('symptom')} via {e.fields.get('detector')} "
+        f"(score {e.fields.get('score', 0.0):.2f}"
+        + (
+            f", threshold {e.fields.get('threshold'):.2f})"
+            if e.fields.get("threshold") is not None else ")"
+        )
+        for e in matches[:limit]
+    ]
+    if len(matches) > limit:
+        lines.append(f"... and {len(matches) - limit} more")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Whole-report explanation
+# ----------------------------------------------------------------------
+
+def explain_report(
+    report: "LocalizationReport",
+    recorder: Optional[TraceRecorder] = None,
+) -> str:
+    """Render every diagnosis in a localization report, with evidence."""
+    if not report.diagnoses and not report.unexplained:
+        return "nothing to explain: no diagnoses and no unexplained events"
+    sections = [
+        explain_diagnosis(diagnosis, recorder)
+        for diagnosis in report.diagnoses
+    ]
+    if report.unexplained:
+        lines = ["unexplained failure events:"]
+        for event in report.unexplained:
+            lines.append(
+                f"  {pair_label(event.pair)} ({event.symptom.value} "
+                f"since {event.first_detected_at:.0f}s)"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -25,6 +25,7 @@ from repro.network.fabric import DataPlaneFabric
 from repro.network.faults import Fault, FaultInjector
 from repro.network.issues import IssueType
 from repro.network.latency import LatencyModel, TransientCongestion
+from repro.obs.trace import TraceRecorder
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngRegistry
 from repro.training.parallelism import ParallelismConfig
@@ -49,6 +50,7 @@ class MonitoredScenario:
     task: TrainingTask
     workload: TrainingWorkload
     generator: TrafficGenerator
+    observability: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     # Convenience operations
@@ -115,6 +117,8 @@ def build_scenario(
     instant_startup: bool = True,
     start_monitoring: bool = True,
     iteration_period_s: float = 30.0,
+    observe: bool = False,
+    observability: Optional[TraceRecorder] = None,
 ) -> MonitoredScenario:
     """Build a monitored training task end to end.
 
@@ -144,15 +148,19 @@ def build_scenario(
     rng = RngRegistry(seed)
     orchestrator = Orchestrator(cluster, engine, rng, startup_model)
     injector = FaultInjector(cluster)
+    if observability is None and observe:
+        observability = TraceRecorder()
     fabric = DataPlaneFabric(
         cluster, injector, rng,
         latency_model=latency_model, congestion=congestion,
+        metrics=observability.metrics if observability else None,
     )
     hunter = SkeletonHunter(
         cluster, engine, fabric, orchestrator,
         detector_config=detector_config,
         probe_interval_s=probe_interval_s,
         inference=inference,
+        observability=observability,
     )
 
     task = orchestrator.submit_task(
@@ -178,4 +186,5 @@ def build_scenario(
         topology=topology, cluster=cluster, engine=engine, rng=rng,
         orchestrator=orchestrator, injector=injector, fabric=fabric,
         hunter=hunter, task=task, workload=workload, generator=generator,
+        observability=observability,
     )

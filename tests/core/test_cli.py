@@ -55,3 +55,65 @@ class TestCampaign:
         output = capsys.readouterr().out
         assert code == 0
         assert "detected 19/19" in output
+
+
+_SCENARIO_ARGS = ["--containers", "4", "--gpus", "4",
+                  "--seed", "2", "--faults", "1"]
+
+
+class TestStatus:
+    def test_status_prints_counters_and_timings(self, capsys):
+        code = main(["status"] + _SCENARIO_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "counters:" in output
+        assert "probes.sent" in output
+        assert "anomalies.detected" in output
+        assert "pipeline timings" in output
+        assert "probe_round" in output
+
+
+class TestTrace:
+    def test_trace_dumps_jsonl_to_stdout(self, capsys):
+        from repro.obs.export import load_jsonl
+
+        code = main(["trace"] + _SCENARIO_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        rows = load_jsonl(output)
+        assert rows
+        types = {row["type"] for row in rows}
+        assert types == {"event", "span"}
+
+    def test_trace_writes_file(self, capsys, tmp_path):
+        from repro.obs.export import load_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        code = main(["trace", "--out", str(path)] + _SCENARIO_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in output
+        assert load_jsonl(path.read_text())
+
+    def test_trace_explain_renders_evidence_chains(self, capsys):
+        code = main(["trace", "--explain"] + _SCENARIO_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "localization @" in output
+        assert "diagnosis:" in output
+        assert "evidence chain:" in output
+        assert "triggering anomalies:" in output
+
+
+class TestExportMetrics:
+    def test_export_is_valid_prometheus_text(self, capsys):
+        from repro.obs.export import parse_prometheus
+
+        code = main(["export-metrics"] + _SCENARIO_ARGS)
+        output = capsys.readouterr().out
+        assert code == 0
+        parsed = parse_prometheus(output)
+        sent = parsed["skeletonhunter_probes_sent_total"]
+        assert sent[0] == "counter"
+        assert sent[1] > 0
+        assert "skeletonhunter_anomalies_detected_total" in parsed

@@ -76,3 +76,40 @@ class TestRenderReport:
         assert code == 0
         assert "incident report" in output
         assert "blamed components" in output
+
+
+class TestWindowedProbeCounts:
+    def test_full_range_matches_lifetime_totals(self, run_with_fault):
+        report = build_report(run_with_fault.hunter)
+        assert report.probes_windowed
+        assert report.probes_sent == run_with_fault.fabric.probes_sent
+        assert report.probes_lost == run_with_fault.fabric.probes_lost
+
+    def test_subrange_counts_only_its_own_probes(self, run_with_fault):
+        full = build_report(run_with_fault.hunter)
+        first = build_report(run_with_fault.hunter, start=0.0, end=100.0)
+        rest = build_report(run_with_fault.hunter, start=100.0)
+        assert first.probes_windowed and rest.probes_windowed
+        assert 0 < first.probes_sent < full.probes_sent
+        assert first.probes_sent + rest.probes_sent == full.probes_sent
+        assert first.probes_lost + rest.probes_lost == full.probes_lost
+
+    def test_losses_fall_in_the_faulty_range(self, run_with_fault):
+        # The fault ran from 150s to 210s: a window before it sees no
+        # losses, the window around it sees them all.
+        before = build_report(run_with_fault.hunter, start=0.0, end=150.0)
+        during = build_report(run_with_fault.hunter, start=150.0, end=220.0)
+        assert before.probes_lost == 0
+        assert during.probes_lost > 0
+
+    def test_evicted_series_falls_back_to_lifetime(self, run_with_fault):
+        hunter = run_with_fault.hunter
+        series = hunter.metrics.series("probes.sent_in_round")
+        # Simulate bounded retention having evicted early rounds.
+        series.max_samples = 5
+        series.record(hunter.engine.now, 0.0)
+        assert not series.complete_since(0.0)
+        report = build_report(hunter)
+        assert not report.probes_windowed
+        assert report.probes_sent == hunter.fabric.probes_sent
+        assert "lifetime" in render_report(report)
