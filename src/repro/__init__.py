@@ -16,6 +16,8 @@ The package is organized bottom-up:
 * :mod:`repro.core` — SkeletonHunter itself: phased ping lists, traffic
   skeleton inference, anomaly detection, Algorithm-1 localization, and
   the :class:`~repro.core.system.SkeletonHunter` facade;
+* :mod:`repro.verify` — static fabric-verification passes and the
+  determinism lint (``python -m repro.verify [--lint]``);
 * :mod:`repro.baselines` — Pingmesh, deTector, and R-Pingmesh baselines;
 * :mod:`repro.workloads` — production-statistics models and one-call
   monitored scenarios.
@@ -87,6 +89,13 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.sim import MetricRegistry, RngRegistry, SimulationEngine, TimeSeries
+from repro.verify import (
+    FabricVerificationError,
+    FabricVerifier,
+    Finding,
+    VerificationContext,
+    VerifierReport,
+)
 from repro.training import (
     ParallelismConfig,
     TrafficGenerator,
@@ -115,9 +124,12 @@ __all__ = [
     "DetectorConfig",
     "Diagnosis",
     "EndpointId",
+    "FabricVerificationError",
+    "FabricVerifier",
     "FailureEvent",
     "Fault",
     "FaultInjector",
+    "Finding",
     "HostId",
     "InferredSkeleton",
     "IssueType",
@@ -150,6 +162,8 @@ __all__ = [
     "TrainingTask",
     "TrainingWorkload",
     "TransientCongestion",
+    "VerificationContext",
+    "VerifierReport",
     "build_scenario",
     "estimate_round_duration",
     "explain_diagnosis",

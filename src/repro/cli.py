@@ -9,6 +9,7 @@ Usage::
     python -m repro status [--faults N]
     python -m repro trace [--faults N] [--out FILE] [--explain]
     python -m repro export-metrics [--faults N]
+    python -m repro verify [--issue NAME] [--lint [paths...]]
 
 ``demo`` monitors one training task, applies skeleton inference, injects
 an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
@@ -21,6 +22,10 @@ enabled and surface the run from the operator's side (§6 dashboards):
 counters and pipeline timings, ``trace`` the JSONL event/span trace
 (``--explain`` renders the evidence chain behind every diagnosis), and
 ``export-metrics`` the registry in Prometheus text format.
+
+``verify`` runs the static fabric-verification passes (zero findings on
+a healthy default cluster; injected inconsistencies are named by
+component) or, with ``--lint``, the determinism lint over the source.
 """
 
 from __future__ import annotations
@@ -109,6 +114,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "metrics in Prometheus text format"
     )
     add_scenario_args(export)
+
+    verify = commands.add_parser(
+        "verify", help="statically verify a constructed fabric "
+        "(or run the determinism lint with --lint)"
+    )
+    from repro.verify.cli import add_verify_arguments
+
+    add_verify_arguments(verify)
     return parser
 
 
@@ -316,6 +329,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "export-metrics":
         return _run_export_metrics(args)
+    if args.command == "verify":
+        from repro.verify.cli import run_lint, run_verify
+
+        return run_lint(args) if args.lint else run_verify(args)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.host import HostAllocation
-from repro.cluster.identifiers import ContainerId, EndpointId, TaskId, VfId
+from repro.cluster.identifiers import (
+    ContainerId,
+    EndpointId,
+    HostId,
+    TaskId,
+    VfId,
+)
 
 __all__ = [
     "Container",
@@ -66,7 +72,7 @@ class Container:
     finished_at: Optional[float] = None
 
     @property
-    def host(self):
+    def host(self) -> HostId:
         """The host this container is placed on."""
         return self.allocation.host
 

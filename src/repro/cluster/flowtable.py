@@ -92,7 +92,24 @@ class FlowTable:
         return len(self._rules)
 
     def install(self, key: FlowKey, action: FlowAction) -> FlowRule:
-        """Install (or replace) the rule for ``key``."""
+        """Install the rule for ``key``; last write wins.
+
+        Duplicate-key semantics, which the cluster-wide
+        ``flowtable.offload_consistency`` verification pass relies on:
+
+        * same ``action`` again → idempotent; the existing rule (with
+          its hit counters and offload bookkeeping) is returned
+          unchanged, so a redundant re-install cannot silently strand
+          a hardware copy;
+        * a **different** ``action`` → the rule is replaced wholesale
+          and its offload state reset — the caller must re-offload,
+          exactly as a real OVS revalidation would.  Any hardware copy
+          left behind under the old action is a genuine inconsistency,
+          and the verifier reports it against the stale RNIC cache.
+        """
+        existing = self._rules.get(key)
+        if existing is not None and existing.action == action:
+            return existing
         rule = FlowRule(key=key, action=action)
         self._rules[key] = rule
         return rule

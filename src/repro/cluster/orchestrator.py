@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.cluster.container import Container, ContainerState, TrainingTask
 from repro.cluster.host import Host
-from repro.cluster.identifiers import ContainerId, HostId, TaskId
+from repro.cluster.identifiers import ContainerId, HostId, RnicId, TaskId
 from repro.cluster.overlay import OverlayNetwork
 from repro.cluster.topology import RailOptimizedTopology
 from repro.sim.engine import SimulationEngine
@@ -55,7 +57,7 @@ class Cluster:
             raise PlacementError(f"unknown host {host_id}")
         return self.hosts[host_id]
 
-    def underlay_ips_of(self, host_id: HostId) -> Dict:
+    def underlay_ips_of(self, host_id: HostId) -> Dict[RnicId, str]:
         """Map each physical RNIC of ``host_id`` to its underlay IP."""
         host = self.host(host_id)
         return {rnic.id: rnic.underlay_ip for rnic in host.rnics}
@@ -79,7 +81,9 @@ class StartupModel:
     jitter_scale_s: float = 30.0
     size_factor: float = 0.05
 
-    def sample(self, rng, rank: int, task_size: int) -> float:
+    def sample(
+        self, rng: np.random.Generator, rank: int, task_size: int
+    ) -> float:
         """Startup delay in seconds for the ``rank``-th container."""
         jitter = self.jitter_scale_s * float(rng.lognormal(
             mean=0.0, sigma=self.jitter_sigma

@@ -240,6 +240,34 @@ class OverlayNetwork:
         """Flow-table item counts per host (the paper's Figure 6)."""
         return {host: len(table) for host, table in self._ovs.items()}
 
+    # ------------------------------------------------------------------
+    # Read-only inventory (the surface the static verifier inspects)
+    # ------------------------------------------------------------------
+
+    def hosts_with_tables(self) -> List[HostId]:
+        """Hosts that have materialized an OVS table, sorted."""
+        return sorted(self._ovs)
+
+    def offload_rnics(self) -> List[RnicId]:
+        """RNICs that have materialized a hardware flow cache, sorted."""
+        return sorted(self._offload)
+
+    def attached_endpoints(self) -> List[EndpointId]:
+        """Every endpoint currently attached to the overlay, sorted."""
+        return sorted(self._endpoints)
+
+    def underlay_map(self) -> Dict[str, RnicId]:
+        """Copy of the underlay-IP -> RNIC resolution table."""
+        return dict(self._by_underlay_ip)
+
+    def rnic_underlay_ips(self) -> Dict[RnicId, str]:
+        """Copy of the RNIC -> underlay-IP mapping (VTEP addresses)."""
+        return dict(self._underlay_ip_of_rnic)
+
+    def task_vnis(self) -> Dict[TaskId, int]:
+        """Copy of the task -> VNI assignment."""
+        return dict(self._task_vni)
+
     def health(self, component: str) -> ComponentHealth:
         """Mutable health flags for a named overlay component."""
         if component not in self._health:

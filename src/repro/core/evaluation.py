@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cluster.container import Container
 from repro.cluster.identifiers import HostId, LinkId, RnicId, SwitchId
 from repro.cluster.orchestrator import Cluster
+from repro.cluster.overlay import OverlayError
 from repro.core.analyzer import FailureEvent
 from repro.core.localization import LocalizationReport
 from repro.core.pinglist import ProbePair
@@ -42,7 +43,7 @@ def fault_affects_pair(
     try:
         src_rnic = overlay.rnic_of(pair.src)
         dst_rnic = overlay.rnic_of(pair.dst)
-    except Exception:
+    except (OverlayError, KeyError):
         return False
 
     if isinstance(target, RnicId):

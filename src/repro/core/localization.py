@@ -27,9 +27,9 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.identifiers import EndpointId, RnicId
+from repro.cluster.identifiers import EndpointId, HostId, RnicId
 from repro.cluster.orchestrator import Cluster
-from repro.cluster.overlay import OverlayTrace
+from repro.cluster.overlay import OverlayError, OverlayTrace
 from repro.cluster.topology import UnderlayPath
 from repro.core.analyzer import FailureEvent
 from repro.core.pinglist import ProbePair
@@ -559,16 +559,16 @@ class Localizer:
     # Helpers
     # ------------------------------------------------------------------
 
-    def _host_of_endpoint(self, endpoint: EndpointId):
+    def _host_of_endpoint(self, endpoint: EndpointId) -> Optional[HostId]:
         try:
             return self.cluster.overlay.record_of(endpoint).host
-        except Exception:
+        except OverlayError:
             return None
 
     def _rnic_of_endpoint(self, endpoint: EndpointId) -> Optional[RnicId]:
         try:
             return self.cluster.overlay.rnic_of(endpoint)
-        except Exception:
+        except OverlayError:
             return None
 
     @staticmethod

@@ -55,6 +55,7 @@ class SkeletonHunter:
         recovery=None,
         release_manager=None,
         observability: Optional[TraceRecorder] = None,
+        verify_on_start: bool = False,
     ) -> None:
         self.cluster = cluster
         self.engine = engine
@@ -86,6 +87,8 @@ class SkeletonHunter:
         self._localized_events: Set[Tuple[ProbePair, float]] = set()
         self._round_salt = 0
         self._probe_task: Optional[PeriodicTask] = None
+        self.verify_on_start = verify_on_start
+        self.last_verification = None  # most recent VerifierReport
 
         orchestrator.on_container_running(self._on_container_running)
         orchestrator.on_container_finished(self._on_container_finished)
@@ -110,10 +113,43 @@ class SkeletonHunter:
         for container in task.running_containers():
             self.controller.on_container_running(container, self.engine.now)
 
+    def verify_fabric(self, workload=None, strict: bool = True):
+        """Statically verify the fabric before (or instead of) probing.
+
+        Runs the default :mod:`repro.verify` pass pipeline against this
+        system's cluster, ping lists, and (optionally) ``workload``.
+        With ``strict`` (the default), ERROR findings raise
+        :class:`~repro.verify.framework.FabricVerificationError` so a
+        misconfigured fabric is rejected before the first probe round.
+        Returns the :class:`~repro.verify.framework.VerifierReport`.
+        """
+        # Imported lazily: repro.verify deliberately never imports
+        # repro.core, and core only needs it on this path.
+        from repro.verify.framework import (
+            FabricVerificationError,
+            FabricVerifier,
+            VerificationContext,
+        )
+
+        verifier = FabricVerifier(recorder=self.obs)
+        report = verifier.verify(VerificationContext(
+            cluster=self.cluster, hunter=self, workload=workload,
+        ))
+        self.last_verification = report
+        if strict and report.errors():
+            raise FabricVerificationError(report)
+        return report
+
     def start(self, first_round_at: Optional[float] = None) -> None:
-        """Arm the periodic probing loop on the simulation clock."""
+        """Arm the periodic probing loop on the simulation clock.
+
+        With ``verify_on_start``, the fabric is statically verified
+        first and a fabric with ERROR findings refuses to start.
+        """
         if self._probe_task is not None and not self._probe_task.stopped:
             return
+        if self.verify_on_start:
+            self.verify_fabric()
         self._probe_task = self.engine.schedule_periodic(
             self.probe_interval_s,
             self._probe_round,

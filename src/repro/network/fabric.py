@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.cluster.identifiers import EndpointId
+from repro.cluster.identifiers import EndpointId, RnicId
 from repro.cluster.orchestrator import Cluster
 from repro.cluster.overlay import ovs_name, veth_name, vtep_name
 from repro.cluster.topology import UnderlayPath
@@ -156,7 +156,11 @@ class DataPlaneFabric:
         )
 
     def _overlay_extras(
-        self, src: EndpointId, dst: EndpointId, src_rnic, dst_rnic
+        self,
+        src: EndpointId,
+        dst: EndpointId,
+        src_rnic: RnicId,
+        dst_rnic: RnicId,
     ) -> Effects:
         """Latency/loss contributed by overlay component health flags."""
         overlay = self.cluster.overlay

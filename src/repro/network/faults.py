@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.cluster.container import Container
 from repro.cluster.identifiers import (
+    ContainerId,
     HostId,
     LinkId,
     RnicId,
@@ -42,7 +43,7 @@ def host_component(host: HostId) -> str:
     return f"host:{host}"
 
 
-def container_component(container_id) -> str:
+def container_component(container_id: ContainerId) -> str:
     """Ground-truth component name for container-runtime faults."""
     return f"container:{container_id}"
 

@@ -1,0 +1,196 @@
+"""Flow-table passes: Batfish-style cross-table consistency.
+
+The paper's Figure-18 case study hinges on the OVS software table and
+the RNIC hardware cache agreeing: the RNIC silently invalidated an
+offloaded flow, packets fell back to the software path, and latency
+jumped 16 µs → 120 µs.  :func:`repro.cluster.flowtable.diff_tables`
+diffs one (OVS, RNIC) pair at runtime; this pass generalizes the same
+contract to the *whole cluster* statically:
+
+* every OVS rule marked ``offloaded`` resolves in **exactly one** RNIC
+  cache on its host — the one named by ``offloaded_to``;
+* the hardware copy carries the **same action** as the software rule;
+* no RNIC cache holds a rule with no OVS counterpart (stale hardware
+  entry) or one its host's OVS table does not claim to have offloaded
+  (unaccounted hardware rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.flowtable import FlowKey, FlowRule
+from repro.cluster.identifiers import HostId, RnicId
+from repro.verify.framework import (
+    PassResult,
+    Severity,
+    VerificationContext,
+    VerificationPass,
+)
+
+__all__ = ["OffloadConsistencyPass"]
+
+
+class OffloadConsistencyPass(VerificationPass):
+    """Cluster-wide OVS ↔ RNIC offload-cache agreement."""
+
+    name = "flowtable.offload_consistency"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        overlay = context.cluster.overlay
+        # Hardware state, grouped by the host the RNIC lives on.
+        hw_by_host: Dict[HostId, Dict[RnicId, Dict[FlowKey, FlowRule]]] = {}
+        for rnic in overlay.offload_rnics():
+            table = overlay.offload_table(rnic)
+            hw_by_host.setdefault(rnic.host, {})[rnic] = {
+                rule.key: rule for rule in table.rules()
+            }
+
+        claimed: Dict[RnicId, set] = {}  # keys OVS says each RNIC holds
+        for host in overlay.hosts_with_tables():
+            ovs = overlay.ovs_table(host)
+            host_hw = hw_by_host.get(host, {})
+            for rule in ovs.rules():
+                result.checked += 1
+                if rule.offloaded:
+                    self._check_offloaded(
+                        result, host, rule, host_hw, claimed
+                    )
+                else:
+                    self._check_software(result, host, rule, host_hw)
+
+        # Reverse direction: every hardware rule must be claimed by the
+        # host's OVS table.
+        for host, tables in sorted(hw_by_host.items()):
+            ovs = overlay.ovs_table(host)
+            for rnic, rules in sorted(tables.items()):
+                for key, hw_rule in sorted(rules.items()):
+                    result.checked += 1
+                    sw = ovs.lookup(key)
+                    if sw is None:
+                        self.finding(
+                            result, rnic,
+                            f"stale hardware rule [{key}] has no OVS "
+                            "counterpart on its host",
+                            details=[
+                                f"host {host} OVS table has no rule "
+                                f"for {key}",
+                                "hardware serves a flow the control "
+                                "plane no longer knows",
+                            ],
+                        )
+                    elif key not in claimed.get(rnic, set()):
+                        self.finding(
+                            result, rnic,
+                            f"unaccounted hardware rule [{key}]: the "
+                            "host's OVS table does not claim this "
+                            "RNIC holds it",
+                            details=[
+                                f"OVS rule offloaded="
+                                f"{sw.offloaded}, offloaded_to="
+                                f"{sw.offloaded_to}",
+                            ],
+                            severity=Severity.WARNING,
+                        )
+        return result
+
+    def _check_offloaded(
+        self,
+        result: PassResult,
+        host: HostId,
+        rule: FlowRule,
+        host_hw: Dict[RnicId, Dict[FlowKey, FlowRule]],
+        claimed: Dict[RnicId, set],
+    ) -> None:
+        if rule.offloaded_to is None:
+            self.finding(
+                result, f"ovs:{host}",
+                f"rule [{rule.key}] marked offloaded but names no "
+                "RNIC (offloaded_to unset)",
+            )
+            return
+        holders = [
+            rnic for rnic, rules in host_hw.items()
+            if rule.key in rules
+        ]
+        target = next(
+            (r for r in host_hw if str(r) == rule.offloaded_to), None
+        )
+        if target is None:
+            self.finding(
+                result, rule.offloaded_to,
+                f"rule [{rule.key}] marked offloaded to "
+                f"{rule.offloaded_to}, but that RNIC has no hardware "
+                "cache on this host",
+                details=[
+                    f"host {host} caches: "
+                    + (", ".join(str(r) for r in sorted(host_hw))
+                       or "(none)"),
+                ],
+            )
+            return
+        if target not in holders:
+            self.finding(
+                result, rule.offloaded_to,
+                f"rule [{rule.key}] marked offloaded in OVS but "
+                "absent from the RNIC cache (silent invalidation)",
+                details=[
+                    f"OVS on {host} believes {rule.offloaded_to} "
+                    "holds the rule",
+                    "packets for this flow fall back to the software "
+                    "path (Figure-18 failure mode)",
+                ],
+            )
+        else:
+            hw_rule = host_hw[target][rule.key]
+            if hw_rule.action != rule.action:
+                self.finding(
+                    result, rule.offloaded_to,
+                    f"hardware action for [{rule.key}] differs from "
+                    "the OVS action",
+                    details=[
+                        f"OVS:  {rule.action}",
+                        f"RNIC: {hw_rule.action}",
+                        "hardware forwards this flow differently "
+                        "from the control plane's intent",
+                    ],
+                )
+            # Claimed even on an action mismatch: that divergence has
+            # its own finding above and is not *also* unaccounted.
+            claimed.setdefault(target, set()).add(rule.key)
+        extra = [r for r in holders if r != target]
+        for rnic in sorted(extra):
+            self.finding(
+                result, rnic,
+                f"rule [{rule.key}] resolves in more than one RNIC "
+                f"cache on {host} (offloaded_to names "
+                f"{rule.offloaded_to})",
+                details=[
+                    "an offloaded rule must live in exactly one "
+                    "hardware cache per host",
+                ],
+            )
+
+    def _check_software(
+        self,
+        result: PassResult,
+        host: HostId,
+        rule: FlowRule,
+        host_hw: Dict[RnicId, Dict[FlowKey, FlowRule]],
+    ) -> None:
+        holders = [
+            rnic for rnic, rules in host_hw.items()
+            if rule.key in rules
+        ]
+        for rnic in sorted(holders):
+            self.finding(
+                result, rnic,
+                f"rule [{rule.key}] is not marked offloaded, yet "
+                "this RNIC's cache holds it",
+                details=[
+                    "OVS would re-punt first packets while hardware "
+                    "short-circuits them: state divergence",
+                ],
+                severity=Severity.WARNING,
+            )

@@ -1,0 +1,363 @@
+"""Determinism lint: an AST checker for the simulator's own code.
+
+Reproducible simulation is a *code* property, not just a seed: one call
+to ``time.time()`` or ``np.random.rand()`` in a hot path silently
+breaks run-for-run determinism, and a broad ``except`` in the
+localization core can swallow the very model-drift errors static
+verification exists to surface.  This linter walks the AST of
+``src/repro`` and enforces:
+
+``wall-clock``
+    No ``time.time``/``time.time_ns`` and no ``datetime.now`` /
+    ``utcnow`` / ``today`` anywhere in sim code.  Monotonic timers
+    (``time.perf_counter``, ``time.monotonic``) stay allowed — the
+    observability layer measures wall *durations* with them, which
+    never feeds back into simulated behaviour.
+
+``unseeded-random``
+    No stdlib ``random`` at all, and no ``np.random.<fn>`` module-level
+    calls outside ``sim/rng.py`` (the one place seeded generators are
+    minted).  Passing ``np.random.Generator`` objects around is fine —
+    the rule targets the *global* generators.
+
+``broad-except``
+    No bare ``except:`` and no ``except Exception/BaseException`` in
+    ``core/`` — handlers there must name the failure they expect and
+    let everything else propagate.
+
+``mutable-default``
+    No list/dict/set literals (or ``list()``/``dict()``/``set()``
+    calls) as default argument values.
+
+A trailing ``# lint: allow(<rule>)`` comment suppresses one line; the
+shipped tree carries zero suppressions, and the pytest in
+``tests/verify/test_lint.py`` keeps it that way.  Run standalone with
+``python -m repro.verify --lint [paths...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DeterminismLinter",
+    "LintViolation",
+    "default_lint_root",
+    "lint_paths",
+]
+
+_WALL_CLOCK = "wall-clock"
+_UNSEEDED = "unseeded-random"
+_BROAD_EXCEPT = "broad-except"
+_MUTABLE_DEFAULT = "mutable-default"
+
+#: Dotted-call suffixes that read the wall clock.
+_WALL_CLOCK_CALLS = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Module-level numpy randomness roots (``np.random.rand`` etc.).
+_NP_RANDOM_ROOTS = ("np.random.", "numpy.random.")
+
+#: Files (relative, ``/``-separated suffixes) allowed to touch the
+#: global numpy RNG machinery: the seeded-stream registry itself.
+_RNG_EXEMPT_SUFFIXES = ("sim/rng.py",)
+
+#: Directories (path fragments) where broad excepts are forbidden.
+_BROAD_EXCEPT_SCOPE = ("core",)
+
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a precise source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The ``path:line:col: rule: message`` display form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    """Collects violations for one module."""
+
+    def __init__(
+        self,
+        path: str,
+        rng_exempt: bool,
+        broad_except_scoped: bool,
+        allowed: Dict[int, set],
+    ) -> None:
+        self.path = path
+        self.rng_exempt = rng_exempt
+        self.broad_except_scoped = broad_except_scoped
+        self.allowed = allowed
+        self.violations: List[LintViolation] = []
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(
+        self, node: ast.AST, rule: str, message: str
+    ) -> None:
+        line = getattr(node, "lineno", 0)
+        if rule in self.allowed.get(line, set()):
+            return
+        self.violations.append(LintViolation(
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        ))
+
+    # -- calls: wall clock and randomness ------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        for forbidden in _WALL_CLOCK_CALLS:
+            if dotted == forbidden or dotted.endswith("." + forbidden):
+                self._emit(
+                    node, _WALL_CLOCK,
+                    f"call to {dotted}() reads the wall clock; sim "
+                    "code must take time from the simulation engine",
+                )
+                return
+        if dotted.startswith("random.") or dotted == "random.random":
+            self._emit(
+                node, _UNSEEDED,
+                f"call to {dotted}() uses the global stdlib RNG; "
+                "draw from a named RngRegistry stream instead",
+            )
+            return
+        if not self.rng_exempt:
+            for root in _NP_RANDOM_ROOTS:
+                if dotted.startswith(root):
+                    self._emit(
+                        node, _UNSEEDED,
+                        f"call to {dotted}() touches numpy's global "
+                        "RNG machinery outside sim/rng.py; draw from "
+                        "a named RngRegistry stream instead",
+                    )
+                    return
+
+    # -- stdlib random imports -----------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._emit(
+                    node, _UNSEEDED,
+                    "stdlib 'random' imported; sim code must use "
+                    "seeded RngRegistry streams",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._emit(
+                node, _UNSEEDED,
+                "stdlib 'random' imported; sim code must use seeded "
+                "RngRegistry streams",
+            )
+        self.generic_visit(node)
+
+    # -- broad except --------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.broad_except_scoped:
+            broad = self._broad_name(node.type)
+            if broad is not None:
+                self._emit(
+                    node, _BROAD_EXCEPT,
+                    f"{broad} swallows unexpected failures; catch the "
+                    "narrow exception the callee actually raises",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _broad_name(node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return "bare 'except:'"
+        names: Iterable[ast.AST]
+        if isinstance(node, ast.Tuple):
+            names = node.elts
+        else:
+            names = (node,)
+        for element in names:
+            dotted = _dotted_name(element)
+            if dotted in ("Exception", "BaseException"):
+                return f"'except {dotted}'"
+        return None
+
+    # -- mutable defaults ----------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self._emit(
+                    default, _MUTABLE_DEFAULT,
+                    "mutable default argument is shared across calls; "
+                    "use None plus an in-body fallback",
+                )
+
+
+def _allowed_lines(source: str) -> Dict[int, set]:
+    """Per-line rule suppressions from ``# lint: allow(rule)`` comments."""
+    allowed: Dict[int, set] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        marker = "# lint: allow("
+        index = text.find(marker)
+        if index < 0:
+            continue
+        rest = text[index + len(marker):]
+        close = rest.find(")")
+        if close < 0:
+            continue
+        rules = {r.strip() for r in rest[:close].split(",") if r.strip()}
+        allowed[number] = rules
+    return allowed
+
+
+class DeterminismLinter:
+    """Walks python sources and applies the determinism rules."""
+
+    def __init__(
+        self,
+        rng_exempt_suffixes: Sequence[str] = _RNG_EXEMPT_SUFFIXES,
+        broad_except_scope: Sequence[str] = _BROAD_EXCEPT_SCOPE,
+    ) -> None:
+        self.rng_exempt_suffixes = tuple(rng_exempt_suffixes)
+        self.broad_except_scope = tuple(broad_except_scope)
+
+    # -- entry points --------------------------------------------------
+
+    def lint_source(self, source: str, path: str) -> List[LintViolation]:
+        """Lint one module's source text."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [LintViolation(
+                path=path, line=error.lineno or 0,
+                col=error.offset or 0, rule="syntax-error",
+                message=str(error.msg),
+            )]
+        normalized = path.replace(os.sep, "/")
+        visitor = _Visitor(
+            path=path,
+            rng_exempt=any(
+                normalized.endswith(suffix)
+                for suffix in self.rng_exempt_suffixes
+            ),
+            broad_except_scoped=any(
+                f"/{scope}/" in normalized
+                for scope in self.broad_except_scope
+            ),
+            allowed=_allowed_lines(source),
+        )
+        visitor.visit(tree)
+        return sorted(
+            visitor.violations, key=lambda v: (v.line, v.col, v.rule)
+        )
+
+    def lint_file(self, path: str) -> List[LintViolation]:
+        """Lint one file on disk."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.lint_source(handle.read(), path)
+
+    def lint_paths(
+        self, paths: Iterable[str]
+    ) -> Tuple[List[LintViolation], int]:
+        """Lint files and/or directory trees; returns (violations,
+        files linted)."""
+        violations: List[LintViolation] = []
+        count = 0
+        for path in paths:
+            if os.path.isdir(path):
+                for name in sorted(self._python_files(path)):
+                    violations.extend(self.lint_file(name))
+                    count += 1
+            else:
+                violations.extend(self.lint_file(path))
+                count += 1
+        return violations, count
+
+    @staticmethod
+    def _python_files(root: str) -> List[str]:
+        found: List[str] = []
+        for directory, _, names in os.walk(root):
+            for name in names:
+                if name.endswith(".py"):
+                    found.append(os.path.join(directory, name))
+        return found
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory (what CI lints)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+) -> Tuple[List[LintViolation], int]:
+    """Module-level convenience: lint ``paths`` (default: the package)."""
+    linter = DeterminismLinter()
+    return linter.lint_paths(list(paths) if paths else
+                             [default_lint_root()])

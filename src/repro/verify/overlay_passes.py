@@ -1,0 +1,177 @@
+"""Overlay passes: static reachability of every attached endpoint.
+
+Algorithm 1 replays the veth → OVS → VTEP forwarding chain at
+localization time; these passes check the *standing state* that walk
+depends on, per endpoint, without sending anything:
+
+* the endpoint's host OVS table holds the DELIVER rule for its
+  ``(VNI, overlay IP)`` and the rule hands packets to the right VF;
+* the endpoint's VF sits on an RNIC of the endpoint's own host, and
+  that RNIC exists in the physical topology;
+* no component of the chain (veth, OVS, VTEP) is flagged down;
+* VXLAN tunnel endpoints are symmetric — the RNIC↔underlay-IP maps are
+  mutual inverses, and every ENCAP rule points at an underlay IP the
+  fabric can resolve back to a live VTEP whose host can deliver.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.flowtable import ActionKind, FlowKey
+from repro.cluster.overlay import (
+    OverlayError,
+    ovs_name,
+    veth_name,
+    vtep_name,
+)
+from repro.cluster.topology import TopologyError
+from repro.verify.framework import (
+    PassResult,
+    Severity,
+    VerificationContext,
+    VerificationPass,
+)
+
+__all__ = ["EndpointChainPass", "VtepSymmetryPass"]
+
+
+class EndpointChainPass(VerificationPass):
+    """Each attached endpoint's delivery chain is complete and healthy."""
+
+    name = "overlay.endpoint_chain"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        overlay = context.cluster.overlay
+        topology = context.topology
+        for endpoint in overlay.attached_endpoints():
+            result.checked += 1
+            record = overlay.record_of(endpoint)
+            try:
+                vni = overlay.vni_of(endpoint.container.task)
+            except OverlayError:
+                self.finding(
+                    result, endpoint,
+                    "endpoint attached but its task has no VNI",
+                )
+                continue
+            rnic = record.vf.rnic
+            if rnic.host != record.host:
+                self.finding(
+                    result, endpoint,
+                    f"endpoint's VF lives on {rnic.host} but the "
+                    f"endpoint is recorded on {record.host}",
+                )
+            try:
+                topology.tor_of(rnic)
+            except TopologyError as error:
+                self.finding(
+                    result, rnic,
+                    "endpoint's RNIC does not exist in the physical "
+                    "topology",
+                    details=[f"tor_of raised: {error}"],
+                )
+            key = FlowKey(vni, record.overlay_ip)
+            rule = overlay.ovs_table(record.host).lookup(key)
+            if rule is None:
+                self.finding(
+                    result, ovs_name(record.host),
+                    f"no DELIVER rule for {endpoint} "
+                    f"[{key}] in its host's OVS table",
+                    details=[
+                        "inbound packets for this endpoint miss the "
+                        "flow table and are dropped",
+                    ],
+                )
+            elif rule.action.kind != ActionKind.DELIVER:
+                self.finding(
+                    result, ovs_name(record.host),
+                    f"rule for {endpoint} [{key}] is "
+                    f"{rule.action.kind.value}, expected local "
+                    "delivery",
+                )
+            elif rule.action.local_vf != record.vf:
+                self.finding(
+                    result, ovs_name(record.host),
+                    f"DELIVER rule for {endpoint} hands packets to "
+                    f"{rule.action.local_vf}, not the endpoint's VF "
+                    f"{record.vf}",
+                )
+            for component in (
+                veth_name(endpoint),
+                ovs_name(record.host),
+                vtep_name(rnic),
+            ):
+                if overlay.health(component).down:
+                    self.finding(
+                        result, component,
+                        f"{component} is down: {endpoint} is "
+                        "statically unreachable",
+                    )
+        return result
+
+
+class VtepSymmetryPass(VerificationPass):
+    """RNIC↔underlay-IP maps are inverses; ENCAPs resolve and the
+    remote side can deliver."""
+
+    name = "overlay.vtep_symmetry"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        overlay = context.cluster.overlay
+        by_ip = overlay.underlay_map()
+        by_rnic = overlay.rnic_underlay_ips()
+
+        for rnic, ip in sorted(by_rnic.items()):
+            result.checked += 1
+            resolved = by_ip.get(ip)
+            if resolved is None:
+                self.finding(
+                    result, rnic,
+                    f"VTEP address {ip} is not resolvable back to any "
+                    "RNIC (tunnel endpoint asymmetric)",
+                )
+            elif resolved != rnic:
+                self.finding(
+                    result, rnic,
+                    f"VTEP address {ip} resolves to {resolved}, not "
+                    "back to its owner (two RNICs share one underlay "
+                    "IP?)",
+                )
+        for ip, rnic in sorted(by_ip.items()):
+            if by_rnic.get(rnic) != ip:
+                self.finding(
+                    result, rnic,
+                    f"underlay IP {ip} maps to {rnic}, whose own VTEP "
+                    f"address is {by_rnic.get(rnic)!r}",
+                )
+
+        for host in overlay.hosts_with_tables():
+            for rule in overlay.ovs_table(host).rules():
+                if rule.action.kind != ActionKind.ENCAP:
+                    continue
+                result.checked += 1
+                remote_ip = rule.action.remote_underlay_ip
+                remote_rnic = by_ip.get(remote_ip)
+                if remote_rnic is None:
+                    self.finding(
+                        result, ovs_name(host),
+                        f"ENCAP rule [{rule.key}] targets underlay IP "
+                        f"{remote_ip}, unknown to the fabric",
+                        details=[
+                            "encapsulated packets leave the VTEP and "
+                            "are blackholed in the underlay",
+                        ],
+                    )
+                    continue
+                remote_table = overlay.ovs_table(remote_rnic.host)
+                landing = remote_table.lookup(rule.key)
+                if landing is None:
+                    self.finding(
+                        result, ovs_name(remote_rnic.host),
+                        f"ENCAP rule [{rule.key}] on {host} reaches "
+                        f"{remote_rnic.host}, which has no rule to "
+                        "decapsulate it (dangling tunnel)",
+                        severity=Severity.WARNING,
+                    )
+        return result

@@ -1,0 +1,159 @@
+"""Skeleton passes: the ping list still covers what training traverses.
+
+Skeleton-based probing is a bet: probe only the pairs the traffic
+skeleton says matter, and a failure anywhere training communicates will
+still be seen (§5.1).  The bet is lost silently if the inferred
+skeleton misses a traffic edge, or if a probe pair targets an endpoint
+whose RNIC does not actually exist.  These passes audit that bet
+against the ground-truth traffic edges the workload's parallelism
+configuration implies.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.cluster.identifiers import EndpointId
+from repro.cluster.overlay import OverlayError
+from repro.cluster.topology import TopologyError
+from repro.verify.framework import (
+    PassResult,
+    Severity,
+    VerificationContext,
+    VerificationPass,
+)
+
+__all__ = ["ProbeTargetPass", "SkeletonCoveragePass"]
+
+
+def _pair_label(a: EndpointId, b: EndpointId) -> str:
+    first, second = sorted((a, b))
+    return f"{first}<->{second}"
+
+
+class ProbeTargetPass(VerificationPass):
+    """Every probe pair in every monitored ping list addresses real
+    endpoints backed by real RNICs."""
+
+    name = "skeleton.probe_targets"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        hunter = context.hunter
+        if hunter is None:
+            return self.skip("no SkeletonHunter in context")
+        result = self.result()
+        cluster = context.cluster
+        for task_id in hunter.controller.monitored_tasks():
+            task = hunter.orchestrator.tasks.get(task_id)
+            ping_list = hunter.controller.ping_list_of(task_id)
+            for pair in sorted(ping_list.pairs):
+                result.checked += 1
+                for endpoint in (pair.src, pair.dst):
+                    self._check_endpoint(
+                        result, context, task, endpoint
+                    )
+                if pair.src == pair.dst:
+                    self.finding(
+                        result, pair.src,
+                        "degenerate probe pair: source equals "
+                        "destination",
+                    )
+            # Active pairs additionally resolve through the overlay.
+            for pair in ping_list.active_pairs():
+                for endpoint in (pair.src, pair.dst):
+                    try:
+                        rnic = cluster.overlay.rnic_of(endpoint)
+                    except OverlayError:
+                        self.finding(
+                            result, endpoint,
+                            "active probe endpoint is not attached "
+                            "to the overlay",
+                        )
+                        continue
+                    try:
+                        context.topology.tor_of(rnic)
+                    except TopologyError:
+                        self.finding(
+                            result, rnic,
+                            f"probe pair {_pair_label(pair.src, pair.dst)} "
+                            "targets an RNIC absent from the physical "
+                            "topology",
+                        )
+        return result
+
+    def _check_endpoint(self, result, context, task, endpoint) -> None:
+        if task is None:
+            self.finding(
+                result, endpoint,
+                "probe pair belongs to a task the orchestrator does "
+                "not know",
+            )
+            return
+        container = task.containers.get(endpoint.container)
+        if container is None:
+            self.finding(
+                result, endpoint,
+                f"probe endpoint names container {endpoint.container}, "
+                "which the task never placed",
+            )
+            return
+        if not 0 <= endpoint.slot < task.gpus_per_container:
+            self.finding(
+                result, endpoint,
+                f"probe endpoint slot {endpoint.slot} exceeds the "
+                f"container's {task.gpus_per_container} RNIC "
+                "bindings",
+            )
+
+
+class SkeletonCoveragePass(VerificationPass):
+    """The current ping list (and the inferred skeleton, once applied)
+    covers every network edge the workload's traffic actually uses."""
+
+    name = "skeleton.coverage"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        hunter = context.hunter
+        workload = context.workload
+        if hunter is None:
+            return self.skip("no SkeletonHunter in context")
+        if workload is None:
+            return self.skip("no workload in context")
+        from repro.training.collectives import traffic_edges
+
+        result = self.result()
+        task_id = workload.task.id
+        if task_id not in hunter.controller.monitored_tasks():
+            return self.skip(f"{task_id} is not monitored")
+        true_edges = traffic_edges(workload)
+        ping_list = hunter.controller.ping_list_of(task_id)
+        covered: Set[FrozenSet[EndpointId]] = {
+            frozenset((pair.src, pair.dst)) for pair in ping_list.pairs
+        }
+        for edge in sorted(true_edges, key=sorted):
+            result.checked += 1
+            if edge not in covered:
+                a, b = sorted(edge)
+                self.finding(
+                    result, _pair_label(a, b),
+                    f"traffic edge {_pair_label(a, b)} is not in the "
+                    f"{ping_list.phase} ping list: a failure on it "
+                    "would go unprobed",
+                    details=[
+                        f"ping list holds {len(ping_list.pairs)} "
+                        f"pairs covering {len(covered & true_edges)} "
+                        f"of {len(true_edges)} traffic edges",
+                    ],
+                )
+        skeleton = hunter.controller.skeleton_of(task_id)
+        if skeleton is not None:
+            missing = true_edges - skeleton.edges
+            for edge in sorted(missing, key=sorted):
+                a, b = sorted(edge)
+                self.finding(
+                    result, _pair_label(a, b),
+                    "inferred skeleton misses this traffic edge "
+                    f"(coverage {skeleton.coverage(true_edges):.1%})",
+                    severity=Severity.WARNING,
+                )
+        return result

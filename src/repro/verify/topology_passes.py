@@ -1,0 +1,332 @@
+"""Topology passes: the rail-optimized wiring invariants.
+
+The ping-list preload (§5.1) drops every cross-rail pair because
+rail-optimized wiring guarantees same-rail traffic never leaves its
+rail's ToR/spine plane, and tomography (§5.3) assumes all ECMP paths of
+a pair are interchangeable.  Both assumptions are *structural*: a single
+miswired RNIC→ToR link or an asymmetric spine fan-out silently breaks
+coverage and voting.  These passes check the constructed topology
+object itself, before any probe depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.cluster.identifiers import RnicId, SwitchId
+from repro.cluster.topology import TopologyError
+from repro.verify.framework import (
+    PassResult,
+    VerificationContext,
+    VerificationPass,
+)
+
+__all__ = [
+    "ConnectivityPass",
+    "EcmpEquivalencePass",
+    "RailWiringPass",
+    "SpineFanoutPass",
+]
+
+# Verifying ECMP equivalence over every RNIC pair is O(N^2); beyond this
+# many pairs the pass falls back to a deterministic stride sample.
+_MAX_ECMP_PAIRS = 2048
+
+
+class RailWiringPass(VerificationPass):
+    """Every RNIC attaches to the ToR of its (segment, rail) — and the
+    grouping is symmetric: one ToR per (segment, rail), one rail and one
+    segment per ToR, every host of the segment present."""
+
+    name = "topology.rail_wiring"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        topology = context.topology
+        by_tor: Dict[SwitchId, List[RnicId]] = {}
+        for rnic in topology.all_rnics():
+            result.checked += 1
+            try:
+                tor = topology.tor_of(rnic)
+            except TopologyError as error:
+                self.finding(
+                    result, rnic,
+                    "RNIC has no ToR switch",
+                    details=[f"tor_of raised: {error}"],
+                )
+                continue
+            if tor.tier != "tor":
+                self.finding(
+                    result, rnic,
+                    f"RNIC attaches to non-ToR device {tor}",
+                    details=[f"expected tier 'tor', got '{tor.tier}'"],
+                )
+                continue
+            if not topology.has_link(_link_between(rnic, tor)):
+                self.finding(
+                    result, rnic,
+                    f"RNIC claims ToR {tor} but the access link is "
+                    "missing from the fabric",
+                    details=[f"no physical link {rnic}<->{tor}"],
+                )
+            by_tor.setdefault(tor, []).append(rnic)
+
+        for tor, rnics in sorted(by_tor.items()):
+            rails = {r.rail for r in rnics}
+            segments = {topology.segment_of(r.host) for r in rnics}
+            if len(rails) > 1:
+                self.finding(
+                    result, tor,
+                    "ToR serves RNICs from multiple rails "
+                    "(rail wiring asymmetric)",
+                    details=[
+                        f"rails seen: {sorted(rails)}",
+                        *(f"{r} (rail {r.rail})" for r in sorted(rnics)),
+                    ],
+                )
+            if len(segments) > 1:
+                self.finding(
+                    result, tor,
+                    "ToR serves RNICs from multiple segments",
+                    details=[f"segments seen: {sorted(segments)}"],
+                )
+            if len(rails) == 1 and len(segments) == 1 and (
+                len(rnics) != topology.hosts_per_segment
+            ):
+                self.finding(
+                    result, tor,
+                    f"ToR serves {len(rnics)} RNICs, expected one per "
+                    f"host of the segment "
+                    f"({topology.hosts_per_segment})",
+                    details=[str(r) for r in sorted(rnics)],
+                )
+        return result
+
+
+class SpineFanoutPass(VerificationPass):
+    """Every ToR uplinks to every spine, uniformly, and the fabric holds
+    no links beyond access + uplink (ECMP width identical everywhere)."""
+
+    name = "topology.spine_fanout"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        topology = context.topology
+        spines = {str(s) for s in topology.spines}
+        for tor in topology.tors():
+            result.checked += 1
+            missing = [
+                spine for spine in topology.spines
+                if not topology.has_link(_link_between(tor, spine))
+            ]
+            if missing:
+                self.finding(
+                    result, tor,
+                    f"ToR is missing {len(missing)} of "
+                    f"{topology.num_spines} spine uplinks "
+                    "(ECMP fan-out non-uniform)",
+                    details=[f"no uplink to {s}" for s in missing],
+                )
+        expected = (
+            topology.num_rnics
+            + len(topology.tors()) * topology.num_spines
+        )
+        actual = len(topology.links())
+        if actual != expected:
+            self.finding(
+                result, "fabric",
+                f"fabric has {actual} links, wiring plan implies "
+                f"{expected} (access + uniform uplinks)",
+                details=[
+                    f"{topology.num_rnics} RNIC access links",
+                    f"{len(topology.tors())} ToRs x "
+                    f"{topology.num_spines} spines uplinks",
+                ],
+            )
+        tor_names = {str(t) for t in topology.tors()}
+        rnic_names = {str(r) for r in topology.all_rnics()}
+        known = tor_names | rnic_names | spines
+        for link in topology.links():
+            if link.a not in known or link.b not in known:
+                stranger = link.a if link.a not in known else link.b
+                self.finding(
+                    result, stranger,
+                    f"link {link} touches a device the topology does "
+                    "not enumerate",
+                )
+        return result
+
+
+class EcmpEquivalencePass(VerificationPass):
+    """``ecmp_paths`` returns equal-hop, deterministic, fabric-valid
+    path sets of the expected width for every (sampled) RNIC pair."""
+
+    name = "topology.ecmp"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        topology = context.topology
+        for src, dst in self._pairs(topology):
+            result.checked += 1
+            first = topology.ecmp_paths(src, dst)
+            if not first:
+                self.finding(
+                    result, src,
+                    f"no ECMP path from {src} to {dst}",
+                )
+                continue
+            second = topology.ecmp_paths(src, dst)
+            if [p.devices for p in first] != [p.devices for p in second]:
+                self.finding(
+                    result, src,
+                    f"ecmp_paths({src}, {dst}) is non-deterministic "
+                    "(two calls returned different orders)",
+                    details=[
+                        "flow pinning via pick_path depends on a "
+                        "stable path order",
+                    ],
+                )
+            hops = {p.hops for p in first}
+            if len(hops) > 1:
+                self.finding(
+                    result, src,
+                    f"ECMP paths {src}->{dst} have unequal hop counts "
+                    f"{sorted(hops)} (paths are not equal-cost)",
+                    details=[
+                        f"{'-'.join(p.devices)} ({p.hops} hops)"
+                        for p in first
+                    ],
+                )
+            expected = self._expected_width(topology, src, dst)
+            if expected is not None and len(first) != expected:
+                self.finding(
+                    result, src,
+                    f"{len(first)} ECMP paths {src}->{dst}, expected "
+                    f"{expected}",
+                )
+            for path in first:
+                if path.devices[0] != str(src) or (
+                    path.devices[-1] != str(dst)
+                ):
+                    self.finding(
+                        result, src,
+                        f"path endpoints {path.devices[0]}..."
+                        f"{path.devices[-1]} do not match the pair "
+                        f"{src}->{dst}",
+                    )
+                bad = [
+                    link for link in path.links
+                    if not topology.has_link(link)
+                ]
+                for link in bad:
+                    self.finding(
+                        result, str(link),
+                        f"ECMP path {src}->{dst} crosses a link that "
+                        "does not exist in the fabric",
+                        details=[f"path: {'-'.join(path.devices)}"],
+                    )
+        return result
+
+    @staticmethod
+    def _expected_width(topology, src: RnicId, dst: RnicId):
+        try:
+            src_tor = topology.tor_of(src)
+            dst_tor = topology.tor_of(dst)
+        except TopologyError:
+            return None  # RailWiringPass already reports this
+        if src_tor == dst_tor:
+            return 1
+        return topology.num_spines
+
+    @staticmethod
+    def _pairs(topology) -> List[Tuple[RnicId, RnicId]]:
+        """Deterministic pair sample: every same-rail pair (what probes
+        actually ride) plus a cross-rail stride sample."""
+        rnics = topology.all_rnics()
+        by_rail: Dict[int, List[RnicId]] = {}
+        for rnic in rnics:
+            by_rail.setdefault(rnic.rail, []).append(rnic)
+        pairs: List[Tuple[RnicId, RnicId]] = []
+        for rail_rnics in by_rail.values():
+            for i in range(len(rail_rnics)):
+                for j in range(i + 1, len(rail_rnics)):
+                    pairs.append((rail_rnics[i], rail_rnics[j]))
+        # Cross-rail spot checks (NCCL avoids these, but pick_path must
+        # still be well-defined for them).
+        for index in range(0, len(rnics) - 1, max(1, len(rnics) // 8)):
+            pairs.append((rnics[index], rnics[index + 1]))
+        if len(pairs) > _MAX_ECMP_PAIRS:
+            stride = len(pairs) // _MAX_ECMP_PAIRS + 1
+            pairs = pairs[::stride]
+        return pairs
+
+
+class ConnectivityPass(VerificationPass):
+    """``graph()`` is one connected component with the degrees the
+    two-tier Clos plan implies."""
+
+    name = "topology.connectivity"
+
+    def run(self, context: VerificationContext) -> PassResult:
+        result = self.result()
+        topology = context.topology
+        graph = topology.graph()
+        result.checked = graph.number_of_nodes()
+        names = set(topology.device_names())
+        if set(graph.nodes) != names:
+            extra = sorted(set(graph.nodes) - names)
+            missing = sorted(names - set(graph.nodes))
+            self.finding(
+                result, "fabric",
+                "graph() nodes disagree with device_names()",
+                details=[
+                    *(f"graph-only node: {n}" for n in extra),
+                    *(f"missing node: {n}" for n in missing),
+                ],
+            )
+        if graph.number_of_nodes() and not nx.is_connected(graph):
+            components = sorted(
+                nx.connected_components(graph), key=len
+            )
+            for island in components[:-1]:
+                sample = sorted(island)
+                self.finding(
+                    result, sample[0],
+                    f"fabric is partitioned: {len(island)} device(s) "
+                    "unreachable from the main component",
+                    details=[str(n) for n in sample[:8]],
+                )
+        degrees = dict(graph.degree())
+        for rnic in topology.all_rnics():
+            if degrees.get(str(rnic), 0) != 1:
+                self.finding(
+                    result, rnic,
+                    f"RNIC has degree {degrees.get(str(rnic), 0)}, "
+                    "expected exactly 1 (its ToR access link)",
+                )
+        expected_tor = topology.hosts_per_segment + topology.num_spines
+        for tor in topology.tors():
+            if degrees.get(str(tor), 0) != expected_tor:
+                self.finding(
+                    result, tor,
+                    f"ToR has degree {degrees.get(str(tor), 0)}, "
+                    f"expected {expected_tor} "
+                    "(segment hosts + spine uplinks)",
+                )
+        num_tors = len(topology.tors())
+        for spine in topology.spines:
+            if degrees.get(str(spine), 0) != num_tors:
+                self.finding(
+                    result, spine,
+                    f"spine has degree {degrees.get(str(spine), 0)}, "
+                    f"expected {num_tors} (one downlink per ToR)",
+                )
+        return result
+
+
+def _link_between(a: object, b: object):
+    from repro.cluster.identifiers import LinkId
+
+    return LinkId.between(a, b)

@@ -119,6 +119,7 @@ def build_scenario(
     iteration_period_s: float = 30.0,
     observe: bool = False,
     observability: Optional[TraceRecorder] = None,
+    verify_on_start: bool = False,
 ) -> MonitoredScenario:
     """Build a monitored training task end to end.
 
@@ -161,6 +162,7 @@ def build_scenario(
         probe_interval_s=probe_interval_s,
         inference=inference,
         observability=observability,
+        verify_on_start=verify_on_start,
     )
 
     task = orchestrator.submit_task(

@@ -134,3 +134,84 @@ class TestDiff:
         rule.offloaded_to = "host-0/rnic-0"
         problems = diff_tables(ovs, hw, "host-0/rnic-0")
         assert any("not offloaded" in p.reason for p in problems)
+
+
+class TestInstallSemantics:
+    """Duplicate-key install: idempotent same-action, reset on change."""
+
+    def test_same_action_reinstall_is_idempotent(self):
+        table = FlowTable()
+        key = FlowKey(100, "192.0.0.1")
+        first = table.install(key, encap("10.0.0.1"))
+        first.offloaded = True
+        first.offloaded_to = "host-0/rnic-0"
+        first.hit()
+        again = table.install(key, encap("10.0.0.1"))
+        assert again is first
+        assert again.offloaded
+        assert again.offloaded_to == "host-0/rnic-0"
+        assert again.packets == 1
+
+    def test_different_action_resets_offload_state(self):
+        table = FlowTable()
+        key = FlowKey(100, "192.0.0.1")
+        first = table.install(key, encap("10.0.0.1"))
+        first.offloaded = True
+        first.offloaded_to = "host-0/rnic-0"
+        replaced = table.install(key, encap("10.0.0.2"))
+        assert replaced is not first
+        assert not replaced.offloaded
+        assert replaced.offloaded_to is None
+        assert replaced.packets == 0
+
+
+class TestDiffEdgeCases:
+    def test_both_tables_empty(self):
+        assert diff_tables(FlowTable(), RnicOffloadTable()) == []
+        assert diff_tables(
+            FlowTable(), RnicOffloadTable(), "host-0/rnic-0"
+        ) == []
+
+    def test_empty_ovs_nonempty_hardware_all_stale(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        hw.install(FlowKey(1, "a"), encap())
+        hw.install(FlowKey(2, "b"), encap())
+        problems = diff_tables(ovs, hw)
+        assert len(problems) == 2
+        assert all("stale" in p.reason for p in problems)
+
+    def test_offloaded_to_other_rnic_with_name_not_misflagged(self):
+        # The rule's hardware copy lives in a *different* RNIC's cache;
+        # diffing against this cache must not flag it as invalidated.
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        rule = ovs.install(FlowKey(1, "a"), encap())
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-3"
+        assert diff_tables(ovs, hw, rnic_name="host-0/rnic-0") == []
+
+    def test_offloaded_to_other_rnic_without_name_still_flagged(self):
+        # Without a named RNIC the diff is table-vs-table: the absent
+        # hardware copy is reported regardless of which cache owns it.
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        rule = ovs.install(FlowKey(1, "a"), encap())
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-3"
+        problems = diff_tables(ovs, hw)
+        assert len(problems) == 1
+        assert "absent from RNIC" in problems[0].reason
+
+    def test_mismatch_and_stale_combined_in_one_diff(self):
+        ovs, hw = FlowTable(), RnicOffloadTable()
+        shared = FlowKey(1, "a")
+        rule = ovs.install(shared, encap("10.0.0.1"))
+        rule.offloaded = True
+        rule.offloaded_to = "host-0/rnic-0"
+        hw.install(shared, encap("10.0.0.9"))       # action mismatch
+        hw.install(FlowKey(2, "ghost"), encap())    # stale entry
+        problems = diff_tables(ovs, hw, "host-0/rnic-0")
+        reasons = sorted(p.reason for p in problems)
+        assert len(problems) == 2
+        assert any("differs" in r for r in reasons)
+        assert any("stale" in r for r in reasons)
+        keys = {p.key for p in problems}
+        assert keys == {shared, FlowKey(2, "ghost")}

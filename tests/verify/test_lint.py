@@ -1,0 +1,205 @@
+"""Tests for the determinism lint — and the gate that keeps
+``src/repro`` itself clean."""
+
+import os
+import textwrap
+
+from repro.verify.lint import (
+    DeterminismLinter,
+    default_lint_root,
+    lint_paths,
+)
+
+
+def lint(source, path="pkg/module.py"):
+    return DeterminismLinter().lint_source(
+        textwrap.dedent(source), path
+    )
+
+
+class TestWallClock:
+    def test_time_time_is_flagged(self):
+        violations = lint("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert [v.rule for v in violations] == ["wall-clock"]
+        assert violations[0].line == 4
+
+    def test_time_ns_and_datetime_now_are_flagged(self):
+        violations = lint("""
+            import time
+            from datetime import datetime
+            a = time.time_ns()
+            b = datetime.now()
+            c = datetime.utcnow()
+        """)
+        assert [v.rule for v in violations] == ["wall-clock"] * 3
+
+    def test_monotonic_timers_are_allowed(self):
+        violations = lint("""
+            import time
+            a = time.perf_counter()
+            b = time.monotonic()
+        """)
+        assert violations == []
+
+
+class TestUnseededRandom:
+    def test_stdlib_random_import_and_call(self):
+        violations = lint("""
+            import random
+            x = random.random()
+        """)
+        assert [v.rule for v in violations] == ["unseeded-random"] * 2
+
+    def test_from_random_import(self):
+        violations = lint("from random import choice\n")
+        assert [v.rule for v in violations] == ["unseeded-random"]
+
+    def test_np_random_flagged_outside_rng_module(self):
+        violations = lint("""
+            import numpy as np
+            x = np.random.rand(3)
+        """)
+        assert [v.rule for v in violations] == ["unseeded-random"]
+
+    def test_np_random_allowed_in_rng_module(self):
+        violations = lint("""
+            import numpy as np
+            gen = np.random.default_rng(np.random.SeedSequence(7))
+        """, path="src/repro/sim/rng.py")
+        assert violations == []
+
+    def test_generator_parameters_are_fine(self):
+        violations = lint("""
+            def sample(rng):
+                return rng.normal() + rng.lognormal()
+        """)
+        assert violations == []
+
+
+class TestBroadExcept:
+    def test_flagged_inside_core(self):
+        source = """
+            def f():
+                try:
+                    pass
+                except Exception:
+                    return None
+        """
+        violations = lint(source, path="src/repro/core/localization.py")
+        assert [v.rule for v in violations] == ["broad-except"]
+
+    def test_bare_except_inside_core(self):
+        source = """
+            try:
+                pass
+            except:
+                pass
+        """
+        violations = lint(source, path="src/repro/core/system.py")
+        assert [v.rule for v in violations] == ["broad-except"]
+        assert "bare" in violations[0].message
+
+    def test_tuple_with_exception_inside_core(self):
+        source = """
+            try:
+                pass
+            except (ValueError, Exception):
+                pass
+        """
+        violations = lint(source, path="src/repro/core/agent.py")
+        assert [v.rule for v in violations] == ["broad-except"]
+
+    def test_not_flagged_outside_core(self):
+        source = """
+            try:
+                pass
+            except Exception:
+                pass
+        """
+        assert lint(source, path="src/repro/cli.py") == []
+
+    def test_narrow_except_is_fine_in_core(self):
+        source = """
+            try:
+                pass
+            except (ValueError, KeyError):
+                pass
+        """
+        assert lint(source, path="src/repro/core/system.py") == []
+
+
+class TestMutableDefault:
+    def test_list_and_dict_literals(self):
+        violations = lint("""
+            def f(a=[], b={}):
+                return a, b
+        """)
+        assert [v.rule for v in violations] == ["mutable-default"] * 2
+
+    def test_constructor_calls_and_kwonly(self):
+        violations = lint("""
+            def f(*, a=list(), b=dict()):
+                return a, b
+        """)
+        assert [v.rule for v in violations] == ["mutable-default"] * 2
+
+    def test_immutable_defaults_are_fine(self):
+        assert lint("""
+            def f(a=(), b=None, c=0, d="x", e=frozenset()):
+                return a
+        """) == []
+
+
+class TestSuppressionsAndErrors:
+    def test_allow_comment_suppresses_one_line(self):
+        violations = lint("""
+            import time
+            a = time.time()  # lint: allow(wall-clock)
+            b = time.time()
+        """)
+        assert len(violations) == 1
+        assert violations[0].line == 4
+
+    def test_syntax_error_is_reported_not_raised(self):
+        violations = lint("def broken(:\n")
+        assert [v.rule for v in violations] == ["syntax-error"]
+
+    def test_format_is_grep_friendly(self):
+        violation = lint("import random\n")[0]
+        text = violation.format()
+        assert text.startswith("pkg/module.py:1:")
+        assert "unseeded-random" in text
+
+
+class TestLintPaths:
+    def test_fixture_file_fails_and_clean_file_passes(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("import time\nx = time.perf_counter()\n")
+        violations, count = lint_paths([str(tmp_path)])
+        assert count == 2
+        assert [v.rule for v in violations] == ["wall-clock"]
+        assert violations[0].path == str(dirty)
+
+    def test_repro_package_is_lint_clean(self):
+        """The acceptance gate: zero violations, zero suppressions."""
+        root = default_lint_root()
+        violations, count = lint_paths([root])
+        assert count > 50  # the whole package was walked
+        assert violations == []
+        for directory, _, names in os.walk(root):
+            for name in names:
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(directory, name)
+                if path.endswith(os.path.join("verify", "lint.py")):
+                    continue  # defines the marker itself
+                with open(path) as handle:
+                    assert "# lint: allow(" not in handle.read(), (
+                        f"suppression found in {name}"
+                    )

@@ -1,0 +1,136 @@
+"""Tests for the topology verification passes.
+
+Miswirings are modelled with small ``RailOptimizedTopology`` subclasses
+that corrupt one structural answer — exactly the drift the passes exist
+to catch before the localizer trusts the model.
+"""
+
+from repro.cluster.identifiers import HostId, LinkId, RnicId
+from repro.cluster.orchestrator import Cluster
+from repro.cluster.topology import RailOptimizedTopology
+from repro.verify.framework import VerificationContext
+from repro.verify.topology_passes import (
+    ConnectivityPass,
+    EcmpEquivalencePass,
+    RailWiringPass,
+    SpineFanoutPass,
+)
+
+
+def small_topology():
+    return RailOptimizedTopology(
+        num_segments=2, hosts_per_segment=4, rails_per_host=2,
+        num_spines=2,
+    )
+
+
+def context_for(topology):
+    return VerificationContext(cluster=Cluster(topology))
+
+
+class MiswiredRailTopology(RailOptimizedTopology):
+    """host-0/rnic-0 reports the *wrong rail's* ToR — a rail miswire."""
+
+    def tor_of(self, rnic):
+        if rnic == RnicId(HostId(0), 0):
+            return self._tors[(0, 1)]
+        return super().tor_of(rnic)
+
+
+class MissingUplinkTopology(RailOptimizedTopology):
+    """One ToR→spine uplink is absent from the fabric."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        victim = LinkId.between(self._tors[(0, 0)], self.spines[0])
+        self._links = [l for l in self._links if l != victim]
+        self._link_set = frozenset(self._links)
+
+
+class TestRailWiringPass:
+    def test_healthy_topology_is_clean(self):
+        result = RailWiringPass().run(context_for(small_topology()))
+        assert result.findings == []
+        assert result.checked == 16
+
+    def test_miswired_rail_names_the_tor_and_rnic(self):
+        topology = MiswiredRailTopology(
+            num_segments=2, hosts_per_segment=4, rails_per_host=2,
+            num_spines=2,
+        )
+        result = RailWiringPass().run(context_for(topology))
+        assert result.findings
+        components = {f.component for f in result.findings}
+        # The miswired RNIC lands on tor-1 (multi-rail + access-link
+        # findings) and leaves tor-0 short one RNIC.
+        assert "tor-1" in components
+        assert "tor-0" in components
+        explanations = " ".join(f.explanation for f in result.findings)
+        assert "multiple rails" in explanations
+
+    def test_miswired_rail_reports_missing_access_link(self):
+        topology = MiswiredRailTopology(
+            num_segments=2, hosts_per_segment=4, rails_per_host=2,
+            num_spines=2,
+        )
+        result = RailWiringPass().run(context_for(topology))
+        access = [
+            f for f in result.findings
+            if "access link is missing" in f.explanation
+        ]
+        assert len(access) == 1
+        assert access[0].component == "host-0/rnic-0"
+
+
+class TestSpineFanoutPass:
+    def test_healthy_topology_is_clean(self):
+        result = SpineFanoutPass().run(context_for(small_topology()))
+        assert result.findings == []
+
+    def test_missing_uplink_names_the_tor(self):
+        topology = MissingUplinkTopology(
+            num_segments=2, hosts_per_segment=4, rails_per_host=2,
+            num_spines=2,
+        )
+        result = SpineFanoutPass().run(context_for(topology))
+        by_component = {f.component: f for f in result.findings}
+        assert "tor-0" in by_component
+        assert "spine uplinks" in by_component["tor-0"].explanation
+        # The link-count cross-check fires too.
+        assert "fabric" in by_component
+
+
+class TestEcmpEquivalencePass:
+    def test_healthy_topology_is_clean(self):
+        result = EcmpEquivalencePass().run(context_for(small_topology()))
+        assert result.findings == []
+        assert result.checked > 0
+
+    def test_missing_uplink_breaks_path_validity(self):
+        topology = MissingUplinkTopology(
+            num_segments=2, hosts_per_segment=4, rails_per_host=2,
+            num_spines=2,
+        )
+        result = EcmpEquivalencePass().run(context_for(topology))
+        assert any(
+            "does not exist in the fabric" in f.explanation
+            for f in result.findings
+        )
+
+
+class TestConnectivityPass:
+    def test_healthy_topology_is_clean(self):
+        result = ConnectivityPass().run(context_for(small_topology()))
+        assert result.findings == []
+        # 16 RNICs + 4 ToRs + 2 spines
+        assert result.checked == 22
+
+    def test_missing_uplink_shows_as_degree_anomaly(self):
+        topology = MissingUplinkTopology(
+            num_segments=2, hosts_per_segment=4, rails_per_host=2,
+            num_spines=2,
+        )
+        result = ConnectivityPass().run(context_for(topology))
+        components = {f.component for f in result.findings}
+        assert "tor-0" in components
+        assert "spine-0" in components
