@@ -89,10 +89,9 @@ class PingmeshBaseline:
             or now - self._last_refresh >= self.activation_refresh_s
         ):
             self.refresh_activation(now)
-        results = []
-        for pair in self.ping_list.active_pairs():
-            results.append(fabric.send_probe(pair.src, pair.dst, now, salt))
-        return results
+        return fabric.send_probe_batch(
+            self.ping_list.active_pairs(), now, salt
+        )
 
     def startup_false_probes(self, now: float) -> List[ProbePair]:
         """Pairs currently activated whose endpoints are not RUNNING."""

@@ -17,6 +17,8 @@ from repro.cluster.identifiers import SwitchId
 from repro.cluster.orchestrator import Cluster
 from repro.core.pinglist import PingList, PingListPhase, ProbePair
 from repro.core.probing import ProbeCostModel, estimate_round_duration
+from repro.network.fabric import DataPlaneFabric
+from repro.network.packet import ProbeResult
 
 __all__ = ["RPingmeshBaseline"]
 
@@ -66,6 +68,14 @@ class RPingmeshBaseline:
     def probe_count(self) -> int:
         """Probes per round under the ToR-pair plan."""
         return len(self.ping_list)
+
+    def execute_round(
+        self, fabric: DataPlaneFabric, now: float, salt: int = 0
+    ) -> List[ProbeResult]:
+        """Probe every active representative pair in one batch."""
+        return fabric.send_probe_batch(
+            self.ping_list.active_pairs(), now, salt
+        )
 
     def round_duration_s(self) -> float:
         """Estimated wall-clock time of one probing round."""

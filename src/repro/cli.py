@@ -10,6 +10,7 @@ Usage::
     python -m repro trace [--faults N] [--out FILE] [--explain]
     python -m repro export-metrics [--faults N]
     python -m repro verify [--issue NAME] [--lint [paths...]]
+    python -m repro bench [--quick] [--out FILE]
 
 ``demo`` monitors one training task, applies skeleton inference, injects
 an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
@@ -26,6 +27,11 @@ counters and pipeline timings, ``trace`` the JSONL event/span trace
 ``verify`` runs the static fabric-verification passes (zero findings on
 a healthy default cluster; injected inconsistencies are named by
 component) or, with ``--lint``, the determinism lint over the source.
+
+``bench`` measures the probing fast path (batched vs sequential rounds,
+incremental vs full-rebuild detector windows), verifies the fast path is
+result-identical to the sequential one, and fails if batching is ever
+slower.  ``--quick`` is the CI smoke configuration.
 """
 
 from __future__ import annotations
@@ -122,6 +128,20 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.verify.cli import add_verify_arguments
 
     add_verify_arguments(verify)
+
+    bench = commands.add_parser(
+        "bench", help="measure the probing fast path (batched vs "
+        "sequential) and detector window cost"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small sizes and single rounds (the CI smoke mode)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_probing.json",
+        help="write the JSON report here (default: BENCH_probing.json)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -312,6 +332,30 @@ def _run_export_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.perf import format_report, run_benchmark
+
+    try:
+        report = run_benchmark(
+            quick=args.quick, seed=args.seed, out=args.out
+        )
+    except AssertionError as error:
+        print(f"fast-path equivalence check failed: {error}",
+              file=sys.stderr)
+        return 1
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    slow = [
+        row for row in report["probing"] if row["speedup"] < 1.0
+    ]
+    if slow:
+        sizes = ", ".join(str(row["endpoints"]) for row in slow)
+        print(f"REGRESSION: batched rounds slower than sequential at "
+              f"{sizes} endpoints", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -333,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.verify.cli import run_lint, run_verify
 
         return run_lint(args) if args.lint else run_verify(args)
+    if args.command == "bench":
+        return _run_bench(args)
     return 2  # unreachable: argparse enforces the choices
 
 

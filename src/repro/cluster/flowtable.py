@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.identifiers import VfId
 
@@ -82,14 +82,30 @@ class FlowRule:
 
 
 class FlowTable:
-    """A keyed table of flow rules (the OVS software table)."""
+    """A keyed table of flow rules (the OVS software table).
+
+    Every *forwarding-relevant* mutation (a rule appearing, being
+    replaced, or disappearing) increments :attr:`version` and fires the
+    optional :attr:`on_mutate` callback.  The overlay uses this to fold
+    table churn into its resolution epoch so cached probe resolutions
+    are invalidated the moment any table they walked through changes.
+    Hit-counter updates (:meth:`FlowRule.hit`) deliberately do *not*
+    count: they never change where a packet goes.
+    """
 
     def __init__(self, name: str = "ovs"):
         self.name = name
+        self.version = 0
+        self.on_mutate: Optional[Callable[[], None]] = None
         self._rules: Dict[FlowKey, FlowRule] = {}
 
     def __len__(self) -> int:
         return len(self._rules)
+
+    def _mutated(self) -> None:
+        self.version += 1
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def install(self, key: FlowKey, action: FlowAction) -> FlowRule:
         """Install the rule for ``key``; last write wins.
@@ -112,11 +128,15 @@ class FlowTable:
             return existing
         rule = FlowRule(key=key, action=action)
         self._rules[key] = rule
+        self._mutated()
         return rule
 
     def remove(self, key: FlowKey) -> bool:
         """Delete the rule for ``key``; returns whether it existed."""
-        return self._rules.pop(key, None) is not None
+        existed = self._rules.pop(key, None) is not None
+        if existed:
+            self._mutated()
+        return existed
 
     def lookup(self, key: FlowKey) -> Optional[FlowRule]:
         """The rule matching ``key``, or ``None`` on a miss."""
@@ -132,7 +152,9 @@ class FlowTable:
 
     def clear(self) -> None:
         """Drop every rule."""
-        self._rules.clear()
+        if self._rules:
+            self._rules.clear()
+            self._mutated()
 
 
 class RnicOffloadTable(FlowTable):

@@ -17,13 +17,14 @@ to find the broken overlay hop or a forwarding loop).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.cluster.container import Container
 from repro.cluster.flowtable import (
     ActionKind,
     FlowAction,
     FlowKey,
+    FlowRule,
     FlowTable,
     RnicOffloadTable,
 )
@@ -50,12 +51,36 @@ class OverlayError(RuntimeError):
 
 @dataclass
 class ComponentHealth:
-    """Mutable health flags a fault can set on an overlay component."""
+    """Mutable health flags a fault can set on an overlay component.
+
+    Every flag assignment notifies the owning overlay (when attached via
+    ``_on_change``) so cached probe resolutions that consulted this
+    component are invalidated — faults *and* direct test mutations alike.
+    """
 
     down: bool = False
     extra_latency_us: float = 0.0
     loss_rate: float = 0.0
     force_software_path: bool = False
+    _on_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        notify = getattr(self, "_on_change", None)
+        if notify is not None and name != "_on_change":
+            notify()
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every flag is at its benign default."""
+        return not (
+            self.down
+            or self.loss_rate > 0.0
+            or self.extra_latency_us > 0.0
+            or self.force_software_path
+        )
 
 
 @dataclass(frozen=True)
@@ -71,7 +96,14 @@ class OverlayHop:
 
 @dataclass
 class OverlayTrace:
-    """Result of walking the overlay forwarding chain."""
+    """Result of walking the overlay forwarding chain.
+
+    ``rules`` collects the flow rules whose lookup the walk hit, in hop
+    order; the fabric's resolution cache replays ``rule.hit()`` on them
+    for cache-served probes so packet counters advance exactly as if
+    every probe had re-walked the chain.  It is bookkeeping, not an
+    observation, so it is excluded from equality and repr.
+    """
 
     hops: List[OverlayHop] = field(default_factory=list)
     reached: bool = False
@@ -79,6 +111,9 @@ class OverlayTrace:
     software_path: bool = False
     src_rnic: Optional[RnicId] = None
     dst_rnic: Optional[RnicId] = None
+    rules: List[FlowRule] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def failure_component(self) -> Optional[str]:
@@ -130,6 +165,25 @@ class OverlayNetwork:
         self._registered: Set[EndpointId] = set()
         self._health: Dict[str, ComponentHealth] = {}
         self._underlay_ip_of_rnic: Dict[RnicId, str] = {}
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Change tracking (drives FlowResolutionCache invalidation)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter of forwarding-relevant overlay changes.
+
+        Bumped by endpoint attach/detach, any OVS or RNIC-offload table
+        mutation, and any component-health flag change.  A probe
+        resolution cached at epoch *e* is valid exactly while
+        ``epoch == e``.
+        """
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # Task / endpoint registration
@@ -186,9 +240,16 @@ class OverlayNetwork:
             action = FlowAction(ActionKind.DELIVER, local_vf=vf)
             self._install_with_offload(table, key, action, rnic)
             self._registered.add(endpoint)
+        self._bump_epoch()
 
     def detach_container(self, container: Container) -> None:
-        """Remove all state for a terminated container."""
+        """Remove all state for a terminated container.
+
+        Always bumps :attr:`epoch` — even when the container held no
+        attached endpoints — so probes can never resolve through a
+        detached endpoint's cached trace (see
+        :class:`~repro.network.fabric.FlowResolutionCache`).
+        """
         vni = self.vni_of(container.id.task)
         table = self._ovs_table(container.host)
         for endpoint in container.endpoints():
@@ -199,6 +260,7 @@ class OverlayNetwork:
             key = FlowKey(vni, record.overlay_ip)
             table.remove(key)
             self._offload_table(record.vf.rnic).remove(key)
+        self._bump_epoch()
 
     def is_registered(self, endpoint: EndpointId) -> bool:
         """Whether ``endpoint`` has been attached (probe-able)."""
@@ -220,12 +282,16 @@ class OverlayNetwork:
 
     def _ovs_table(self, host: HostId) -> FlowTable:
         if host not in self._ovs:
-            self._ovs[host] = FlowTable(name=f"ovs:{host}")
+            table = FlowTable(name=f"ovs:{host}")
+            table.on_mutate = self._bump_epoch
+            self._ovs[host] = table
         return self._ovs[host]
 
     def _offload_table(self, rnic: RnicId) -> RnicOffloadTable:
         if rnic not in self._offload:
-            self._offload[rnic] = RnicOffloadTable(name=f"offload:{rnic}")
+            table = RnicOffloadTable(name=f"offload:{rnic}")
+            table.on_mutate = self._bump_epoch
+            self._offload[rnic] = table
         return self._offload[rnic]
 
     def ovs_table(self, host: HostId) -> FlowTable:
@@ -271,12 +337,15 @@ class OverlayNetwork:
     def health(self, component: str) -> ComponentHealth:
         """Mutable health flags for a named overlay component."""
         if component not in self._health:
-            self._health[component] = ComponentHealth()
+            self._health[component] = ComponentHealth(
+                _on_change=self._bump_epoch
+            )
         return self._health[component]
 
     def clear_health(self, component: str) -> None:
         """Reset a component to healthy."""
-        self._health.pop(component, None)
+        if self._health.pop(component, None) is not None:
+            self._bump_epoch()
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -396,6 +465,7 @@ class OverlayNetwork:
                 ))
                 return trace
             rule.hit()
+            trace.rules.append(rule)
             trace.hops.append(OverlayHop(ovs, "ovs", ok=True))
 
             if rule.action.kind == ActionKind.DELIVER:

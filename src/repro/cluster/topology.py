@@ -132,6 +132,16 @@ class RailOptimizedTopology:
                 self._links.append(LinkId.between(tor, spine))
         self._link_set = frozenset(self._links)
 
+        #: Memoized ECMP path lists per (src, dst) RNIC pair.  The
+        #: wiring is fixed after construction, so entries never go stale
+        #: by themselves; ``invalidate_path_cache`` exists for callers
+        #: that monkey-patch the fabric (tests) or want cold-path
+        #: measurements (the probing benchmark).
+        self.path_cache_enabled = True
+        self._path_cache: Dict[
+            Tuple[RnicId, RnicId], List[UnderlayPath]
+        ] = {}
+
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
@@ -197,7 +207,27 @@ class RailOptimizedTopology:
         * Same RNIC: zero-hop path.
         * Same ToR (same segment + rail): one path via that ToR.
         * Different ToRs: one path per spine switch (ECMP fan-out).
+
+        Results are memoized per (src, dst) pair; the returned list is a
+        fresh copy each call, so callers may reorder it freely.
         """
+        return list(self._ecmp_paths_cached(src, dst))
+
+    def _ecmp_paths_cached(
+        self, src: RnicId, dst: RnicId
+    ) -> List[UnderlayPath]:
+        if not self.path_cache_enabled:
+            return self._compute_ecmp_paths(src, dst)
+        key = (src, dst)
+        paths = self._path_cache.get(key)
+        if paths is None:
+            paths = self._compute_ecmp_paths(src, dst)
+            self._path_cache[key] = paths
+        return paths
+
+    def _compute_ecmp_paths(
+        self, src: RnicId, dst: RnicId
+    ) -> List[UnderlayPath]:
         if src == dst:
             return [UnderlayPath.through([src])]
         src_tor = self.tor_of(src)
@@ -209,11 +239,15 @@ class RailOptimizedTopology:
             for spine in self.spines
         ]
 
+    def invalidate_path_cache(self) -> None:
+        """Drop every memoized ECMP path list."""
+        self._path_cache.clear()
+
     def pick_path(
         self, src: RnicId, dst: RnicId, flow_hash: int = 0
     ) -> UnderlayPath:
         """Deterministic ECMP path selection by flow hash."""
-        paths = self.ecmp_paths(src, dst)
+        paths = self._ecmp_paths_cached(src, dst)
         return paths[flow_hash % len(paths)]
 
     def graph(self) -> nx.Graph:

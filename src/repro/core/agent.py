@@ -105,10 +105,8 @@ class OverlayAgent:
     def execute_round(
         self, fabric: DataPlaneFabric, now: float, salt: int = 0
     ) -> List[ProbeResult]:
-        """Probe this agent's share of the active pairs."""
-        results = []
-        for pair in self.my_pairs():
-            results.append(fabric.send_probe(pair.src, pair.dst, now, salt))
+        """Probe this agent's share of the active pairs (one batch)."""
+        results = fabric.send_probe_batch(self.my_pairs(), now, salt)
         self.probes_sent += len(results)
         return results
 

@@ -18,13 +18,12 @@ detectors then decide whether the pair misbehaves:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.analysis.lof import lof_score_of_new_point
+from repro.analysis.lof import IncrementalLOF
 from repro.analysis.stats import LognormalFit, fit_lognormal, z_test
 from repro.core.pinglist import ProbePair
 from repro.network.issues import Symptom
@@ -110,7 +109,7 @@ class ShortTermDetector:
     ) -> None:
         self.config = config
         self.recorder = recorder
-        self._history: Dict[ProbePair, Deque[np.ndarray]] = {}
+        self._history: Dict[ProbePair, IncrementalLOF] = {}
 
     def reset(self, pair: ProbePair) -> None:
         """Forget a pair's baseline (its data path changed)."""
@@ -140,13 +139,12 @@ class ShortTermDetector:
         if feature is None:
             return None
         history = self._history.setdefault(
-            summary.pair, deque(maxlen=cfg.lookback_windows)
+            summary.pair,
+            IncrementalLOF(k=cfg.lof_k, capacity=cfg.lookback_windows),
         )
         anomaly: Optional[DetectedAnomaly] = None
         if len(history) >= cfg.min_history_windows:
-            score = lof_score_of_new_point(
-                np.vstack(history), feature, k=cfg.lof_k
-            )
+            score = history.score(feature)
             shifted = self._median_shifted(history, feature)
             if self.recorder is not None:
                 self.recorder.event(
@@ -168,10 +166,10 @@ class ShortTermDetector:
         return anomaly
 
     def _median_shifted(
-        self, history: Deque[np.ndarray], feature: np.ndarray
+        self, history: IncrementalLOF, feature: np.ndarray
     ) -> bool:
         """Whether the window's p50 rose beyond the transient tolerance."""
-        baseline_p50 = float(np.median([vec[1] for vec in history]))
+        baseline_p50 = float(np.median(history.points[:, 1]))
         if baseline_p50 <= 0:
             return True
         shift = (float(feature[1]) - baseline_p50) / baseline_p50

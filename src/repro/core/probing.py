@@ -87,12 +87,16 @@ class ProbeRoundExecutor:
     def execute_round(
         self, ping_list: PingList, now: float, salt: int = 0
     ) -> List[ProbeResult]:
-        """Probe every *active* pair of ``ping_list`` at time ``now``."""
-        results: List[ProbeResult] = []
-        for pair in ping_list.active_pairs():
-            result = self.fabric.send_probe(pair.src, pair.dst, now, salt)
-            results.append(result)
-            if self.on_result is not None:
+        """Probe every *active* pair of ``ping_list`` at time ``now``.
+
+        The round goes through the fabric's batched fast path;
+        ``on_result`` still fires once per result, in pair order.
+        """
+        results = self.fabric.send_probe_batch(
+            ping_list.active_pairs(), now, salt
+        )
+        if self.on_result is not None:
+            for result in results:
                 self.on_result(result)
         self.rounds_executed += 1
         self.probes_issued += len(results)

@@ -47,6 +47,11 @@ class InferredSkeleton:
     stage_of_group: List[int]          # pipeline level of each group
     edges: Set[FrozenSet[EndpointId]] = field(default_factory=set)
     group_topology: str = "ring"       # intra-group pattern used
+    # Lazy endpoint -> group-index map backing group_of(); not part of
+    # the skeleton's identity.
+    _group_index: Optional[Dict[EndpointId, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_stages(self) -> int:
@@ -64,11 +69,27 @@ class InferredSkeleton:
         return len(self.edges - true_edges)
 
     def group_of(self, endpoint: EndpointId) -> int:
-        """Index of the group containing ``endpoint``."""
-        for index, group in enumerate(self.groups):
-            if endpoint in group:
-                return index
-        raise KeyError(f"{endpoint} is not part of the skeleton")
+        """Index of the group containing ``endpoint`` (O(1), indexed).
+
+        The index is built on first use; call
+        :meth:`invalidate_group_index` after mutating :attr:`groups`.
+        """
+        if self._group_index is None:
+            self._group_index = {
+                member: index
+                for index, group in enumerate(self.groups)
+                for member in group
+            }
+        try:
+            return self._group_index[endpoint]
+        except KeyError:
+            raise KeyError(
+                f"{endpoint} is not part of the skeleton"
+            ) from None
+
+    def invalidate_group_index(self) -> None:
+        """Drop the cached endpoint index (groups were edited)."""
+        self._group_index = None
 
 
 class SkeletonInference:

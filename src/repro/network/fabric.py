@@ -14,23 +14,202 @@ fault/congestion extras into a sampled RTT.  The fabric is the single
 place where overlay state, underlay topology, faults, and noise combine —
 every probing strategy (SkeletonHunter, full-mesh Pingmesh, deTector)
 sends its probes through this same function.
+
+Two performance layers keep skeleton-scale monitoring cheap (§6 of the
+paper argues probing must stay invisible next to training traffic; the
+simulator's per-probe cost has to follow suit):
+
+* a :class:`FlowResolutionCache` memoizes the *deterministic* half of a
+  probe — the overlay trace, the ECMP path pick, the faults that could
+  touch the resolution, and the overlay component-health effects — with
+  epoch-based invalidation driven by fault inject/clear, overlay
+  attach/detach, flow-table mutations, and health-flag changes;
+* :meth:`DataPlaneFabric.send_probe_batch` samples loss and RTT for a
+  whole probing round with vectorized numpy draws.  Every probe consumes
+  a fixed block of five uniforms, so the batched draw is bit-identical
+  to one-at-a-time sampling and ``send_probe_batch`` returns exactly the
+  :class:`~repro.network.packet.ProbeResult` stream the sequential
+  :meth:`DataPlaneFabric.send_probe` loop would under the same seed.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.cluster.identifiers import EndpointId, RnicId
 from repro.cluster.orchestrator import Cluster
-from repro.cluster.overlay import ovs_name, veth_name, vtep_name
+from repro.cluster.overlay import OverlayTrace, ovs_name, veth_name, vtep_name
 from repro.cluster.topology import UnderlayPath
-from repro.network.faults import Effects, FaultInjector
+from repro.network.faults import Effects, Fault, FaultInjector
 from repro.network.latency import LatencyModel, TransientCongestion
 from repro.network.packet import ProbeResult, flow_hash
 from repro.sim.metrics import MetricRegistry
 from repro.sim.rng import RngRegistry
 
-__all__ = ["DataPlaneFabric"]
+__all__ = ["DataPlaneFabric", "FlowResolutionCache"]
+
+#: Uniforms one probe consumes, in order: loss gate, base-RTT noise,
+#: software-path noise, congestion gate, congestion magnitude.  Fixed
+#: whether or not the probe is lost, so batched pre-draws stay aligned
+#: with sequential draws.
+_DRAWS_PER_PROBE = 5
+
+
+@dataclass
+class _Resolution:
+    """The deterministic (RNG-free, time-free) half of one probe."""
+
+    epoch: Tuple[int, int]            # (overlay.epoch, injector.epoch)
+    trace: OverlayTrace
+    fhash: int
+    reached: bool
+    overlay_reason: str = ""
+    path: Optional[UnderlayPath] = None
+    faults: Tuple[Fault, ...] = ()
+    # Merged component-health effects along the overlay chain.
+    overlay_fx: Effects = field(default_factory=Effects)
+    hops: int = 0
+    switches: int = 0
+
+
+class FlowResolutionCache:
+    """Memoizes per-(src, dst, salt) probe resolutions.
+
+    A resolution is valid exactly while the *(overlay epoch, injector
+    epoch)* pair it was computed under is current: fault registrations
+    and clears, container attach/detach, OVS/offload flow-table
+    mutations, and component-health flag changes each bump an epoch, so
+    Figure-18-style cache-invalidation faults (a table mutating under a
+    warm cache) still surface — the next probe re-walks the chain.
+
+    Invalidation is lazy: stale entries are detected (and replaced) at
+    lookup time rather than eagerly swept, so an epoch bump costs O(1).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        injector: FaultInjector,
+        enabled: bool = True,
+    ) -> None:
+        self._cluster = cluster
+        self._injector = injector
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[
+            Tuple[EndpointId, EndpointId, int], _Resolution
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def current_epoch(self) -> Tuple[int, int]:
+        """The (overlay, injector) epoch pair entries are valid under."""
+        return (self._cluster.overlay.epoch, self._injector.epoch)
+
+    def invalidate(self) -> None:
+        """Drop every cached resolution (epochs make this optional)."""
+        self._entries.clear()
+
+    def resolve(
+        self, src: EndpointId, dst: EndpointId, salt: int
+    ) -> _Resolution:
+        """The resolution for one probe, cached when possible.
+
+        Cache-served resolutions replay ``rule.hit()`` on the flow rules
+        the original walk traversed, so per-rule packet counters advance
+        exactly as if the chain had been re-walked.
+        """
+        key = (src, dst, salt)
+        if self.enabled:
+            cached = self._entries.get(key)
+            if cached is not None and cached.epoch == self.current_epoch():
+                self.hits += 1
+                for rule in cached.trace.rules:
+                    rule.hit()
+                return cached
+        self.misses += 1
+        resolution = self._compute(src, dst, salt)
+        if self.enabled:
+            self._entries[key] = resolution
+        return resolution
+
+    def _compute(
+        self, src: EndpointId, dst: EndpointId, salt: int
+    ) -> _Resolution:
+        overlay = self._cluster.overlay
+        trace = overlay.trace(src, dst, install_missing=True)
+        if overlay.is_registered(src) and overlay.is_registered(dst):
+            # The echo response travels the reverse flow, whose rule the
+            # destination's first reply packet installs.
+            overlay.ensure_flow(dst, src)
+        fhash = flow_hash(src, dst, salt)
+
+        if not trace.reached:
+            reason = "overlay forwarding loop" if trace.loop else (
+                f"overlay unreachable at {trace.failure_component}"
+            )
+            return _Resolution(
+                epoch=self.current_epoch(), trace=trace, fhash=fhash,
+                reached=False, overlay_reason=reason,
+            )
+
+        src_rnic = trace.src_rnic
+        dst_rnic = trace.dst_rnic
+        path = self._cluster.topology.pick_path(src_rnic, dst_rnic, fhash)
+        faults = self._injector.relevant_faults(path, src_rnic, dst_rnic)
+        overlay_fx = self._component_effects(src, dst, src_rnic, dst_rnic)
+        # Snapshot the epoch *after* side effects: the walk itself may
+        # have installed flow rules (bumping the overlay epoch), and the
+        # entry must be valid from this state onward.
+        return _Resolution(
+            epoch=self.current_epoch(), trace=trace, fhash=fhash,
+            reached=True, path=path, faults=faults, overlay_fx=overlay_fx,
+            hops=path.hops, switches=len(path.switches()),
+        )
+
+    def _component_effects(
+        self,
+        src: EndpointId,
+        dst: EndpointId,
+        src_rnic: RnicId,
+        dst_rnic: RnicId,
+    ) -> Effects:
+        """Latency/loss contributed by overlay component health flags."""
+        overlay = self._cluster.overlay
+        combined = Effects()
+        components = (
+            veth_name(src), ovs_name(src_rnic.host), vtep_name(src_rnic),
+            vtep_name(dst_rnic), ovs_name(dst_rnic.host), veth_name(dst),
+        )
+        for name in components:
+            health = overlay.health(name)
+            combined = combined.merge(Effects(
+                down=health.down,
+                loss_rate=health.loss_rate,
+                extra_latency_us=health.extra_latency_us,
+                force_software_path=health.force_software_path,
+            ))
+        return combined
+
+
+def _effects_at(resolution: _Resolution, at: float) -> Effects:
+    """Total effects on one probe at time ``at`` (flow = its fhash)."""
+    combined = Effects()
+    for fault in resolution.faults:
+        contribution = fault.effects(at, resolution.fhash)
+        if (
+            contribution.down
+            or contribution.loss_rate > 0.0
+            or contribution.extra_latency_us != 0.0
+            or contribution.force_software_path
+        ):
+            combined = combined.merge(contribution)
+    return combined.merge(resolution.overlay_fx)
 
 
 class DataPlaneFabric:
@@ -44,6 +223,7 @@ class DataPlaneFabric:
         latency_model: Optional[LatencyModel] = None,
         congestion: Optional[TransientCongestion] = None,
         metrics: Optional[MetricRegistry] = None,
+        cache_enabled: bool = True,
     ) -> None:
         self.cluster = cluster
         self.injector = injector
@@ -51,6 +231,9 @@ class DataPlaneFabric:
         self.congestion = congestion or TransientCongestion(rate=0.0)
         self._rng = rng.stream("fabric")
         self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.resolution_cache = FlowResolutionCache(
+            cluster, injector, enabled=cache_enabled
+        )
 
     def attach_metrics(self, metrics: MetricRegistry) -> None:
         """Adopt a shared registry, folding in any counts so far.
@@ -80,104 +263,128 @@ class DataPlaneFabric:
     def send_probe(
         self, src: EndpointId, dst: EndpointId, at: float, salt: int = 0
     ) -> ProbeResult:
-        """Send one probe at simulated time ``at`` and observe its fate."""
-        self.metrics.increment("probes.sent")
-        overlay = self.cluster.overlay
-        trace = overlay.trace(src, dst, install_missing=True)
-        if overlay.is_registered(src) and overlay.is_registered(dst):
-            # The echo response travels the reverse flow, whose rule the
-            # destination's first reply packet installs.
-            overlay.ensure_flow(dst, src)
-        fhash = flow_hash(src, dst, salt)
+        """Send one probe at simulated time ``at`` and observe its fate.
 
-        if not trace.reached:
-            self.metrics.increment("probes.lost")
-            reason = "overlay forwarding loop" if trace.loop else (
-                f"overlay unreachable at {trace.failure_component}"
-            )
-            return ProbeResult(
-                src=src, dst=dst, sent_at=at, lost=True, reason=reason,
-                src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
-                overlay_trace=trace,
-            )
+        Exactly equivalent to a one-element :meth:`send_probe_batch`
+        (it *is* one): a round probed pair-by-pair and the same round
+        probed in one batch consume the same generator stream and yield
+        the same results.
+        """
+        return self.send_probe_batch(((src, dst),), at, salt)[0]
 
-        src_rnic = trace.src_rnic
-        dst_rnic = trace.dst_rnic
-        path = self.cluster.topology.pick_path(src_rnic, dst_rnic, fhash)
-
-        effects = self.injector.path_effects(path, at, fhash)
-        effects = effects.merge(self.injector.rnic_effects(src_rnic, at, fhash))
-        effects = effects.merge(self.injector.rnic_effects(dst_rnic, at, fhash))
-        effects = effects.merge(
-            self.injector.host_effects(src_rnic.host, at, fhash)
-        )
-        effects = effects.merge(
-            self.injector.host_effects(dst_rnic.host, at, fhash)
-        )
-
-        overlay_extra = self._overlay_extras(src, dst, src_rnic, dst_rnic)
-        effects = effects.merge(overlay_extra)
-
-        if effects.down:
-            self.metrics.increment("probes.lost")
-            return ProbeResult(
-                src=src, dst=dst, sent_at=at, lost=True,
-                reason="component down on path",
-                src_rnic=src_rnic, dst_rnic=dst_rnic,
-                underlay_path=path, overlay_trace=trace,
-            )
-        if effects.loss_rate > 0 and float(
-            self._rng.random()
-        ) < effects.loss_rate:
-            self.metrics.increment("probes.lost")
-            return ProbeResult(
-                src=src, dst=dst, sent_at=at, lost=True,
-                reason="packet dropped on path",
-                src_rnic=src_rnic, dst_rnic=dst_rnic,
-                underlay_path=path, overlay_trace=trace,
-            )
-
-        software = trace.software_path or effects.force_software_path
-        if software:
-            self.metrics.increment("probes.software_path")
-        latency = self.latency_model.sample_rtt_us(
-            self._rng,
-            num_links=path.hops,
-            num_switches=len(path.switches()),
-            extra_us=effects.extra_latency_us,
-            software_path=software,
-        )
-        latency += self.congestion.sample_us(self._rng)
-        return ProbeResult(
-            src=src, dst=dst, sent_at=at, lost=False,
-            latency_us=latency, software_path=software,
-            src_rnic=src_rnic, dst_rnic=dst_rnic,
-            underlay_path=path, overlay_trace=trace,
-        )
-
-    def _overlay_extras(
+    def send_probe_batch(
         self,
-        src: EndpointId,
-        dst: EndpointId,
-        src_rnic: RnicId,
-        dst_rnic: RnicId,
-    ) -> Effects:
-        """Latency/loss contributed by overlay component health flags."""
-        overlay = self.cluster.overlay
-        combined = Effects()
-        components = (
-            veth_name(src), ovs_name(src_rnic.host), vtep_name(src_rnic),
-            vtep_name(dst_rnic), ovs_name(dst_rnic.host), veth_name(dst),
-        )
-        for name in components:
-            health = overlay.health(name)
-            combined = combined.merge(Effects(
-                down=health.down,
-                loss_rate=health.loss_rate,
-                extra_latency_us=health.extra_latency_us,
-                force_software_path=health.force_software_path,
-            ))
-        return combined
+        pairs: Iterable[object],
+        at: float,
+        salt: int = 0,
+    ) -> List[ProbeResult]:
+        """Send one probe per pair at simulated time ``at``.
+
+        ``pairs`` may hold ``(src, dst)`` tuples or any objects with
+        ``src``/``dst`` attributes (e.g.
+        :class:`~repro.core.pinglist.ProbePair`).  Results come back in
+        input order.  Each probe consumes a fixed five-uniform block of
+        the fabric stream; the block for the whole round is drawn once
+        and transformed with vectorized numpy math, which is where the
+        batched path earns its throughput (see ``repro bench``).
+
+        Resolution still happens per probe *in order*, so side effects
+        (first-use flow installs, mid-batch cache invalidation by a
+        fault's table mutation) land exactly as they would sequentially.
+        """
+        endpoints: List[Tuple[EndpointId, EndpointId]] = [
+            (pair.src, pair.dst) if hasattr(pair, "src") else tuple(pair)
+            for pair in pairs
+        ]
+        n = len(endpoints)
+        if n == 0:
+            return []
+        draws = self._rng.random((n, _DRAWS_PER_PROBE))
+
+        cache = self.resolution_cache
+        results: List[Optional[ProbeResult]] = [None] * n
+        lost = 0
+        # Delivered probes accumulate here for one vectorized RTT pass.
+        delivered: List[int] = []
+        delivered_res: List[_Resolution] = []
+        hops: List[int] = []
+        switches: List[int] = []
+        extra_us: List[float] = []
+        software: List[bool] = []
+
+        for i, (src, dst) in enumerate(endpoints):
+            res = cache.resolve(src, dst, salt)
+            trace = res.trace
+            if not res.reached:
+                lost += 1
+                results[i] = ProbeResult(
+                    src=src, dst=dst, sent_at=at, lost=True,
+                    reason=res.overlay_reason,
+                    src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
+                    overlay_trace=trace,
+                )
+                continue
+            effects = _effects_at(res, at)
+            if effects.down:
+                lost += 1
+                results[i] = ProbeResult(
+                    src=src, dst=dst, sent_at=at, lost=True,
+                    reason="component down on path",
+                    src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
+                    underlay_path=res.path, overlay_trace=trace,
+                )
+                continue
+            if effects.loss_rate > 0 and float(
+                draws[i, 0]
+            ) < effects.loss_rate:
+                lost += 1
+                results[i] = ProbeResult(
+                    src=src, dst=dst, sent_at=at, lost=True,
+                    reason="packet dropped on path",
+                    src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
+                    underlay_path=res.path, overlay_trace=trace,
+                )
+                continue
+            delivered.append(i)
+            delivered_res.append(res)
+            hops.append(res.hops)
+            switches.append(res.switches)
+            extra_us.append(effects.extra_latency_us)
+            software.append(
+                trace.software_path or effects.force_software_path
+            )
+
+        if delivered:
+            rows = np.asarray(delivered)
+            latencies = self.latency_model.rtt_from_uniforms(
+                draws[rows, 1], draws[rows, 2],
+                num_links=np.asarray(hops),
+                num_switches=np.asarray(switches),
+                extra_us=np.asarray(extra_us),
+                software_path=np.asarray(software),
+            )
+            latencies = latencies + self.congestion.spikes_from_uniforms(
+                draws[rows, 3], draws[rows, 4]
+            )
+            for j, i in enumerate(delivered):
+                src, dst = endpoints[i]
+                res = delivered_res[j]
+                results[i] = ProbeResult(
+                    src=src, dst=dst, sent_at=at, lost=False,
+                    latency_us=float(latencies[j]),
+                    software_path=bool(software[j]),
+                    src_rnic=res.trace.src_rnic,
+                    dst_rnic=res.trace.dst_rnic,
+                    underlay_path=res.path, overlay_trace=res.trace,
+                )
+
+        self.metrics.increment("probes.sent", n)
+        if lost:
+            self.metrics.increment("probes.lost", lost)
+        soft_count = sum(software)
+        if soft_count:
+            self.metrics.increment("probes.software_path", soft_count)
+        return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
     # Host-agent capabilities (used by the localizer)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.container import Container
 from repro.cluster.identifiers import (
@@ -136,6 +136,18 @@ class FaultInjector:
     def __init__(self, cluster: Cluster) -> None:
         self._cluster = cluster
         self._faults: Dict[int, Fault] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter of fault registrations and clears.
+
+        A probe resolution that cached its relevant-fault list at epoch
+        *e* is valid exactly while ``epoch == e``; every :meth:`inject`
+        and :meth:`clear` (which also cover the overlay/table side
+        effects they apply or revert) bumps it.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Injection API
@@ -145,6 +157,7 @@ class FaultInjector:
         """Register a fault and apply any overlay/table side effects."""
         self._faults[fault.fault_id] = fault
         self._apply_side_effects(fault)
+        self._epoch += 1
         return fault
 
     def clear(self, fault: Fault, at: float) -> None:
@@ -153,6 +166,7 @@ class FaultInjector:
         for undo in reversed(fault._undo):
             undo()
         fault._undo.clear()
+        self._epoch += 1
 
     def active_faults(self, t: float) -> List[Fault]:
         """All faults active at ``t``."""
@@ -233,6 +247,48 @@ class FaultInjector:
             if isinstance(fault.target, HostId) and fault.target == host:
                 combined = combined.merge(fault.effects(t, fhash))
         return combined
+
+    def relevant_faults(
+        self, path: UnderlayPath, src_rnic: RnicId, dst_rnic: RnicId
+    ) -> Tuple[Fault, ...]:
+        """Every fault whose target could perturb this probe resolution.
+
+        The *time-independent* half of the effect queries: which faults
+        sit on the underlay path, on either endpoint RNIC, or on either
+        endpoint host.  The fabric caches this tuple per resolution (it
+        only changes when :attr:`epoch` does) and evaluates the cheap
+        time/flow-dependent :meth:`Fault.effects` per probe.  Ordered
+        like the one-by-one queries: path, src RNIC, dst RNIC, src host,
+        dst host.
+        """
+        link_set = set(path.links)
+        switch_set = set(path.switches())
+        on_path: List[Fault] = []
+        on_src_rnic: List[Fault] = []
+        on_dst_rnic: List[Fault] = []
+        on_src_host: List[Fault] = []
+        on_dst_host: List[Fault] = []
+        for fault in self._faults.values():
+            target = fault.target
+            if isinstance(target, LinkId):
+                if target in link_set:
+                    on_path.append(fault)
+            elif isinstance(target, SwitchId):
+                if str(target) in switch_set:
+                    on_path.append(fault)
+            elif isinstance(target, RnicId):
+                if target == src_rnic:
+                    on_src_rnic.append(fault)
+                if target == dst_rnic:
+                    on_dst_rnic.append(fault)
+            elif isinstance(target, HostId):
+                if target == src_rnic.host:
+                    on_src_host.append(fault)
+                if target == dst_rnic.host:
+                    on_dst_host.append(fault)
+        return tuple(
+            on_path + on_src_rnic + on_dst_rnic + on_src_host + on_dst_host
+        )
 
     # ------------------------------------------------------------------
     # Side effects on overlay / tables

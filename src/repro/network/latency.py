@@ -18,8 +18,29 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.special import ndtri
 
 __all__ = ["LatencyModel", "TransientCongestion"]
+
+#: Uniform draws are clamped away from 0/1 before inverse-CDF transforms
+#: so a (probability ~2^-53) endpoint draw cannot produce an infinity.
+_U_EPS = 1e-300
+_U_CAP = 1.0 - 1e-16
+
+
+def _lognormal_from_uniform(
+    u: np.ndarray, mu: float, sigma: float
+) -> np.ndarray:
+    """Log-normal samples via the inverse normal CDF.
+
+    Sampling through plain uniforms (instead of
+    ``Generator.lognormal``'s ziggurat normals) gives every probe a
+    *fixed* RNG budget: batch code can draw one uniform block for a
+    whole round and transform it vectorized, while consuming exactly
+    the same generator stream as one-at-a-time sampling.
+    """
+    clipped = np.clip(u, _U_EPS, _U_CAP)
+    return np.exp(mu + sigma * ndtri(clipped))
 
 
 @dataclass
@@ -54,13 +75,48 @@ class LatencyModel:
         extra_us: float = 0.0,
         software_path: bool = False,
     ) -> float:
-        """One RTT sample: log-normal noise around the base, plus extras."""
-        base = self.base_rtt_us(num_links, num_switches)
-        noisy = base * float(rng.lognormal(mean=0.0, sigma=self.sigma))
-        if software_path:
-            noisy += self.software_path_penalty_us * float(
-                rng.lognormal(mean=0.0, sigma=self.sigma)
-            )
+        """One RTT sample: log-normal noise around the base, plus extras.
+
+        Always consumes exactly two uniforms (base noise + software-path
+        penalty noise) whether or not the slow path is taken, so the
+        draw count per probe is fixed — the property that lets
+        :meth:`rtt_from_uniforms` vectorize whole probing rounds on the
+        identical generator stream.
+        """
+        u = rng.random(2)
+        return float(self.rtt_from_uniforms(
+            u[0:1], u[1:2],
+            num_links=num_links, num_switches=num_switches,
+            extra_us=extra_us, software_path=software_path,
+        )[0])
+
+    def rtt_from_uniforms(
+        self,
+        u_base: np.ndarray,
+        u_soft: np.ndarray,
+        num_links,
+        num_switches,
+        extra_us=0.0,
+        software_path=False,
+    ) -> np.ndarray:
+        """Vectorized RTT sampling from pre-drawn uniforms.
+
+        ``num_links``/``num_switches``/``extra_us``/``software_path``
+        may be scalars or arrays broadcastable against the uniforms.
+        """
+        num_links = np.asarray(num_links)
+        num_switches = np.asarray(num_switches)
+        one_way = (
+            2 * self.host_stack_us
+            + num_links * self.per_link_us
+            + num_switches * self.per_switch_us
+        )
+        base = 2.0 * one_way
+        noisy = base * _lognormal_from_uniform(u_base, 0.0, self.sigma)
+        penalty = self.software_path_penalty_us * _lognormal_from_uniform(
+            u_soft, 0.0, self.sigma
+        )
+        noisy = noisy + np.where(np.asarray(software_path), penalty, 0.0)
         return noisy + extra_us
 
     def lognormal_params(
@@ -84,7 +140,26 @@ class TransientCongestion:
     mean_spike_us: float = 12.0
 
     def sample_us(self, rng: np.random.Generator) -> float:
-        """Extra latency (0 for the vast majority of probes)."""
-        if self.rate <= 0 or float(rng.random()) >= self.rate:
-            return 0.0
-        return float(rng.exponential(self.mean_spike_us))
+        """Extra latency (0 for the vast majority of probes).
+
+        Like :meth:`LatencyModel.sample_rtt_us`, the draw budget is
+        fixed: one gate uniform plus one magnitude uniform per call,
+        spike or not, so batched rounds can pre-draw the whole block.
+        """
+        u = rng.random(2)
+        return float(self.spikes_from_uniforms(u[0:1], u[1:2])[0])
+
+    def spikes_from_uniforms(
+        self, u_gate: np.ndarray, u_mag: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized congestion spikes from pre-drawn uniforms.
+
+        A probe spikes when its gate uniform lands below ``rate``; the
+        magnitude comes from the inverse exponential CDF of the second
+        uniform.
+        """
+        if self.rate <= 0:
+            return np.zeros_like(np.asarray(u_gate, dtype=np.float64))
+        clipped = np.clip(u_mag, 0.0, _U_CAP)
+        magnitude = -self.mean_spike_us * np.log1p(-clipped)
+        return np.where(u_gate < self.rate, magnitude, 0.0)

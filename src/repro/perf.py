@@ -1,0 +1,295 @@
+"""Probing fast-path performance measurement (``repro bench``).
+
+Quantifies the two optimizations that keep skeleton-scale monitoring
+cheap (the simulator-side analogue of the paper's §6 probing-overhead
+argument, Figures 15-17):
+
+* **Probe rounds** — one round over a skeleton-like pair list, measured
+  sequentially with resolution/path caches disabled (the pre-fast-path
+  cost: one full overlay walk + ECMP enumeration + fault scan per probe)
+  against :meth:`~repro.network.fabric.DataPlaneFabric.send_probe_batch`
+  with caches warm (the production configuration).
+* **Detector windows** — scoring a 30-second window against a pair's
+  look-back, measured with the legacy full-rebuild
+  (:func:`~repro.analysis.lof.lof_score_of_new_point` over the stacked
+  history) against the rolling :class:`~repro.analysis.lof.IncrementalLOF`
+  state the detector now holds.
+
+Before timing anything, :func:`verify_equivalence` replays one round
+both ways on identically seeded scenarios and insists on bit-identical
+:class:`~repro.network.packet.ProbeResult` streams — the fast path is
+only a fast path if it changes nothing but the clock.
+
+Wall-clock measurement uses ``time.perf_counter`` (monotonic interval
+timing is determinism-lint clean; only calendar time is banned).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.lof import IncrementalLOF, lof_score_of_new_point
+from repro.cluster.identifiers import EndpointId
+from repro.sim.rng import RngRegistry
+from repro.workloads.scenarios import MonitoredScenario, build_scenario
+
+__all__ = [
+    "bench_detector",
+    "bench_probing",
+    "format_report",
+    "run_benchmark",
+    "verify_equivalence",
+]
+
+#: Endpoint counts the full benchmark sweeps (§6-scale probing rounds).
+FULL_SIZES = (128, 512, 2048)
+#: Endpoint counts the CI smoke run sweeps.
+QUICK_SIZES = (128,)
+
+_GPUS_PER_CONTAINER = 8
+
+
+def _build(num_endpoints: int, seed: int) -> MonitoredScenario:
+    if num_endpoints % _GPUS_PER_CONTAINER:
+        raise ValueError(
+            f"num_endpoints must be a multiple of {_GPUS_PER_CONTAINER}"
+        )
+    return build_scenario(
+        num_containers=num_endpoints // _GPUS_PER_CONTAINER,
+        gpus_per_container=_GPUS_PER_CONTAINER,
+        seed=seed,
+        start_monitoring=False,
+    )
+
+
+def _round_pairs(
+    endpoints: List[EndpointId],
+) -> List[Tuple[EndpointId, EndpointId]]:
+    """A skeleton-like probing round: ring plus a long-stride chord.
+
+    Mirrors what an optimized ping list looks like — O(n) pairs, a mix
+    of same-ToR and cross-segment flows — without depending on skeleton
+    inference (whose cost is not what this benchmark measures).
+    """
+    n = len(endpoints)
+    pairs: List[Tuple[EndpointId, EndpointId]] = []
+    for i, src in enumerate(endpoints):
+        ring = endpoints[(i + 1) % n]
+        if ring != src:
+            pairs.append((src, ring))
+        chord = endpoints[(i + n // 3 + 1) % n]
+        if chord != src and chord != ring:
+            pairs.append((src, chord))
+    return pairs
+
+
+def verify_equivalence(num_endpoints: int = 64, seed: int = 7) -> int:
+    """Assert batch and sequential probing agree result-for-result.
+
+    Runs the same two rounds on two identically seeded scenarios — one
+    probe at a time on the first, one batch per round on the second —
+    and compares the :class:`ProbeResult` streams for equality.  Returns
+    the number of results compared; raises ``AssertionError`` on any
+    mismatch.
+    """
+    seq = _build(num_endpoints, seed)
+    bat = _build(num_endpoints, seed)
+    pairs_seq = _round_pairs(seq.task.endpoints())
+    pairs_bat = _round_pairs(bat.task.endpoints())
+    compared = 0
+    for round_index in range(2):
+        at = float(round_index)
+        seq_results = [
+            seq.fabric.send_probe(src, dst, at) for src, dst in pairs_seq
+        ]
+        bat_results = bat.fabric.send_probe_batch(pairs_bat, at)
+        if seq_results != bat_results:
+            raise AssertionError(
+                "sequential and batched probing diverged in round "
+                f"{round_index}"
+            )
+        compared += len(seq_results)
+    return compared
+
+
+def bench_probing(
+    num_endpoints: int, rounds: int = 3, seed: int = 0
+) -> Dict[str, float]:
+    """Time sequential (cold, uncached) vs batched (cached) rounds.
+
+    Both variants run one warm-up round first (the pre-change sequential
+    path also had its flow rules installed after round one), then
+    ``rounds`` timed rounds over the same pair list.
+    """
+    scenario = _build(num_endpoints, seed)
+    fabric = scenario.fabric
+    pairs = _round_pairs(scenario.task.endpoints())
+
+    # Sequential baseline: what every probe cost before the fast path —
+    # full overlay walk, ECMP enumeration, and fault scan each time.
+    fabric.resolution_cache.enabled = False
+    fabric.resolution_cache.invalidate()
+    scenario.topology.path_cache_enabled = False
+    scenario.topology.invalidate_path_cache()
+    for src, dst in pairs:
+        fabric.send_probe(src, dst, 0.0)
+    gc.collect()
+    start = time.perf_counter()
+    for r in range(rounds):
+        at = float(r + 1)
+        for src, dst in pairs:
+            fabric.send_probe(src, dst, at)
+    sequential_s = time.perf_counter() - start
+
+    fabric.resolution_cache.enabled = True
+    scenario.topology.path_cache_enabled = True
+    fabric.send_probe_batch(pairs, float(rounds + 1))
+    # Dead scenario graphs from earlier sweeps contain reference cycles
+    # (health-change callbacks); collect them now so a cyclic-GC pass
+    # does not land inside the short batched timing window.
+    gc.collect()
+    start = time.perf_counter()
+    for r in range(rounds):
+        fabric.send_probe_batch(pairs, float(rounds + 2 + r))
+    batched_s = time.perf_counter() - start
+
+    probes = len(pairs) * rounds
+    return {
+        "endpoints": num_endpoints,
+        "pairs_per_round": len(pairs),
+        "rounds": rounds,
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "sequential_probes_per_s": probes / max(sequential_s, 1e-9),
+        "batched_probes_per_s": probes / max(batched_s, 1e-9),
+        "speedup": sequential_s / max(batched_s, 1e-9),
+    }
+
+
+def bench_detector(
+    num_pairs: int,
+    windows_per_pair: int = 40,
+    k: int = 4,
+    lookback: int = 10,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Time legacy full-rebuild LOF vs the incremental detector state.
+
+    Replays the short-term detector's per-window work — score the new
+    feature against the look-back, then admit it — for ``num_pairs``
+    monitored pairs, using synthetic healthy feature vectors.
+    """
+    rng = RngRegistry(seed).stream("bench.detector")
+    features = 18.0 + rng.random((num_pairs, windows_per_pair, 7))
+
+    gc.collect()
+    start = time.perf_counter()
+    legacy_scores = 0.0
+    for p in range(num_pairs):
+        history: deque = deque(maxlen=lookback)
+        for w in range(windows_per_pair):
+            vec = features[p, w]
+            if len(history) >= 2:
+                legacy_scores += lof_score_of_new_point(
+                    np.vstack(history), vec, k=k
+                )
+            history.append(vec)
+    legacy_s = time.perf_counter() - start
+
+    gc.collect()
+    start = time.perf_counter()
+    incremental_scores = 0.0
+    for p in range(num_pairs):
+        inc = IncrementalLOF(k=k, capacity=lookback)
+        for w in range(windows_per_pair):
+            vec = features[p, w]
+            if len(inc) >= 2:
+                incremental_scores += inc.score(vec)
+            inc.append(vec)
+    incremental_s = time.perf_counter() - start
+
+    windows = num_pairs * windows_per_pair
+    return {
+        "pairs": num_pairs,
+        "windows_per_pair": windows_per_pair,
+        "legacy_s": legacy_s,
+        "incremental_s": incremental_s,
+        "legacy_windows_per_s": windows / max(legacy_s, 1e-9),
+        "incremental_windows_per_s": windows / max(incremental_s, 1e-9),
+        "speedup": legacy_s / max(incremental_s, 1e-9),
+        "score_drift": abs(legacy_scores - incremental_scores),
+    }
+
+
+def run_benchmark(
+    quick: bool = False,
+    sizes: Optional[Tuple[int, ...]] = None,
+    seed: int = 0,
+    out: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the full measurement suite; optionally write ``out`` as JSON."""
+    chosen = sizes if sizes is not None else (
+        QUICK_SIZES if quick else FULL_SIZES
+    )
+    rounds = 1 if quick else 3
+    compared = verify_equivalence()
+    report: Dict[str, object] = {
+        "benchmark": "probing-fast-path",
+        "quick": quick,
+        "seed": seed,
+        "equivalence_results_compared": compared,
+        "probing": [
+            bench_probing(size, rounds=rounds, seed=seed)
+            for size in chosen
+        ],
+        "detector": [
+            bench_detector(
+                size, windows_per_pair=10 if quick else 40, seed=seed
+            )
+            for size in chosen
+        ],
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a :func:`run_benchmark` report."""
+    lines = [
+        "probe rounds (sequential uncached vs batched cached):",
+        f"  {'endpoints':>10} {'pairs':>7} {'seq probes/s':>14} "
+        f"{'batch probes/s':>15} {'speedup':>9}",
+    ]
+    for row in report["probing"]:
+        lines.append(
+            f"  {row['endpoints']:>10} {row['pairs_per_round']:>7} "
+            f"{row['sequential_probes_per_s']:>14.0f} "
+            f"{row['batched_probes_per_s']:>15.0f} "
+            f"{row['speedup']:>8.1f}x"
+        )
+    lines.append("detector windows (full-rebuild LOF vs incremental):")
+    lines.append(
+        f"  {'pairs':>10} {'legacy win/s':>14} {'incr win/s':>12} "
+        f"{'speedup':>9}"
+    )
+    for row in report["detector"]:
+        lines.append(
+            f"  {row['pairs']:>10} {row['legacy_windows_per_s']:>14.0f} "
+            f"{row['incremental_windows_per_s']:>12.0f} "
+            f"{row['speedup']:>8.1f}x"
+        )
+    lines.append(
+        "equivalence: "
+        f"{report['equivalence_results_compared']} results compared, "
+        "batch == sequential"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Tests for the incrementally maintained LOF reference set.
+
+The contract: :class:`IncrementalLOF` over a rolling window scores every
+candidate identically (to float rounding) to rebuilding
+:func:`lof_score_of_new_point` from the same window — the detector
+swapped implementations, not semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lof import IncrementalLOF, lof_score_of_new_point
+
+
+def _reference_scores(stream, k, lookback):
+    """Scores from the legacy full-rebuild path over a rolling window."""
+    scores = []
+    history = []
+    for vec in stream:
+        if len(history) >= 2:
+            scores.append(
+                lof_score_of_new_point(np.vstack(history), vec, k=k)
+            )
+        else:
+            scores.append(1.0)
+        history.append(vec)
+        if len(history) > lookback:
+            history.pop(0)
+    return scores
+
+
+def _incremental_scores(stream, k, lookback):
+    inc = IncrementalLOF(k=k, capacity=lookback)
+    scores = []
+    for vec in stream:
+        scores.append(inc.score(vec))
+        inc.append(vec)
+    return scores
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize(
+        "k,lookback",
+        [(4, 10), (5, 7), (2, 25), (8, 12), (1, 3)],
+    )
+    def test_rolling_window_scores_match(self, k, lookback):
+        rng = np.random.default_rng(42)
+        stream = 18.0 + rng.random((120, 7))
+        expected = _reference_scores(stream, k, lookback)
+        actual = _incremental_scores(stream, k, lookback)
+        np.testing.assert_allclose(actual, expected, rtol=1e-9)
+
+    def test_matches_above_fused_threshold(self):
+        # Capacity past _FUSED_MAX exercises the selective-refresh path.
+        lookback = IncrementalLOF._FUSED_MAX + 8
+        rng = np.random.default_rng(7)
+        stream = rng.normal(0.0, 1.0, size=(3 * lookback, 4))
+        expected = _reference_scores(stream, 5, lookback)
+        actual = _incremental_scores(stream, 5, lookback)
+        np.testing.assert_allclose(actual, expected, rtol=1e-9)
+
+    def test_outlier_still_stands_out(self):
+        rng = np.random.default_rng(3)
+        inc = IncrementalLOF(k=5, capacity=20)
+        for vec in rng.normal(0.0, 1.0, size=(20, 3)):
+            inc.append(vec)
+        assert inc.score(np.full(3, 12.0)) > 3.0
+        assert inc.score(np.zeros(3)) < 2.0
+
+
+class TestRollingState:
+    def test_unbounded_without_capacity(self):
+        inc = IncrementalLOF(k=3)
+        for i in range(100):
+            inc.append([float(i), 0.0])
+        assert len(inc) == 100
+
+    def test_capacity_evicts_oldest_first(self):
+        inc = IncrementalLOF(k=2, capacity=4)
+        for i in range(7):
+            inc.append([float(i), 1.0])
+        assert len(inc) == 4
+        assert inc.points[:, 0].tolist() == [3.0, 4.0, 5.0, 6.0]
+
+    def test_fewer_than_two_points_score_neutral(self):
+        inc = IncrementalLOF(k=3)
+        assert inc.score([1.0, 2.0]) == 1.0
+        inc.append([0.0, 0.0])
+        assert inc.score([1.0, 2.0]) == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalLOF(k=0)
+        with pytest.raises(ValueError):
+            IncrementalLOF(k=2, capacity=1)

@@ -123,6 +123,43 @@ class TestPaths:
                 assert topo.has_link(link)
 
 
+class TestEcmpMemoization:
+    def test_repeat_query_served_from_cache(self, topo):
+        src = RnicId(HostId(0), 0)
+        dst = RnicId(HostId(5), 0)
+        first = topo.ecmp_paths(src, dst)
+        assert (src, dst) in topo._path_cache
+        assert topo.ecmp_paths(src, dst) == first
+
+    def test_returned_list_is_a_fresh_copy(self, topo):
+        src = RnicId(HostId(0), 0)
+        dst = RnicId(HostId(5), 0)
+        paths = topo.ecmp_paths(src, dst)
+        paths.reverse()
+        # Caller-side reordering must not leak into the memo (pick_path
+        # depends on the canonical spine order).
+        assert topo.ecmp_paths(src, dst) != paths
+
+    def test_invalidate_drops_entries(self, topo):
+        topo.ecmp_paths(RnicId(HostId(0), 0), RnicId(HostId(5), 0))
+        topo.invalidate_path_cache()
+        assert not topo._path_cache
+
+    def test_disabled_cache_stores_nothing(self, topo):
+        topo.path_cache_enabled = False
+        topo.ecmp_paths(RnicId(HostId(0), 0), RnicId(HostId(5), 0))
+        assert not topo._path_cache
+
+    def test_pick_path_agrees_with_enumeration(self, topo):
+        src = RnicId(HostId(0), 1)
+        dst = RnicId(HostId(6), 1)
+        paths = topo.ecmp_paths(src, dst)
+        for fhash in range(8):
+            assert topo.pick_path(src, dst, fhash) == (
+                paths[fhash % len(paths)]
+            )
+
+
 class TestUnderlayPath:
     def test_through_builds_links(self):
         path = UnderlayPath.through(["a", "b", "c"])

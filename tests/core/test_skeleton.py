@@ -141,6 +141,13 @@ class TestInference:
         with pytest.raises(KeyError):
             skeleton.group_of(EndpointId(ContainerId(TaskId(9), 0), 0))
 
+    def test_group_of_index_rebuilds_after_invalidate(self, running_task):
+        _, _, skeleton = infer_for(running_task, ParallelismConfig(4, 2, 2))
+        moved = skeleton.groups[0].pop()
+        skeleton.groups[1].append(moved)
+        skeleton.invalidate_group_index()
+        assert skeleton.group_of(moved) == 1
+
     def test_edges_never_intra_container(self, running_task):
         _, _, skeleton = infer_for(running_task, ParallelismConfig(4, 2, 2))
         for edge in skeleton.edges:

@@ -1,0 +1,125 @@
+"""Property test: batched probing is bit-identical to sequential.
+
+``send_probe_batch`` exists purely for throughput; under a fixed seed it
+must return exactly the :class:`ProbeResult` stream a ``send_probe``
+loop over the same pairs would — including lost probes, fault effects,
+and rounds where the resolution cache is invalidated (or first-use flow
+installs bump the overlay epoch) in the middle of a batch.
+
+The strategy: build two identically seeded scenarios, drive one pair by
+pair and the other batch by batch through the same schedule of rounds,
+fault injections, table mutations, and detaches, and require equality
+(``ProbeResult`` has value semantics) after every round.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.identifiers import LinkId
+from repro.network.issues import IssueType
+from repro.workloads.scenarios import build_scenario
+
+_ISSUES = (
+    IssueType.CRC_ERROR,              # targets a link
+    IssueType.SWITCH_PORT_FLAPPING,   # targets a link, time-varying
+    IssueType.RNIC_PORT_DOWN,
+    IssueType.OFFLOADING_FAILURE,
+)
+_LINK_ISSUES = (IssueType.CRC_ERROR, IssueType.SWITCH_PORT_FLAPPING)
+
+
+def _build(seed):
+    return build_scenario(
+        num_containers=4, gpus_per_container=4, seed=seed,
+        hosts_per_segment=4, start_monitoring=False,
+    )
+
+
+def _pairs(scenario):
+    endpoints = scenario.task.endpoints()
+    n = len(endpoints)
+    return [
+        (endpoints[i], endpoints[(i + stride) % n])
+        for stride in (1, n // 2)
+        for i in range(n)
+        if endpoints[i] != endpoints[(i + stride) % n]
+    ]
+
+
+def _sequential_round(scenario, pairs, at):
+    return [
+        scenario.fabric.send_probe(src, dst, at) for src, dst in pairs
+    ]
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_batch_equals_sequential_healthy(seed):
+    seq, bat = _build(seed), _build(seed)
+    pairs_seq, pairs_bat = _pairs(seq), _pairs(bat)
+    for round_index in range(3):
+        at = float(round_index)
+        expected = _sequential_round(seq, pairs_seq, at)
+        actual = bat.fabric.send_probe_batch(pairs_bat, at)
+        # Round 0 installs flow rules mid-batch (each install bumps the
+        # overlay epoch under the cache); rounds 1-2 run warm.
+        assert actual == expected
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    issue=st.sampled_from(_ISSUES),
+    target_rnic=st.integers(min_value=0, max_value=15),
+)
+def test_batch_equals_sequential_under_faults(seed, issue, target_rnic):
+    seq, bat = _build(seed), _build(seed)
+    pairs_seq, pairs_bat = _pairs(seq), _pairs(bat)
+    faults = []
+    for scenario in (seq, bat):
+        rnic = scenario.cluster.overlay.rnic_of(
+            scenario.task.endpoints()[target_rnic]
+        )
+        target = rnic
+        if issue in _LINK_ISSUES:
+            target = LinkId.between(rnic, scenario.topology.tor_of(rnic))
+        faults.append(
+            scenario.injector.inject_issue(issue, target, start=1.0)
+        )
+    for round_index in range(3):
+        at = float(round_index)  # round 0 pre-fault, 1-2 inside it
+        expected = _sequential_round(seq, pairs_seq, at)
+        actual = bat.fabric.send_probe_batch(pairs_bat, at)
+        assert actual == expected
+    for scenario, fault in zip((seq, bat), faults):
+        scenario.injector.clear(fault, at=3.0)
+    assert bat.fabric.send_probe_batch(pairs_bat, 4.0) == (
+        _sequential_round(seq, pairs_seq, 4.0)
+    )
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_batch_equals_sequential_with_midstream_invalidation(seed):
+    seq, bat = _build(seed), _build(seed)
+    pairs_seq, pairs_bat = _pairs(seq), _pairs(bat)
+    assert bat.fabric.send_probe_batch(pairs_bat, 0.0) == (
+        _sequential_round(seq, pairs_seq, 0.0)
+    )
+    # Yank a flow rule and a container out from under the warm caches;
+    # the next rounds must re-walk identically on both sides.
+    for scenario in (seq, bat):
+        overlay = scenario.cluster.overlay
+        host = overlay.hosts_with_tables()[0]
+        table = overlay.ovs_table(host)
+        table.remove(table.keys()[0])
+    assert bat.fabric.send_probe_batch(pairs_bat, 1.0) == (
+        _sequential_round(seq, pairs_seq, 1.0)
+    )
+    for scenario in (seq, bat):
+        scenario.cluster.overlay.detach_container(
+            scenario.task.container(3)
+        )
+    assert bat.fabric.send_probe_batch(pairs_bat, 2.0) == (
+        _sequential_round(seq, pairs_seq, 2.0)
+    )

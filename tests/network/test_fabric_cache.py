@@ -1,0 +1,186 @@
+"""Tests for the flow-resolution cache and its epoch invalidation.
+
+The cache memoizes the deterministic half of a probe; every state change
+that could alter where a packet goes (fault inject/clear, flow-table
+mutation, health flags, container attach/detach) must invalidate it —
+a stale hit here is exactly the Figure-18 failure mode.
+"""
+
+import pytest
+
+from repro.cluster.overlay import ovs_name, veth_name
+from repro.network.fabric import DataPlaneFabric
+from repro.network.faults import FaultInjector
+from repro.network.issues import IssueType
+
+
+@pytest.fixture
+def injector(cluster):
+    return FaultInjector(cluster)
+
+
+@pytest.fixture
+def fabric(cluster, injector, rng):
+    return DataPlaneFabric(cluster, injector, rng)
+
+
+@pytest.fixture
+def endpoints(running_task):
+    src = running_task.container(0).endpoint(0)
+    dst = running_task.container(1).endpoint(0)
+    return src, dst
+
+
+class TestCacheBasics:
+    def test_repeat_probe_hits_cache(self, fabric, endpoints):
+        cache = fabric.resolution_cache
+        fabric.send_probe(*endpoints, at=0.0)
+        first_misses = cache.misses
+        fabric.send_probe(*endpoints, at=1.0)
+        fabric.send_probe(*endpoints, at=2.0)
+        assert cache.misses == first_misses
+        assert cache.hits == 2
+
+    def test_salt_is_part_of_the_key(self, fabric, endpoints):
+        cache = fabric.resolution_cache
+        fabric.send_probe(*endpoints, at=0.0, salt=0)
+        fabric.send_probe(*endpoints, at=0.0, salt=1)
+        assert cache.hits == 0
+        assert len(cache) == 2
+
+    def test_disabled_cache_stores_nothing(self, cluster, injector, rng):
+        fabric = DataPlaneFabric(
+            cluster, injector, rng, cache_enabled=False
+        )
+        assert len(fabric.resolution_cache) == 0
+
+    def test_invalidate_drops_entries(self, fabric, endpoints):
+        fabric.send_probe(*endpoints, at=0.0)
+        assert len(fabric.resolution_cache) > 0
+        fabric.resolution_cache.invalidate()
+        assert len(fabric.resolution_cache) == 0
+
+    def test_cached_probe_results_match_cold(self, fabric, endpoints):
+        cold = fabric.send_probe(*endpoints, at=0.0)
+        warm = fabric.send_probe(*endpoints, at=0.0)
+        # Same resolution, same time; only the RNG draw block differs,
+        # so path, rnics, and delivery must agree.
+        assert warm.underlay_path == cold.underlay_path
+        assert (warm.src_rnic, warm.dst_rnic) == (
+            cold.src_rnic, cold.dst_rnic
+        )
+        assert warm.ok and cold.ok
+
+    def test_cache_hit_replays_flow_rule_counters(
+        self, fabric, endpoints, cluster
+    ):
+        src, _dst = endpoints
+        fabric.send_probe(*endpoints, at=0.0)
+        table = cluster.overlay.ovs_table(
+            cluster.overlay.rnic_of(src).host
+        )
+        packets_after_miss = max(r.packets for r in table.rules())
+        fabric.send_probe(*endpoints, at=1.0)
+        assert fabric.resolution_cache.hits == 1
+        # The cached resolution replays rule.hit(), so per-rule packet
+        # counters advance exactly as a re-walk would.
+        assert (
+            max(r.packets for r in table.rules())
+            == packets_after_miss + 1
+        )
+
+
+class TestEpochInvalidation:
+    def _warm(self, fabric, endpoints):
+        fabric.send_probe(*endpoints, at=0.0)
+        fabric.send_probe(*endpoints, at=0.5)
+        assert fabric.resolution_cache.hits >= 1
+
+    def test_fault_inject_and_clear_invalidate(
+        self, fabric, injector, endpoints, cluster
+    ):
+        self._warm(fabric, endpoints)
+        src, _ = endpoints
+        rnic = cluster.overlay.rnic_of(src)
+        misses = fabric.resolution_cache.misses
+
+        fault = injector.inject_issue(
+            IssueType.RNIC_PORT_DOWN, rnic, start=1.0
+        )
+        result = fabric.send_probe(*endpoints, at=2.0)
+        assert fabric.resolution_cache.misses == misses + 1
+        assert result.lost and result.reason == "component down on path"
+
+        injector.clear(fault, at=3.0)
+        result = fabric.send_probe(*endpoints, at=4.0)
+        assert fabric.resolution_cache.misses == misses + 2
+        assert result.ok
+
+    def test_flow_table_mutation_invalidates(
+        self, fabric, endpoints, cluster
+    ):
+        self._warm(fabric, endpoints)
+        src, _ = endpoints
+        table = cluster.overlay.ovs_table(
+            cluster.overlay.rnic_of(src).host
+        )
+        misses = fabric.resolution_cache.misses
+        assert table.keys()
+        table.remove(table.keys()[0])
+
+        result = fabric.send_probe(*endpoints, at=1.0)
+        assert fabric.resolution_cache.misses == misses + 1
+        # The re-walk reinstalls the missing rule (slow path), so the
+        # probe still completes.
+        assert result.ok
+
+    def test_health_flag_change_invalidates(
+        self, fabric, endpoints, cluster
+    ):
+        self._warm(fabric, endpoints)
+        src, _ = endpoints
+        component = veth_name(src)
+        cluster.overlay.health(component).loss_rate = 1.0
+
+        result = fabric.send_probe(*endpoints, at=1.0)
+        assert result.lost and result.reason == "packet dropped on path"
+
+        cluster.overlay.clear_health(component)
+        assert fabric.send_probe(*endpoints, at=2.0).ok
+
+    def test_ovs_down_surfaces_through_warm_cache(
+        self, fabric, endpoints, cluster
+    ):
+        self._warm(fabric, endpoints)
+        src, _ = endpoints
+        host = cluster.overlay.rnic_of(src).host
+        cluster.overlay.health(ovs_name(host)).down = True
+        result = fabric.send_probe(*endpoints, at=1.0)
+        # The re-walk (not the stale cached trace) finds the dead OVS.
+        assert result.lost
+        assert result.reason == f"overlay unreachable at {ovs_name(host)}"
+
+    def test_detach_invalidates_stale_trace(
+        self, fabric, endpoints, running_task, cluster
+    ):
+        # Regression: a warm cache must not keep resolving probes
+        # through a container that has since left the overlay.
+        self._warm(fabric, endpoints)
+        cluster.overlay.detach_container(running_task.container(1))
+
+        result = fabric.send_probe(*endpoints, at=1.0)
+        assert result.lost
+        assert result.reason.startswith("overlay unreachable")
+
+    def test_detach_always_bumps_epoch(self, cluster, running_task, fabric):
+        before = fabric.resolution_cache.current_epoch()
+        cluster.overlay.detach_container(running_task.container(2))
+        assert fabric.resolution_cache.current_epoch() != before
+
+    def test_attach_bumps_epoch(
+        self, cluster, orchestrator, engine, fabric
+    ):
+        before = fabric.resolution_cache.current_epoch()
+        orchestrator.submit_task(1, 4, instant_startup=True)
+        engine.run_until(engine.now)
+        assert fabric.resolution_cache.current_epoch() != before
