@@ -1,0 +1,65 @@
+"""Sharded-plane scaling (§6 scale-out) under pytest-benchmark.
+
+Regenerates ``BENCH_shard.json``'s numbers at the quick size: probe
+rounds through the topology-partitioned shard plane at 1 and 4 shards,
+on the in-process and multiprocessing backends.  The committed artifact
+records the 2048-endpoint acceptance row (>=2x at 4 shards in-process);
+the gate here is loose because CI machines are noisy — but the
+equivalence check is not: a sharded run must open the same events,
+reach the same verdicts, and accumulate the same vote table as the
+single-shard baseline, or the speedup is a correctness bug.
+"""
+
+from conftest import print_table, run_once
+from repro.shard.bench import QUICK_SIZE, bench_shard_round
+from repro.shard.equivalence import verify_shard_equivalence
+
+ROUNDS = 2
+CONFIGS = ((1, "inproc"), (4, "inproc"), (4, "mp"))
+
+
+def test_shard_round_scaling(benchmark):
+    _, containers, gpus = QUICK_SIZE
+
+    def experiment():
+        return [
+            bench_shard_round(
+                containers, gpus, num_shards, backend, rounds=ROUNDS
+            )
+            for num_shards, backend in CONFIGS
+        ]
+
+    rows = run_once(benchmark, experiment)
+    baseline = rows[0]["round_s"]
+    for row in rows:
+        row["speedup"] = baseline / row["round_s"]
+
+    print_table(
+        "Shard plane: probe-round throughput by shard count",
+        ["shards", "backend", "pairs", "round s", "probes/s", "speedup"],
+        [[r["shards"], r["backend"], r["pairs_per_round"],
+          f"{r['round_s']:.3f}", f"{r['probes_per_s']:.0f}",
+          f"{r['speedup']:.2f}x"] for r in rows],
+    )
+    for row in rows:
+        key = f"speedup_{row['shards']}_{row['backend']}"
+        benchmark.extra_info[key] = row["speedup"]
+    # Loose floor (CI noise): sharding must not make rounds slower.
+    # The committed 2048-endpoint artifact shows >4x.
+    four_inproc = next(
+        r for r in rows if r["shards"] == 4 and r["backend"] == "inproc"
+    )
+    assert four_inproc["speedup"] > 1.0
+
+
+def test_sharded_equals_single_shard(benchmark):
+    summary = run_once(
+        benchmark,
+        lambda: verify_shard_equivalence(
+            backends=("inproc", "mp"), with_failover=True
+        ),
+    )
+    benchmark.extra_info["configs_compared"] = len(summary["compared"])
+    assert summary["baseline_events"] > 0
+    assert summary["baseline_verdicts"] > 0
+    assert len(summary["compared"]) == 6

@@ -12,7 +12,7 @@ both of which the flattened time-frequency feature preserves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import signal as sp_signal
@@ -64,7 +64,7 @@ def _spectrogram(series: np.ndarray, config: StftConfig) -> np.ndarray:
 
 
 def stft_feature(
-    series: np.ndarray, config: StftConfig = StftConfig()
+    series: np.ndarray, config: Optional[StftConfig] = None
 ) -> np.ndarray:
     """A unit-norm feature vector describing a series' burst pattern.
 
@@ -72,6 +72,7 @@ def stft_feature(
     frequency content and its placement in time, then L2-normalizes so
     distances compare burst *shape* rather than absolute volume.
     """
+    config = config if config is not None else StftConfig()
     mag = _spectrogram(series, config)
     # Drop the DC row: absolute traffic volume is not a grouping signal.
     mag = mag[1:, :]
@@ -85,7 +86,7 @@ def stft_feature(
 
 
 def feature_matrix(
-    series_list: Sequence[np.ndarray], config: StftConfig = StftConfig()
+    series_list: Sequence[np.ndarray], config: Optional[StftConfig] = None
 ) -> np.ndarray:
     """Stack features of equally-long series into an (n, d) matrix."""
     if not series_list:
@@ -98,9 +99,10 @@ def feature_matrix(
 
 
 def dominant_frequency(
-    series: np.ndarray, config: StftConfig = StftConfig()
+    series: np.ndarray, config: Optional[StftConfig] = None
 ) -> float:
     """The strongest non-DC frequency (Hz) in a series' average spectrum."""
+    config = config if config is not None else StftConfig()
     mag = _spectrogram(series, config)
     mean_spectrum = mag.mean(axis=1)
     freqs = np.fft.rfftfreq(config.nperseg, d=1.0 / config.sample_rate_hz)

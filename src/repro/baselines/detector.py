@@ -11,7 +11,7 @@ deTector vs ~2.6K for SkeletonHunter).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.cluster.container import TrainingTask
 from repro.cluster.identifiers import LinkId
@@ -33,14 +33,15 @@ class DetectorBaseline:
         cluster: Cluster,
         task: TrainingTask,
         coverage: int = 3,
-        cost: ProbeCostModel = ProbeCostModel(),
+        cost: Optional[ProbeCostModel] = None,
     ) -> None:
         if coverage < 1:
             raise ValueError("coverage must be at least 1")
         self.cluster = cluster
         self.task = task
         self.coverage = coverage
-        self.cost = cost
+        # Per-instance default (lint rule "shared-instance-default").
+        self.cost = cost if cost is not None else ProbeCostModel()
         self.ping_list = self._plan()
 
     # ------------------------------------------------------------------

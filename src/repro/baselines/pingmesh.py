@@ -36,10 +36,11 @@ class PingmeshBaseline:
         self,
         task: TrainingTask,
         activation_refresh_s: float = 60.0,
-        cost: ProbeCostModel = ProbeCostModel(),
+        cost: Optional[ProbeCostModel] = None,
     ) -> None:
         self.task = task
-        self.cost = cost
+        # Per-instance default (lint rule "shared-instance-default").
+        self.cost = cost if cost is not None else ProbeCostModel()
         self.activation_refresh_s = activation_refresh_s
         self.ping_list = PingList.full_mesh(task.endpoints())
         self._last_refresh: Optional[float] = None

@@ -10,7 +10,7 @@ exercises, so it probes them all.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.container import TrainingTask
 from repro.cluster.identifiers import SwitchId
@@ -33,14 +33,15 @@ class RPingmeshBaseline:
         cluster: Cluster,
         task: TrainingTask,
         pairs_per_tor_pair: int = 4,
-        cost: ProbeCostModel = ProbeCostModel(),
+        cost: Optional[ProbeCostModel] = None,
     ) -> None:
         if pairs_per_tor_pair < 1:
             raise ValueError("need at least one pair per ToR pair")
         self.cluster = cluster
         self.task = task
         self.pairs_per_tor_pair = pairs_per_tor_pair
-        self.cost = cost
+        # Per-instance default (lint rule "shared-instance-default").
+        self.cost = cost if cost is not None else ProbeCostModel()
         self.ping_list = self._plan()
 
     def _tor_of(self, endpoint) -> SwitchId:

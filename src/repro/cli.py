@@ -11,6 +11,9 @@ Usage::
     python -m repro export-metrics [--faults N]
     python -m repro verify [--issue NAME] [--lint [paths...]]
     python -m repro bench [--quick] [--out FILE]
+    python -m repro run [--shards N] [--backend inproc|mp] [--faults N]
+    python -m repro shard-status [--shards N] [--kill SHARD]
+    python -m repro bench-shard [--quick] [--out FILE]
 
 ``demo`` monitors one training task, applies skeleton inference, injects
 an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
@@ -32,6 +35,14 @@ component) or, with ``--lint``, the determinism lint over the source.
 incremental vs full-rebuild detector windows), verifies the fast path is
 result-identical to the sequential one, and fails if batching is ever
 slower.  ``--quick`` is the CI smoke configuration.
+
+The last three commands drive the sharded monitoring plane
+(:mod:`repro.shard`): ``run`` executes a faulted scenario across N
+shard workers and prints the merged events, verdicts, and per-shard
+summary; ``shard-status`` runs a short plane (optionally killing a
+shard mid-run) and renders the coordinator's heartbeat/failover view;
+``bench-shard`` runs the shard-equivalence gate plus the scaling sweep
+behind ``BENCH_shard.json``.
 """
 
 from __future__ import annotations
@@ -142,6 +153,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here (default: BENCH_probing.json)",
     )
     bench.add_argument("--seed", type=int, default=0)
+
+    def add_shard_args(command) -> None:
+        command.add_argument(
+            "--shards", type=int, default=4,
+            help="number of shard workers (default 4)",
+        )
+        command.add_argument(
+            "--backend", default="inproc", choices=["inproc", "mp"],
+            help="run shards in-process or as forked worker processes",
+        )
+        command.add_argument("--containers", type=int, default=16)
+        command.add_argument("--gpus", type=int, default=4)
+        command.add_argument("--rounds", type=int, default=30)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--chunk-rounds", type=int, default=5,
+            help="probe rounds per dispatch/heartbeat chunk",
+        )
+
+    run_cmd = commands.add_parser(
+        "run", help="run a faulted scenario on the sharded monitoring "
+        "plane and print the merged diagnosis"
+    )
+    add_shard_args(run_cmd)
+    run_cmd.add_argument(
+        "--faults", type=int, default=3,
+        help="how many standard schedule faults to inject (0-3)",
+    )
+
+    shard_status = commands.add_parser(
+        "shard-status", help="run a short sharded plane (with an "
+        "optional scripted shard kill) and render the coordinator's "
+        "heartbeat and failover view"
+    )
+    add_shard_args(shard_status)
+    shard_status.add_argument(
+        "--kill", type=int, default=None, metavar="SHARD",
+        help="kill this shard at the start of the second chunk "
+        "(default: shard 1 when running multiple shards; -1 disables)",
+    )
+
+    bench_shard = commands.add_parser(
+        "bench-shard", help="run the shard-equivalence gate and the "
+        "shard-scaling benchmark"
+    )
+    bench_shard.add_argument(
+        "--quick", action="store_true",
+        help="small sizes (the CI smoke mode; no speedup gate)",
+    )
+    bench_shard.add_argument(
+        "--out", default="BENCH_shard.json",
+        help="write the JSON report here (default: BENCH_shard.json)",
+    )
+    bench_shard.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -356,6 +421,189 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_spec(args: argparse.Namespace, num_faults: int):
+    """A :class:`ShardScenarioSpec` for the CLI's size/seed arguments,
+    carrying up to three faults from the standard schedule (an RNIC
+    port failure, a switch access-link failure, a container crash)."""
+    from repro.cluster.identifiers import LinkId
+    from repro.shard import FaultSpec, ShardScenarioSpec, build_replica
+
+    base = ShardScenarioSpec(
+        num_containers=args.containers,
+        gpus_per_container=args.gpus,
+        seed=args.seed,
+        total_rounds=args.rounds,
+    )
+    if num_faults <= 0:
+        return base
+    probe = build_replica(base)
+    endpoints = args.containers * args.gpus
+    horizon = max(args.rounds, 1)
+
+    def at(fraction: float) -> int:
+        return max(1, round(horizon * fraction))
+
+    rnic = probe.rnic_of_rank(3 % endpoints)
+    other = probe.rnic_of_rank(8 % endpoints)
+    victim = sorted(probe.task.containers)[5 % args.containers]
+    schedule = (
+        FaultSpec(
+            issue=IssueType.RNIC_PORT_DOWN.name, target=rnic,
+            start_round=at(0.13), end_round=at(0.6),
+        ),
+        FaultSpec(
+            issue=IssueType.SWITCH_PORT_DOWN.name,
+            target=LinkId.between(other, probe.topology.tor_of(other)),
+            start_round=at(0.26),
+        ),
+        FaultSpec(
+            issue=IssueType.CONTAINER_CRASH.name, target=victim,
+            start_round=at(0.36), end_round=at(0.73),
+        ),
+    )
+    return ShardScenarioSpec(
+        num_containers=args.containers,
+        gpus_per_container=args.gpus,
+        seed=args.seed,
+        total_rounds=args.rounds,
+        faults=schedule[:num_faults],
+    )
+
+
+def _render_shard_table(result) -> List[str]:
+    """The per-shard status rows shared by ``run`` and
+    ``shard-status``."""
+    lines = [
+        f"  {'shard':>5} {'token':>8} {'pairs':>6} {'agents':>6} "
+        f"{'chunks':>6} {'round':>5} {'heartbeat':>10} "
+        f"{'adopted':>7} state"
+    ]
+    for shard_id in sorted(result.statuses):
+        status = result.statuses[shard_id]
+        lines.append(
+            f"  {status.shard_id:>5} {status.token:>8} "
+            f"{status.pair_count:>6} {status.agent_count:>6} "
+            f"{status.chunks_completed:>6} {status.last_round:>5} "
+            f"{status.last_sim_time:>9.1f}s {status.adopted_pairs:>7} "
+            f"{'alive' if status.alive else 'dead'}"
+        )
+    return lines
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    from repro.shard import run_plane
+
+    spec = _shard_spec(args, args.faults)
+    result = run_plane(
+        spec, args.shards, backend=args.backend,
+        chunk_rounds=args.chunk_rounds,
+    )
+    counters = result.metrics.counters()
+    print(
+        f"sharded plane: {args.shards} shard(s) on '{args.backend}', "
+        f"{len(spec.faults)} fault(s), {args.rounds} rounds over "
+        f"{sum(result.plan.pair_counts())} pairs"
+    )
+    print(f"events opened: {len(result.events)}")
+    for record in result.events:
+        print(
+            f"  {record.src}<->{record.dst} {record.symptom.lower()} "
+            f"@ {record.first_detected_at:.0f}s"
+        )
+    print(f"localization verdicts: {len(result.verdicts)}")
+    for when, report in result.verdicts:
+        for diagnosis in report.diagnoses:
+            print(
+                f"  @ {when:.0f}s {diagnosis.component} "
+                f"({diagnosis.component_class.value}, "
+                f"{diagnosis.layer}) "
+                f"confidence={diagnosis.confidence:.2f}"
+            )
+        if report.unexplained:
+            print(f"  @ {when:.0f}s unexplained events: "
+                  f"{len(report.unexplained)}")
+    print("shards:")
+    for line in _render_shard_table(result):
+        print(line)
+    print(f"probes: {counters.get('probes.sent', 0):.0f} sent, "
+          f"{counters.get('probes.lost', 0):.0f} lost")
+    return 0
+
+
+def _run_shard_status(args: argparse.Namespace) -> int:
+    from repro.shard import run_plane
+
+    kill = args.kill
+    if kill is None:
+        kill = 1 if args.shards > 1 else -1
+    kill_schedule = {kill: 2} if 0 <= kill < args.shards else None
+    spec = _shard_spec(args, 2)
+    result = run_plane(
+        spec, args.shards, backend=args.backend,
+        chunk_rounds=args.chunk_rounds,
+        kill_schedule=kill_schedule,
+    )
+    print(
+        f"shard plane after {args.rounds} rounds "
+        f"({args.shards} shard(s), backend '{args.backend}', "
+        f"seed {args.seed})"
+    )
+    for line in _render_shard_table(result):
+        print(line)
+    print(f"reassignments: {len(result.reassignments)}")
+    for move in result.reassignments:
+        print(
+            f"  chunk {move.chunk} (round {move.round_index}): "
+            f"shard {move.from_shard} -> shard {move.to_shard}, "
+            f"{move.pair_count} pairs"
+        )
+    print("plane counters:")
+    counters = result.metrics.counters()
+    for name in ("shard.heartbeats", "shard.deaths",
+                 "shard.reassignments", "events.opened",
+                 "diagnoses.made"):
+        print(f"  {name:<20} {counters.get(name, 0):.0f}")
+    votes = result.vote_table.as_dict()
+    for group in ("hard", "soft"):
+        top = sorted(
+            votes[group].items(), key=lambda kv: (-kv[1], kv[0])
+        )[:5]
+        if top:
+            rendered = ", ".join(
+                f"{link}={count}" for link, count in top
+            )
+            print(f"top {group} link votes: {rendered}")
+    return 0
+
+
+def _run_bench_shard(args: argparse.Namespace) -> int:
+    from repro.shard.bench import format_report, run_shard_benchmark
+
+    try:
+        report = run_shard_benchmark(
+            quick=args.quick, seed=args.seed, out=args.out
+        )
+    except AssertionError as error:
+        print(f"shard equivalence gate failed: {error}",
+              file=sys.stderr)
+        return 1
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    if not args.quick:
+        slow = [
+            row for row in report["scaling"]
+            if row["shards"] == 4 and row["backend"] == "inproc"
+            and row["speedup"] < 2.0
+        ]
+        if slow:
+            print(
+                "REGRESSION: 4-shard probe rounds are less than 2x "
+                "the single-shard throughput", file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -379,6 +627,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(args) if args.lint else run_verify(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "run":
+        return _run_sharded(args)
+    if args.command == "shard-status":
+        return _run_shard_status(args)
+    if args.command == "bench-shard":
+        return _run_bench_shard(args)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.cluster.container import Container
 from repro.cluster.identifiers import EndpointId, HostId
@@ -75,13 +75,16 @@ class OverlayAgent:
         container: Container,
         ping_list: PingList,
         started_at: float,
-        resources: AgentResourceModel = AgentResourceModel(),
+        resources: Optional[AgentResourceModel] = None,
         version: str = "v1.0.0",
     ) -> None:
         self.container = container
         self.ping_list = ping_list
         self.started_at = started_at
-        self.resources = resources
+        # Per-instance default (lint rule "shared-instance-default").
+        self.resources = (
+            resources if resources is not None else AgentResourceModel()
+        )
         self.version = version  # sidecar release the agent launched with
         self.probes_sent = 0
 

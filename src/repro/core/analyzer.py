@@ -81,10 +81,14 @@ class Analyzer:
 
     def __init__(
         self,
-        config: DetectorConfig = DetectorConfig(),
+        config: Optional[DetectorConfig] = None,
         resolve_after_s: float = 90.0,
         recorder=None,
     ) -> None:
+        # Constructed per instance: a shared default instance would leak
+        # one analyzer's tuning into every other (see repro.verify.lint,
+        # rule "shared-instance-default").
+        config = config if config is not None else DetectorConfig()
         self.config = config
         self.resolve_after_s = resolve_after_s
         self.recorder = recorder

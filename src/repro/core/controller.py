@@ -45,12 +45,16 @@ class Controller:
     def __init__(
         self,
         cluster: Cluster,
-        resources: AgentResourceModel = AgentResourceModel(),
+        resources: Optional[AgentResourceModel] = None,
         release_manager=None,
         recorder=None,
     ) -> None:
         self.cluster = cluster
-        self.resources = resources
+        # Constructed per instance, not shared via a default argument
+        # evaluated once at import (lint rule "shared-instance-default").
+        self.resources = (
+            resources if resources is not None else AgentResourceModel()
+        )
         # Optional AgentReleaseManager: new sidecars launch on the
         # latest published version (§8, agent evolution).
         self.release_manager = release_manager

@@ -105,9 +105,10 @@ class ShortTermDetector:
     """
 
     def __init__(
-        self, config: DetectorConfig = DetectorConfig(), recorder=None
+        self, config: Optional[DetectorConfig] = None, recorder=None
     ) -> None:
-        self.config = config
+        # Per-instance default (lint rule "shared-instance-default").
+        self.config = config if config is not None else DetectorConfig()
         self.recorder = recorder
         self._history: Dict[ProbePair, IncrementalLOF] = {}
 
@@ -184,9 +185,10 @@ class LongTermDetector:
     """
 
     def __init__(
-        self, config: DetectorConfig = DetectorConfig(), recorder=None
+        self, config: Optional[DetectorConfig] = None, recorder=None
     ) -> None:
-        self.config = config
+        # Per-instance default (lint rule "shared-instance-default").
+        self.config = config if config is not None else DetectorConfig()
         self.recorder = recorder
         self._fits: Dict[ProbePair, LognormalFit] = {}
 
@@ -234,10 +236,11 @@ class PairMonitor:
     """Buffers one pair's probe results and closes windows on schedule."""
 
     def __init__(
-        self, pair: ProbePair, config: DetectorConfig = DetectorConfig()
+        self, pair: ProbePair, config: Optional[DetectorConfig] = None
     ) -> None:
         self.pair = pair
-        self.config = config
+        # Per-instance default (lint rule "shared-instance-default").
+        self.config = config if config is not None else DetectorConfig()
         self._window_start: Optional[float] = None
         self._latencies: List[float] = []
         self._sent = 0

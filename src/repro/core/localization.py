@@ -38,11 +38,28 @@ from repro.core.tomography import IntersectionResult, PhysicalIntersection
 from repro.network.fabric import DataPlaneFabric
 from repro.network.issues import ComponentClass, Symptom
 
-__all__ = ["Diagnosis", "LocalizationReport", "Localizer"]
+__all__ = [
+    "Diagnosis",
+    "LocalizationReport",
+    "Localizer",
+    "healthy_pairs_for",
+]
 
 
 def _pair_label(pair: ProbePair) -> str:
     return f"{pair.src}<->{pair.dst}"
+
+
+def healthy_pairs_for(
+    events: Sequence[FailureEvent],
+    all_pairs: Sequence[ProbePair],
+) -> List[ProbePair]:
+    """The exoneration set for a localization batch: every monitored
+    pair not implicated by ``events``.  Shared by the single-process
+    hunter and the shard coordinator so both feed tomography the same
+    healthy evidence for the same failure set."""
+    failing = {event.pair for event in events}
+    return [pair for pair in all_pairs if pair not in failing]
 
 
 @dataclass(frozen=True)
@@ -119,15 +136,21 @@ class Localizer:
         events: Sequence[FailureEvent],
         healthy_pairs: Sequence[ProbePair] = (),
         now: float = 0.0,
+        paths: Optional[Dict[ProbePair, UnderlayPath]] = None,
     ) -> LocalizationReport:
-        """Run the full disentanglement over a batch of events."""
+        """Run the full disentanglement over a batch of events.
+
+        ``paths`` optionally supplies already-traced underlay routes for
+        failing pairs (e.g. reported by shard workers); pairs missing
+        from it fall back to a live traceroute.
+        """
         if self.recorder is None:
-            return self._localize(events, healthy_pairs)
+            return self._localize(events, healthy_pairs, paths)
         self._now = now
         with self.recorder.span(
             "localize.run", sim_time=now, events=len(events)
         ) as span:
-            report = self._localize(events, healthy_pairs)
+            report = self._localize(events, healthy_pairs, paths)
             span.set(
                 diagnoses=len(report.diagnoses),
                 unexplained=len(report.unexplained),
@@ -138,6 +161,7 @@ class Localizer:
         self,
         events: Sequence[FailureEvent],
         healthy_pairs: Sequence[ProbePair],
+        known_paths: Optional[Dict[ProbePair, UnderlayPath]] = None,
     ) -> LocalizationReport:
         report = LocalizationReport()
         remaining: List[FailureEvent] = []
@@ -150,7 +174,7 @@ class Localizer:
                 remaining.append(event)
 
         remaining = self._physical_intersection(
-            remaining, healthy_pairs, report
+            remaining, healthy_pairs, report, known_paths
         )
         remaining = self._validate_rnics(remaining, report)
         remaining = self._host_concentration(remaining, report)
@@ -309,6 +333,7 @@ class Localizer:
         events: List[FailureEvent],
         healthy_pairs: Sequence[ProbePair],
         report: LocalizationReport,
+        known_paths: Optional[Dict[ProbePair, UnderlayPath]] = None,
     ) -> List[FailureEvent]:
         if not events:
             return []
@@ -325,9 +350,13 @@ class Localizer:
         for group, exonerate in ((hard, True), (soft, False)):
             paths: Dict[ProbePair, UnderlayPath] = {}
             for event in group:
-                path = self.fabric.traceroute(
-                    event.pair.src, event.pair.dst
-                )
+                path = None
+                if known_paths is not None:
+                    path = known_paths.get(event.pair)
+                if path is None:
+                    path = self.fabric.traceroute(
+                        event.pair.src, event.pair.dst
+                    )
                 if path is not None:
                     paths[event.pair] = path
             if len(paths) < 2:

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.core.pinglist import PingList
+from repro.core.pinglist import PingList, ProbePair
 from repro.network.fabric import DataPlaneFabric
 from repro.network.packet import ProbeResult
 
@@ -25,6 +25,7 @@ __all__ = [
     "ProbeCostModel",
     "ProbeRoundExecutor",
     "estimate_round_duration",
+    "estimate_sharded_round_duration",
     "probes_per_round",
 ]
 
@@ -58,17 +59,42 @@ def _max_targets_per_source(ping_list: PingList) -> int:
 
 
 def estimate_round_duration(
-    ping_list: PingList, cost: ProbeCostModel = ProbeCostModel()
+    ping_list: PingList, cost: Optional[ProbeCostModel] = None
 ) -> float:
     """Seconds to complete one probing round of the whole task.
 
     Agents run in parallel; each paces its own targets serially, so the
     round finishes when the busiest agent does.
     """
+    cost = cost if cost is not None else ProbeCostModel()
     busiest = _max_targets_per_source(ping_list)
     if busiest == 0:
         return 0.0
     return cost.round_overhead_s + busiest * cost.per_probe_s
+
+
+def estimate_sharded_round_duration(
+    shard_pair_sets: Sequence[Iterable[ProbePair]],
+    cost: Optional[ProbeCostModel] = None,
+) -> float:
+    """Round duration when pairs are split across parallel shards.
+
+    Each shard's agents pace independently, so the plane's round
+    finishes when the busiest agent of the busiest shard does — the
+    quantity ``repro shard-status`` and the scaling benchmark report
+    next to measured throughput.
+    """
+    cost = cost if cost is not None else ProbeCostModel()
+    worst = 0.0
+    for pairs in shard_pair_sets:
+        shard_list = PingList(pairs=set(pairs), phase="shard")
+        busiest = _max_targets_per_source(shard_list)
+        if busiest == 0:
+            continue
+        worst = max(
+            worst, cost.round_overhead_s + busiest * cost.per_probe_s
+        )
+    return worst
 
 
 class ProbeRoundExecutor:

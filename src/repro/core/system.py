@@ -27,7 +27,11 @@ from repro.core.agent import AgentResourceModel
 from repro.core.analyzer import Analyzer, FailureEvent
 from repro.core.controller import Controller
 from repro.core.detection import DetectorConfig
-from repro.core.localization import LocalizationReport, Localizer
+from repro.core.localization import (
+    LocalizationReport,
+    Localizer,
+    healthy_pairs_for,
+)
 from repro.core.pinglist import ProbePair
 from repro.core.skeleton import InferredSkeleton, SkeletonInference
 from repro.network.fabric import DataPlaneFabric
@@ -49,7 +53,7 @@ class SkeletonHunter:
         orchestrator: Orchestrator,
         detector_config: Optional[DetectorConfig] = None,
         probe_interval_s: float = 2.0,
-        resources: AgentResourceModel = AgentResourceModel(),
+        resources: Optional[AgentResourceModel] = None,
         inference: Optional[SkeletonInference] = None,
         handler=None,
         recovery=None,
@@ -74,7 +78,7 @@ class SkeletonHunter:
             recorder=observability,
         )
         self.analyzer = Analyzer(
-            detector_config or DetectorConfig(), recorder=observability
+            detector_config, recorder=observability
         )
         self.localizer = Localizer(cluster, fabric, recorder=observability)
         self.inference = inference or SkeletonInference()
@@ -239,11 +243,7 @@ class SkeletonHunter:
         ]
         if not fresh:
             return
-        failing_pairs = {event.pair for event in fresh}
-        healthy = [
-            pair for pair in self._all_active_pairs()
-            if pair not in failing_pairs
-        ]
+        healthy = healthy_pairs_for(fresh, self._all_active_pairs())
         report = self.localizer.localize(
             fresh, healthy_pairs=healthy, now=now
         )

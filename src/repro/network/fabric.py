@@ -43,6 +43,7 @@ from repro.cluster.identifiers import EndpointId, RnicId
 from repro.cluster.orchestrator import Cluster
 from repro.cluster.overlay import OverlayTrace, ovs_name, veth_name, vtep_name
 from repro.cluster.topology import UnderlayPath
+from repro.network.draws import PairwiseDrawSource
 from repro.network.faults import Effects, Fault, FaultInjector
 from repro.network.latency import LatencyModel, TransientCongestion
 from repro.network.packet import ProbeResult, flow_hash
@@ -230,9 +231,27 @@ class DataPlaneFabric:
         self.latency_model = latency_model or LatencyModel()
         self.congestion = congestion or TransientCongestion(rate=0.0)
         self._rng = rng.stream("fabric")
+        # Optional counter-based draw source (sharded monitoring): when
+        # set, probe uniforms are keyed by (pair, time, salt) instead of
+        # consumed from the sequential stream.
+        self._draw_source: Optional[PairwiseDrawSource] = None
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.resolution_cache = FlowResolutionCache(
             cluster, injector, enabled=cache_enabled
+        )
+
+    def use_pairwise_draws(self, seed: int) -> None:
+        """Switch probe randomness to partition-independent keyed draws.
+
+        After this call every probe's five uniforms are a pure function
+        of ``(seed, src, dst, at, salt)`` — independent of batch
+        composition and draw order — which is the invariant the sharded
+        monitoring plane's cross-shard equivalence gate relies on.  The
+        default sequential-stream behaviour (bit-compatible with the
+        pre-shard fast path) applies until this is called.
+        """
+        self._draw_source = PairwiseDrawSource(
+            seed, draws_per_probe=_DRAWS_PER_PROBE
         )
 
     def attach_metrics(self, metrics: MetricRegistry) -> None:
@@ -299,7 +318,10 @@ class DataPlaneFabric:
         n = len(endpoints)
         if n == 0:
             return []
-        draws = self._rng.random((n, _DRAWS_PER_PROBE))
+        if self._draw_source is None:
+            draws = self._rng.random((n, _DRAWS_PER_PROBE))
+        else:
+            draws = self._draw_source.uniforms(endpoints, at, salt)
 
         cache = self.resolution_cache
         results: List[Optional[ProbeResult]] = [None] * n

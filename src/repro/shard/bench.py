@@ -1,0 +1,170 @@
+"""Shard-scaling measurements behind ``BENCH_shard.json``.
+
+Measures probe-round throughput of the sharded plane at several shard
+counts and backends, after first running the equivalence gate — a
+speedup that changed results would be a correctness bug, so the gate
+is not optional.
+
+Why sharding speeds up a single machine at all: each overlay agent
+scans the *full* active ping list every round to find its own pairs
+(``OverlayAgent.my_pairs``), which at N pairs and A agents costs
+O(A·N log N) per round.  Sharding divides the list each agent scans by
+the shard count, attacking the quadratic term directly — so even with
+one CPU core (where the multiprocessing backend cannot add
+parallelism) four shards cut per-round time severalfold.  On multicore
+hosts the mp backend stacks process parallelism on top.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.probing import estimate_sharded_round_duration
+from repro.shard.backend import backend_named
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.equivalence import verify_shard_equivalence
+from repro.shard.spec import ShardScenarioSpec
+
+__all__ = [
+    "bench_shard_round",
+    "format_report",
+    "run_shard_benchmark",
+]
+
+#: (endpoints, containers, gpus) sizes: quick for CI, full for the
+#: committed artifact's 2048-endpoint acceptance row.
+QUICK_SIZE = (128, 16, 8)
+FULL_SIZE = (2048, 256, 8)
+#: (num_shards, backend) configurations measured per size.
+CONFIGS: Tuple[Tuple[int, str], ...] = (
+    (1, "inproc"),
+    (4, "inproc"),
+    (4, "mp"),
+)
+
+
+def _bench_spec(
+    containers: int, gpus: int, rounds: int, seed: int
+) -> ShardScenarioSpec:
+    return ShardScenarioSpec(
+        num_containers=containers,
+        gpus_per_container=gpus,
+        seed=seed,
+        total_rounds=rounds,
+        pair_mode="ring_chord",
+    )
+
+
+def bench_shard_round(
+    containers: int,
+    gpus: int,
+    num_shards: int,
+    backend: str,
+    rounds: int = 2,
+    warmup_rounds: int = 1,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time ``rounds`` probe rounds across the whole plane.
+
+    The coordinator and its shard replicas are built (and one warm-up
+    round executed) outside the timed region, so the measurement is
+    steady-state round throughput — the quantity that bounds how often
+    the plane can probe at a given scale.
+    """
+    total = warmup_rounds + rounds
+    spec = _bench_spec(containers, gpus, total, seed)
+    coordinator = ShardCoordinator(
+        spec,
+        num_shards,
+        backend=backend_named(backend),
+        chunk_rounds=max(rounds, 1),
+    )
+    pairs = len(coordinator.all_pairs)
+    try:
+        if warmup_rounds:
+            coordinator._run_chunk(1, 1, warmup_rounds)
+        gc.collect()
+        started = time.perf_counter()
+        coordinator._run_chunk(2, warmup_rounds + 1, total)
+        elapsed = time.perf_counter() - started
+    finally:
+        for handle in coordinator.handles.values():
+            if handle.alive:
+                handle.stop()
+    return {
+        "endpoints": containers * gpus,
+        "pairs_per_round": pairs,
+        "shards": num_shards,
+        "backend": backend,
+        "rounds": rounds,
+        "elapsed_s": elapsed,
+        "round_s": elapsed / rounds,
+        "probes_per_s": pairs * rounds / elapsed,
+        "modeled_round_s": estimate_sharded_round_duration(
+            coordinator.plan.assignments
+        ),
+    }
+
+
+def run_shard_benchmark(
+    quick: bool = False,
+    seed: int = 0,
+    out: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the gate plus the scaling sweep; optionally write JSON."""
+    endpoints, containers, gpus = QUICK_SIZE if quick else FULL_SIZE
+    rounds = 2
+    equivalence = verify_shard_equivalence(
+        backends=("inproc", "mp"), with_failover=True
+    )
+    rows: List[Dict[str, object]] = [
+        bench_shard_round(
+            containers, gpus, num_shards, backend,
+            rounds=rounds, seed=seed,
+        )
+        for num_shards, backend in CONFIGS
+    ]
+    baseline = rows[0]
+    for row in rows:
+        row["speedup"] = (
+            float(baseline["round_s"]) / float(row["round_s"])
+        )
+    report: Dict[str, object] = {
+        "benchmark": "shard-scaling",
+        "quick": quick,
+        "seed": seed,
+        "endpoints": endpoints,
+        "equivalence": equivalence,
+        "scaling": rows,
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of :func:`run_shard_benchmark` output."""
+    lines = [
+        f"shard scaling at {report['endpoints']} endpoints "
+        "(probe-round throughput):",
+        f"  {'shards':>7} {'backend':>8} {'pairs':>7} "
+        f"{'round s':>9} {'probes/s':>10} {'speedup':>9}",
+    ]
+    for row in report["scaling"]:
+        lines.append(
+            f"  {row['shards']:>7} {row['backend']:>8} "
+            f"{row['pairs_per_round']:>7} {row['round_s']:>9.2f} "
+            f"{row['probes_per_s']:>10.0f} {row['speedup']:>8.2f}x"
+        )
+    compared = report["equivalence"]["compared"]
+    lines.append(
+        f"equivalence: {len(compared)} configurations identical to the "
+        "single-shard baseline "
+        "(events, verdicts, and vote tables)"
+    )
+    return "\n".join(lines)

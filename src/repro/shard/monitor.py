@@ -1,0 +1,226 @@
+"""The per-shard monitoring worker.
+
+A :class:`ShardMonitor` owns one replica of the cluster (built from the
+picklable spec), the shard's slice of the probe-pair universe, and its
+own analyzer.  It executes probe rounds through the *unmodified* agent
+path — each :class:`~repro.core.agent.OverlayAgent` scans its (now
+shard-local) ping list and probes via the fabric's batched fast path —
+so a shard is literally the existing monitoring loop over fewer pairs.
+
+Because probe draws are pairwise-keyed by the run seed and the fault
+schedule replays by round number, two monitors covering the same pair
+observe byte-identical probe results; the analyzer's per-pair windows
+then open identical failure events.  That is the whole equivalence
+story: sharding changes who watches a pair, never what the pair does.
+
+The per-shard seed (``derive_seed(run_seed, "shard:<id>")``) seeds the
+shard's private RNG registry.  It deliberately does *not* feed probe
+draws — those must be shard-independent — and today only mints the
+shard's identity token reported in heartbeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.identifiers import EndpointId
+from repro.core.agent import OverlayAgent
+from repro.core.analyzer import Analyzer, FailureEvent
+from repro.core.pinglist import PingList, ProbePair
+from repro.network.issues import Symptom
+from repro.shard.spec import (
+    FaultScheduleRunner,
+    ShardScenarioSpec,
+    build_replica,
+)
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = ["ChunkResult", "EventRecord", "ShardMonitor"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A failure event in picklable, cross-process form."""
+
+    src: EndpointId
+    dst: EndpointId
+    first_detected_at: float
+    symptom: str
+    #: The pair's pinned underlay route (device names, source to
+    #: destination), reported by the shard's underlay traceroute so the
+    #: coordinator can vote on links without re-tracing.
+    path_devices: Optional[Tuple[str, ...]]
+
+    @property
+    def pair(self) -> ProbePair:
+        """The failing pair."""
+        return ProbePair.canonical(self.src, self.dst)
+
+    @property
+    def key(self) -> Tuple[ProbePair, float]:
+        """The analyzer's incident identity: (pair, first detection)."""
+        return (self.pair, self.first_detected_at)
+
+    @property
+    def symptom_type(self) -> Symptom:
+        """The symptom as the catalogue enum."""
+        return Symptom[self.symptom]
+
+    def to_failure_event(self) -> FailureEvent:
+        """Rehydrate a :class:`FailureEvent` for the localizer."""
+        return FailureEvent(
+            pair=self.pair,
+            first_detected_at=self.first_detected_at,
+            symptom=self.symptom_type,
+        )
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """One shard's report for a chunk of rounds (its heartbeat)."""
+
+    shard_id: int
+    token: str
+    start_round: int
+    end_round: int
+    sim_time: float
+    pair_count: int
+    agent_count: int
+    probes_sent: int
+    probes_lost: int
+    events: Tuple[EventRecord, ...]
+    replayed: bool = False
+
+
+class ShardMonitor:
+    """One shard: a replica cluster plus the standard monitoring loop."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        spec: ShardScenarioSpec,
+        pairs: Iterable[ProbePair],
+    ) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self.pairs: Tuple[ProbePair, ...] = tuple(sorted(set(pairs)))
+        self.seed = derive_seed(spec.seed, f"shard:{shard_id}")
+        self.rng = RngRegistry(self.seed)
+        # A deterministic identity token for heartbeats/status — minted
+        # from the shard seed, which (by design) never touches probing.
+        self.token = format(
+            int(self.rng.stream("token").integers(0, 2 ** 32)), "08x"
+        )
+        self.rounds_completed = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Replica construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        self.scenario = build_replica(self.spec)
+        self.schedule = FaultScheduleRunner(self.scenario, self.spec)
+        self.ping_list = PingList(pairs=set(self.pairs), phase="shard")
+        for container_id in self.scenario.task.containers:
+            self.ping_list.register(container_id)
+        self.analyzer = Analyzer(config=self.spec.detector)
+        containers = sorted(
+            {pair.src.container for pair in self.pairs}
+        )
+        self.agents: List[OverlayAgent] = [
+            OverlayAgent(
+                container=self.scenario.task.containers[container_id],
+                ping_list=self.ping_list,
+                started_at=0.0,
+            )
+            for container_id in containers
+        ]
+        self._reported: Set[Tuple[ProbePair, float]] = set()
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    # Probe rounds
+    # ------------------------------------------------------------------
+
+    def run_rounds(
+        self, start_round: int, end_round: int, replayed: bool = False
+    ) -> ChunkResult:
+        """Run rounds ``start_round..end_round`` inclusive and report."""
+        if start_round != self.rounds_completed + 1:
+            raise ValueError(
+                f"shard {self.shard_id} is at round "
+                f"{self.rounds_completed}, cannot start at {start_round}"
+            )
+        fabric = self.scenario.fabric
+        sent0 = fabric.probes_sent
+        lost0 = fabric.probes_lost
+        now = self.spec.round_time(max(end_round, 1))
+        for round_index in range(start_round, end_round + 1):
+            self.schedule.advance_to(round_index)
+            now = self.spec.round_time(round_index)
+            for agent in self.agents:
+                for result in agent.execute_round(fabric, now, salt=0):
+                    self.analyzer.ingest(result)
+            self.analyzer.flush(now)
+            self.rounds_completed = round_index
+        return ChunkResult(
+            shard_id=self.shard_id,
+            token=self.token,
+            start_round=start_round,
+            end_round=end_round,
+            sim_time=now,
+            pair_count=len(self.pairs),
+            agent_count=len(self.agents),
+            probes_sent=fabric.probes_sent - sent0,
+            probes_lost=fabric.probes_lost - lost0,
+            events=self._collect_fresh_events(),
+            replayed=replayed,
+        )
+
+    def _collect_fresh_events(self) -> Tuple[EventRecord, ...]:
+        fresh = sorted(
+            (
+                event for event in self.analyzer.events
+                if event.key not in self._reported
+            ),
+            key=lambda event: (event.first_detected_at, event.pair),
+        )
+        records = []
+        for event in fresh:
+            self._reported.add(event.key)
+            path = self.scenario.fabric.traceroute(
+                event.pair.src, event.pair.dst
+            )
+            records.append(EventRecord(
+                src=event.pair.src,
+                dst=event.pair.dst,
+                first_detected_at=event.first_detected_at,
+                symptom=event.symptom.name,
+                path_devices=path.devices if path is not None else None,
+            ))
+        return tuple(records)
+
+    # ------------------------------------------------------------------
+    # Failover adoption
+    # ------------------------------------------------------------------
+
+    def adopt(
+        self, pairs: Sequence[ProbePair], upto_round: int
+    ) -> Optional[ChunkResult]:
+        """Take over ``pairs`` from a dead shard.
+
+        Rebuilds a fresh replica for the union pair set and replays
+        rounds ``1..upto_round`` against it — probe outcomes are pure
+        functions of (seed, pair, time), so after the replay this
+        monitor's state is identical to having owned the union from
+        round one.  The replay's events (including re-detections of
+        incidents the dead shard already reported) come back in the
+        result; the coordinator dedups them by event key.
+        """
+        self.pairs = tuple(sorted(set(self.pairs) | set(pairs)))
+        self._build()
+        if upto_round < 1:
+            return None
+        return self.run_rounds(1, upto_round, replayed=True)

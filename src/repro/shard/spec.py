@@ -1,0 +1,192 @@
+"""Picklable scenario recipes for the sharded monitoring plane.
+
+Shard workers may run in other processes, so they cannot share the
+coordinator's live simulation objects.  Instead every worker receives a
+:class:`ShardScenarioSpec` — a frozen, picklable *recipe* — and builds
+its own replica of the cluster from it.  Two properties make replicas
+interchangeable with the original:
+
+* :func:`repro.workloads.scenarios.build_scenario` is deterministic in
+  its seed, so every replica has identical topology, placement, and
+  overlay state; and
+* the fault schedule is expressed in *round numbers* (not live object
+  references), so any replica can replay it independently and land in
+  the same data-plane state before any round.
+
+Probe randomness comes from the run seed via the fabric's pairwise draw
+source (:mod:`repro.network.draws`), so probe outcomes are identical in
+every replica regardless of which pairs it monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cluster.identifiers import ContainerId
+from repro.core.detection import DetectorConfig
+from repro.core.pinglist import PingList, ProbePair
+from repro.network.faults import Fault
+from repro.network.issues import IssueType
+from repro.workloads.scenarios import MonitoredScenario, build_scenario
+
+__all__ = [
+    "FaultSpec",
+    "FaultScheduleRunner",
+    "ShardScenarioSpec",
+    "build_replica",
+    "pair_universe",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault, in replayable (round-number) form.
+
+    ``target`` is an identifier (``RnicId``, ``LinkId``, ``SwitchId``,
+    ``HostId``, or ``ContainerId``), never a live object — identifiers
+    pickle cleanly and resolve identically in every replica.  The fault
+    is injected just before round ``start_round`` probes and cleared
+    just before round ``end_round`` probes (active rounds form the
+    half-open interval ``[start_round, end_round)``); ``end_round=None``
+    leaves it active for the rest of the run.
+    """
+
+    issue: str
+    target: object
+    start_round: int
+    end_round: Optional[int] = None
+    overrides: Tuple[Tuple[str, float], ...] = ()
+
+    def issue_type(self) -> IssueType:
+        """The catalogue issue this spec injects."""
+        return IssueType[self.issue]
+
+
+@dataclass(frozen=True)
+class ShardScenarioSpec:
+    """Everything needed to rebuild the monitored scenario anywhere."""
+
+    num_containers: int = 16
+    gpus_per_container: int = 4
+    pp: int = 2
+    seed: int = 0
+    probe_interval_s: float = 2.0
+    num_spines: int = 4
+    hosts_per_segment: int = 8
+    total_rounds: int = 30
+    #: "ring_chord" — the O(n) skeleton-like pair list benchmarks use;
+    #: "basic" — the full rail-pruned preload list.
+    pair_mode: str = "ring_chord"
+    faults: Tuple[FaultSpec, ...] = ()
+    detector: Optional[DetectorConfig] = None
+
+    def round_time(self, round_index: int) -> float:
+        """Simulated time of round ``round_index`` (rounds are 1-based,
+        matching the hunter's first scheduled probe round)."""
+        if round_index < 1:
+            raise ValueError(f"rounds are 1-based, got {round_index}")
+        return round_index * self.probe_interval_s
+
+
+def build_replica(spec: ShardScenarioSpec) -> MonitoredScenario:
+    """Build one replica of the spec'd scenario.
+
+    ``watch=False`` skips the hunter's basic ping-list preload — shard
+    monitors carry their own pair subset, and at production scale the
+    unused preload list would dominate replica memory.  The replica's
+    fabric is switched to pairwise (partition-independent) draws keyed
+    by the *run* seed, so probe outcomes match every other replica.
+    """
+    scenario = build_scenario(
+        num_containers=spec.num_containers,
+        gpus_per_container=spec.gpus_per_container,
+        pp=spec.pp,
+        seed=spec.seed,
+        probe_interval_s=spec.probe_interval_s,
+        num_spines=spec.num_spines,
+        hosts_per_segment=spec.hosts_per_segment,
+        detector_config=spec.detector,
+        instant_startup=True,
+        start_monitoring=False,
+        watch=False,
+    )
+    scenario.fabric.use_pairwise_draws(spec.seed)
+    return scenario
+
+
+def pair_universe(
+    spec: ShardScenarioSpec, scenario: MonitoredScenario
+) -> List[ProbePair]:
+    """The run's full probe-pair set, sorted (deterministic)."""
+    endpoints = sorted(scenario.task.endpoints())
+    if spec.pair_mode == "basic":
+        task = scenario.task
+
+        def rail(endpoint):
+            return task.containers[endpoint.container].rail_of(endpoint)
+
+        return sorted(PingList.basic(endpoints, rail).pairs)
+    if spec.pair_mode == "ring_chord":
+        return ring_chord_pairs(endpoints)
+    raise ValueError(f"unknown pair mode {spec.pair_mode!r}")
+
+
+def ring_chord_pairs(endpoints) -> List[ProbePair]:
+    """A ring plus long chords over the sorted endpoints — the O(n)
+    skeleton-like pair list (cf. :func:`repro.perf._round_pairs`), with
+    same-container neighbours dropped as ping lists always do."""
+    n = len(endpoints)
+    stride = n // 3 + 1
+    pairs = set()
+    for i, src in enumerate(endpoints):
+        for dst in (endpoints[(i + 1) % n], endpoints[(i + stride) % n]):
+            if src != dst and src.container != dst.container:
+                pairs.add(ProbePair.canonical(src, dst))
+    return sorted(pairs)
+
+
+@dataclass
+class FaultScheduleRunner:
+    """Replays a spec's fault schedule against one replica.
+
+    Drives the replica's injector round by round: calling
+    :meth:`advance_to` applies every injection/clear scheduled for the
+    rounds since the last call, in spec order — so any replica, built
+    at any time, reaches the same data-plane state before probing a
+    given round.
+    """
+
+    scenario: MonitoredScenario
+    spec: ShardScenarioSpec
+    _active: dict = field(default_factory=dict)
+    _next_round: int = 1
+
+    def advance_to(self, round_index: int) -> None:
+        """Apply all fault transitions up to (and incl.) the moment just
+        before round ``round_index`` probes."""
+        for r in range(self._next_round, round_index + 1):
+            at = self.spec.round_time(r)
+            for idx, fault_spec in enumerate(self.spec.faults):
+                if fault_spec.end_round == r and idx in self._active:
+                    self.scenario.injector.clear(
+                        self._active.pop(idx), at
+                    )
+                if fault_spec.start_round == r:
+                    self._active[idx] = self._inject(fault_spec, at)
+        self._next_round = max(self._next_round, round_index + 1)
+
+    def active_faults(self) -> List[Fault]:
+        """Currently injected faults, in spec order."""
+        return [self._active[i] for i in sorted(self._active)]
+
+    def _inject(self, fault_spec: FaultSpec, at: float) -> Fault:
+        target = fault_spec.target
+        if isinstance(target, ContainerId):
+            target = self.scenario.task.containers[target]
+        return self.scenario.injector.inject_issue(
+            fault_spec.issue_type(),
+            target,
+            start=at,
+            **dict(fault_spec.overrides),
+        )

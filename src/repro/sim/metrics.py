@@ -196,9 +196,19 @@ class MetricRegistry:
         """Whether a series called ``name`` has been created."""
         return name in self._series
 
-    def counters(self) -> Dict[str, float]:
-        """A snapshot of all counters."""
-        return dict(self._counters)
+    def counters(self, prefix: Optional[str] = None) -> Dict[str, float]:
+        """A snapshot of all counters, optionally name-filtered.
+
+        ``prefix`` keeps only counters whose name starts with it — e.g.
+        ``counters("shard.2.")`` is one shard's slice of the merged
+        registry the coordinator maintains.
+        """
+        if prefix is None:
+            return dict(self._counters)
+        return {
+            name: value for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
 
     def series_names(self) -> List[str]:
         """Sorted names of all series."""

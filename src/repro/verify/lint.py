@@ -29,6 +29,23 @@ verification exists to surface.  This linter walks the AST of
     No list/dict/set literals (or ``list()``/``dict()``/``set()``
     calls) as default argument values.
 
+``shared-instance-default``
+    No constructor call (``Name(...)`` with a capitalized name, e.g.
+    ``AgentResourceModel()``) as a default argument value.  Like a
+    mutable literal, the instance is built once at ``def`` time and
+    shared by every call — two agents handed the same default resource
+    model mutate each other's state.
+
+``worker-determinism``
+    Functions handed to ``multiprocessing`` as worker entry points
+    (the ``target=`` of a ``Process(...)`` call, or the function
+    argument of a pool ``map``/``starmap``/``apply``/``apply_async``/
+    ``imap``) must not call ``time.perf_counter``/``time.monotonic``,
+    ``os.getpid``, ``os.urandom``, or ``uuid.uuid4``.  In single-
+    process code monotonic timers are harmless observability; inside a
+    forked worker any of these is a covert per-process input that makes
+    shard results depend on which process ran them.
+
 A trailing ``# lint: allow(<rule>)`` comment suppresses one line; the
 shipped tree carries zero suppressions, and the pytest in
 ``tests/verify/test_lint.py`` keeps it that way.  Run standalone with
@@ -53,6 +70,8 @@ _WALL_CLOCK = "wall-clock"
 _UNSEEDED = "unseeded-random"
 _BROAD_EXCEPT = "broad-except"
 _MUTABLE_DEFAULT = "mutable-default"
+_SHARED_DEFAULT = "shared-instance-default"
+_WORKER_DETERMINISM = "worker-determinism"
 
 #: Dotted-call suffixes that read the wall clock.
 _WALL_CLOCK_CALLS = (
@@ -75,6 +94,24 @@ _RNG_EXEMPT_SUFFIXES = ("sim/rng.py",)
 _BROAD_EXCEPT_SCOPE = ("core",)
 
 _MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
+
+#: Dotted-call suffixes that are per-process inputs: harmless in
+#: single-process code, nondeterministic inside a forked worker.
+_WORKER_FORBIDDEN_CALLS = (
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "os.getpid",
+    "os.urandom",
+    "uuid.uuid4",
+)
+
+#: Pool methods whose first argument is a worker entry point.
+_POOL_DISPATCH_METHODS = (
+    "map", "map_async", "imap", "imap_unordered",
+    "starmap", "starmap_async", "apply", "apply_async", "submit",
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +151,20 @@ def _is_mutable_default(node: ast.AST) -> bool:
     return False
 
 
+def _constructor_name(node: ast.AST) -> Optional[str]:
+    """The dotted name of a constructor-style call (``Class(...)`` or
+    ``pkg.Class(...)``), identified by a capitalized final segment."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return None
+    last = dotted.rsplit(".", 1)[-1]
+    if last[:1].isupper():
+        return dotted
+    return None
+
+
 class _Visitor(ast.NodeVisitor):
     """Collects violations for one module."""
 
@@ -129,6 +180,10 @@ class _Visitor(ast.NodeVisitor):
         self.broad_except_scoped = broad_except_scoped
         self.allowed = allowed
         self.violations: List[LintViolation] = []
+        #: Simple names handed to multiprocessing as entry points.
+        self.worker_names: set = set()
+        #: Every function definition in the module, by simple name.
+        self.function_defs: Dict[str, List[ast.AST]] = {}
 
     # -- helpers -------------------------------------------------------
 
@@ -152,7 +207,25 @@ class _Visitor(ast.NodeVisitor):
         dotted = _dotted_name(node.func)
         if dotted is not None:
             self._check_call(node, dotted)
+        self._collect_worker_targets(node, dotted)
         self.generic_visit(node)
+
+    def _collect_worker_targets(
+        self, node: ast.Call, dotted: Optional[str]
+    ) -> None:
+        """Remember functions dispatched as multiprocessing workers."""
+        if dotted is None:
+            return
+        last = dotted.rsplit(".", 1)[-1]
+        if last.endswith("Process"):
+            for keyword in node.keywords:
+                if keyword.arg == "target" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    self.worker_names.add(keyword.value.id)
+        elif last in _POOL_DISPATCH_METHODS and "." in dotted:
+            if node.args and isinstance(node.args[0], ast.Name):
+                self.worker_names.add(node.args[0].id)
 
     def _check_call(self, node: ast.Call, dotted: str) -> None:
         for forbidden in _WALL_CLOCK_CALLS:
@@ -234,10 +307,12 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self.function_defs.setdefault(node.name, []).append(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.function_defs.setdefault(node.name, []).append(node)
         self.generic_visit(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
@@ -255,6 +330,43 @@ class _Visitor(ast.NodeVisitor):
                     "mutable default argument is shared across calls; "
                     "use None plus an in-body fallback",
                 )
+                continue
+            constructor = _constructor_name(default)
+            if constructor is not None:
+                self._emit(
+                    default, _SHARED_DEFAULT,
+                    f"default {constructor}(...) builds one instance "
+                    "at def time, shared by every call; default to "
+                    "None and construct per call in the body",
+                )
+
+    # -- worker determinism (post-pass) --------------------------------
+
+    def check_workers(self) -> None:
+        """Scan multiprocessing worker entry points for per-process
+        inputs.  Runs after the main visit, once all ``Process(...)``
+        dispatch sites and function definitions have been collected.
+        The check is direct (the entry point's own body), not
+        transitive through its callees."""
+        for name in sorted(self.worker_names):
+            for definition in self.function_defs.get(name, []):
+                for sub in ast.walk(definition):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    dotted = _dotted_name(sub.func)
+                    if dotted is None:
+                        continue
+                    for forbidden in _WORKER_FORBIDDEN_CALLS:
+                        if dotted == forbidden or dotted.endswith(
+                            "." + forbidden
+                        ):
+                            self._emit(
+                                sub, _WORKER_DETERMINISM,
+                                f"worker entry point '{name}' calls "
+                                f"{dotted}(); per-process inputs make "
+                                "shard results depend on which "
+                                "process ran them",
+                            )
 
 
 def _allowed_lines(source: str) -> Dict[int, set]:
@@ -311,6 +423,7 @@ class DeterminismLinter:
             allowed=_allowed_lines(source),
         )
         visitor.visit(tree)
+        visitor.check_workers()
         return sorted(
             visitor.violations, key=lambda v: (v.line, v.col, v.rule)
         )

@@ -22,7 +22,7 @@ parametric models calibrated to the shapes the paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,11 +118,12 @@ class ProductionStatistics:
     # ------------------------------------------------------------------
 
     def startup_times_seconds(
-        self, task_size: int, model: StartupModel = StartupModel()
+        self, task_size: int, model: Optional[StartupModel] = None
     ) -> np.ndarray:
         """Per-container startup delays of one task of ``task_size``."""
         if task_size < 1:
             raise ValueError("task size must be positive")
+        model = model if model is not None else StartupModel()
         rng = self._rng.stream(f"startup:{task_size}")
         return np.asarray([
             model.sample(rng, rank, task_size) for rank in range(task_size)

@@ -116,6 +116,7 @@ def build_scenario(
     startup_model: Optional[StartupModel] = None,
     instant_startup: bool = True,
     start_monitoring: bool = True,
+    watch: bool = True,
     iteration_period_s: float = 30.0,
     observe: bool = False,
     observability: Optional[TraceRecorder] = None,
@@ -168,9 +169,13 @@ def build_scenario(
     task = orchestrator.submit_task(
         num_containers, gpus_per_container, instant_startup=instant_startup
     )
-    hunter.watch_task(task)
-    if start_monitoring:
-        hunter.start()
+    # ``watch=False`` skips the basic ping-list preload entirely: shard
+    # replicas (repro.shard) bring their own pair set and at production
+    # scale the unused basic list would dominate the replica's memory.
+    if watch:
+        hunter.watch_task(task)
+        if start_monitoring:
+            hunter.start()
     if instant_startup:
         engine.run_until(engine.now)  # flush the instant RUNNING events
 

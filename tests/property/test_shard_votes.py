@@ -1,0 +1,57 @@
+"""Property: merged shard votes equal the single-shard vote table.
+
+For any shard count, chunking, and mid-run failover, the coordinator's
+merged tomography vote table — and the event set behind it — must be
+exactly what a single-shard plane produces for the same seed.  This is
+the sharded plane's core invariant, stated as a hypothesis property
+over (seed, shard count, chunk size, kill schedule).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import run_plane
+
+from tests.shard.conftest import small_spec
+
+_BASELINES = {}
+
+
+def _baseline(seed):
+    if seed not in _BASELINES:
+        _BASELINES[seed] = run_plane(
+            small_spec(seed=seed), 1, chunk_rounds=3
+        )
+    return _BASELINES[seed]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2),
+    num_shards=st.integers(min_value=2, max_value=4),
+    chunk_rounds=st.integers(min_value=2, max_value=6),
+    killed=st.booleans(),
+)
+def test_merged_votes_equal_single_shard_table(
+    seed, num_shards, chunk_rounds, killed
+):
+    baseline = _baseline(seed)
+    kill_schedule = {num_shards - 1: 2} if killed else None
+    candidate = run_plane(
+        small_spec(seed=seed),
+        num_shards,
+        chunk_rounds=chunk_rounds,
+        kill_schedule=kill_schedule,
+    )
+    if killed:
+        assert candidate.reassignments
+    assert candidate.event_summary() == baseline.event_summary()
+    assert (
+        candidate.vote_table.as_dict()
+        == baseline.vote_table.as_dict()
+    )
+    assert (
+        candidate.vote_table.event_count()
+        == baseline.vote_table.event_count()
+        == len(baseline.events)
+    )

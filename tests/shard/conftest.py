@@ -1,0 +1,45 @@
+"""Shared helpers for sharded-plane tests: one small, fast spec."""
+
+import pytest
+
+from repro.network.issues import IssueType
+from repro.shard import FaultSpec, ShardScenarioSpec, build_replica
+
+
+def small_spec(seed=0, total_rounds=12, with_faults=True):
+    """A 16-endpoint scenario with an RNIC failure and a container
+    crash — enough symptom diversity to open events and localize,
+    small enough that a full plane run takes well under a second."""
+    base = ShardScenarioSpec(
+        num_containers=8, gpus_per_container=2,
+        seed=seed, total_rounds=total_rounds,
+    )
+    if not with_faults:
+        return base
+    probe = build_replica(base)
+    rnic = probe.rnic_of_rank(3)
+    victim = sorted(probe.task.containers)[5]
+    return ShardScenarioSpec(
+        num_containers=8, gpus_per_container=2,
+        seed=seed, total_rounds=total_rounds,
+        faults=(
+            FaultSpec(
+                issue=IssueType.RNIC_PORT_DOWN.name, target=rnic,
+                start_round=2, end_round=8,
+            ),
+            FaultSpec(
+                issue=IssueType.CONTAINER_CRASH.name, target=victim,
+                start_round=5, end_round=10,
+            ),
+        ),
+    )
+
+
+@pytest.fixture
+def spec():
+    return small_spec()
+
+
+@pytest.fixture
+def plain_spec():
+    return small_spec(with_faults=False)

@@ -1,0 +1,146 @@
+"""Tests for the shard coordinator: heartbeats, failover, merging."""
+
+import pytest
+
+from repro.obs.trace import TraceRecorder
+from repro.shard import (
+    MergedVoteTable,
+    ShardCoordinator,
+    ShardPlaneError,
+    run_plane,
+)
+from repro.shard.backend import backend_named
+
+
+class TestHeartbeats:
+    def test_statuses_track_progress(self, spec):
+        result = run_plane(spec, 3, chunk_rounds=4)
+        assert sorted(result.statuses) == [0, 1, 2]
+        for status in result.statuses.values():
+            assert status.alive
+            assert status.chunks_completed == 3  # 12 rounds / 4
+            assert status.last_round == spec.total_rounds
+            assert status.last_sim_time == spec.round_time(
+                spec.total_rounds
+            )
+            assert len(status.token) == 8
+            int(status.token, 16)  # a hex identity token
+        assert (
+            sum(s.pair_count for s in result.statuses.values())
+            == sum(result.plan.pair_counts())
+        )
+
+    def test_tokens_differ_between_shards(self, spec):
+        result = run_plane(spec, 3, chunk_rounds=6)
+        tokens = {s.token for s in result.statuses.values()}
+        assert len(tokens) == 3
+
+    def test_heartbeat_metrics_accumulate(self, spec):
+        result = run_plane(spec, 2, chunk_rounds=3)
+        counters = result.metrics.counters()
+        assert counters["shard.heartbeats"] == 2 * 4  # shards x chunks
+        assert counters["probes.sent"] > 0
+        assert counters["shard.0.probes.sent"] > 0
+        assert counters["shard.1.probes.sent"] > 0
+        assert (
+            counters["shard.0.probes.sent"]
+            + counters["shard.1.probes.sent"]
+            == counters["probes.sent"]
+        )
+
+    def test_recorder_collects_per_shard_series(self, spec):
+        recorder = TraceRecorder()
+        result = run_plane(spec, 2, chunk_rounds=6, recorder=recorder)
+        assert recorder.metrics is result.metrics
+        series = recorder.metrics.series("shard.0.heartbeat")
+        assert len(series) == 2  # one sample per chunk
+
+
+class TestFailover:
+    def test_scripted_kill_reassigns_pairs(self, spec):
+        result = run_plane(spec, 3, chunk_rounds=3, kill_schedule={1: 2})
+        assert not result.statuses[1].alive
+        assert result.statuses[1].last_round < spec.total_rounds
+        moves = result.reassignments
+        assert moves and all(m.from_shard == 1 for m in moves)
+        assert {m.to_shard for m in moves} <= {0, 2}
+        orphaned = sum(m.pair_count for m in moves)
+        adopted = sum(
+            s.adopted_pairs for s in result.statuses.values()
+        )
+        assert orphaned == adopted > 0
+        counters = result.metrics.counters()
+        assert counters["shard.deaths"] == 1
+        assert counters["shard.reassignments"] == len(moves)
+
+    def test_survivors_cover_the_whole_universe(self, spec):
+        result = run_plane(spec, 3, chunk_rounds=3, kill_schedule={0: 2})
+        live_pairs = sum(
+            s.pair_count
+            for s in result.statuses.values()
+            if s.alive
+        )
+        assert live_pairs == sum(result.plan.pair_counts())
+
+    def test_killing_every_shard_raises(self, spec):
+        with pytest.raises(ShardPlaneError):
+            run_plane(spec, 2, chunk_rounds=3,
+                      kill_schedule={0: 2, 1: 2})
+
+    def test_failover_events_recorded(self, spec):
+        recorder = TraceRecorder()
+        run_plane(spec, 3, chunk_rounds=3, kill_schedule={2: 2},
+                  recorder=recorder)
+        assert recorder.events("shard.dead")
+        assert recorder.events("shard.reassign")
+
+
+class TestMerging:
+    def test_events_are_unique_by_key(self, spec):
+        result = run_plane(spec, 4, chunk_rounds=3, kill_schedule={1: 3})
+        keys = [record.key for record in result.events]
+        assert len(keys) == len(set(keys))
+        assert result.vote_table.event_count() == len(keys)
+        assert (
+            result.metrics.counters()["events.opened"] == len(keys)
+        )
+
+    def test_faulted_run_localizes(self, spec):
+        result = run_plane(spec, 2, chunk_rounds=3)
+        assert result.events
+        assert result.verdicts
+        diagnoses = [
+            d for _, report in result.verdicts
+            for d in report.diagnoses
+        ]
+        assert diagnoses
+        assert result.metrics.counters()["diagnoses.made"] == len(
+            diagnoses
+        )
+
+    def test_healthy_run_stays_quiet(self, plain_spec):
+        result = run_plane(plain_spec, 2, chunk_rounds=4)
+        assert result.events == []
+        assert result.verdicts == []
+        assert result.vote_table.as_dict() == {"hard": {}, "soft": {}}
+
+
+class TestVoteTable:
+    def test_duplicate_events_count_once(self, spec):
+        result = run_plane(spec, 1, chunk_rounds=6)
+        table = MergedVoteTable()
+        for record in result.events:
+            assert table.add_event(record)
+        for record in result.events:
+            assert not table.add_event(record)
+        assert table.as_dict() == result.vote_table.as_dict()
+
+
+class TestConstruction:
+    def test_invalid_arguments_rejected(self, spec):
+        with pytest.raises(ValueError):
+            ShardCoordinator(spec, 0)
+        with pytest.raises(ValueError):
+            ShardCoordinator(spec, 2, chunk_rounds=0)
+        with pytest.raises(ValueError):
+            backend_named("carrier-pigeon")

@@ -154,6 +154,112 @@ class TestMutableDefault:
         """) == []
 
 
+class TestSharedInstanceDefault:
+    def test_constructor_default_is_flagged(self):
+        violations = lint("""
+            def f(model=ResourceModel()):
+                return model
+        """)
+        assert [v.rule for v in violations] == [
+            "shared-instance-default"
+        ]
+
+    def test_dotted_constructor_and_kwonly_default(self):
+        violations = lint("""
+            def f(*, cfg=config.DetectorConfig()):
+                return cfg
+        """)
+        assert [v.rule for v in violations] == [
+            "shared-instance-default"
+        ]
+
+    def test_lowercase_factory_calls_are_not_flagged(self):
+        assert lint("""
+            def f(a=make_model(), b=frozenset(), c=tuple()):
+                return a, b, c
+        """) == []
+
+    def test_none_plus_in_body_fallback_is_the_fix(self):
+        assert lint("""
+            def f(model=None):
+                return model if model is not None else Model()
+        """) == []
+
+
+class TestWorkerDeterminism:
+    def test_process_target_with_perf_counter_is_flagged(self):
+        violations = lint("""
+            import multiprocessing as mp
+            import time
+
+            def worker(conn):
+                return time.perf_counter()
+
+            def launch():
+                return mp.Process(target=worker)
+        """)
+        assert [v.rule for v in violations] == ["worker-determinism"]
+        assert "worker" in violations[0].message
+
+    def test_all_per_process_inputs_are_flagged(self):
+        violations = lint("""
+            import multiprocessing as mp
+            import os
+            import time
+            import uuid
+
+            def worker(conn):
+                a = time.monotonic()
+                b = os.getpid()
+                c = os.urandom(8)
+                d = uuid.uuid4()
+
+            def launch():
+                return mp.Process(target=worker)
+        """)
+        assert [v.rule for v in violations] == (
+            ["worker-determinism"] * 4
+        )
+
+    def test_pool_dispatch_first_argument_is_a_worker(self):
+        violations = lint("""
+            import os
+
+            def helper(item):
+                return os.getpid()
+
+            def launch(pool, items):
+                return pool.map(helper, items)
+        """)
+        assert [v.rule for v in violations] == ["worker-determinism"]
+
+    def test_same_calls_outside_workers_are_fine(self):
+        assert lint("""
+            import multiprocessing as mp
+            import time
+
+            def worker(conn):
+                return conn.recv()
+
+            def launch():
+                wall = time.perf_counter()
+                return mp.Process(target=worker), wall
+        """) == []
+
+    def test_worker_defined_after_dispatch_is_still_checked(self):
+        violations = lint("""
+            import os
+            import multiprocessing as mp
+
+            def launch():
+                return mp.Process(target=worker)
+
+            def worker(conn):
+                return os.getpid()
+        """)
+        assert [v.rule for v in violations] == ["worker-determinism"]
+
+
 class TestSuppressionsAndErrors:
     def test_allow_comment_suppresses_one_line(self):
         violations = lint("""
