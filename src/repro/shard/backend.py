@@ -252,11 +252,24 @@ class MultiprocessingHandle(ShardHandle):
 
 
 class MultiprocessingBackend:
-    """Runs each shard in its own forked worker process."""
+    """Runs each shard in its own worker process.
+
+    Workers default to ``fork`` where the platform offers it (cheapest:
+    the spec is inherited, not pickled) and fall back to ``spawn``
+    elsewhere — ``fork`` does not exist on Windows and is fragile with
+    threads on macOS.  Both methods are correct; the protocol ships the
+    spec and pairs explicitly either way.
+    """
 
     name = "mp"
 
-    def __init__(self, start_method: str = "fork") -> None:
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in mp.get_all_start_methods()
+                else "spawn"
+            )
         self._context = mp.get_context(start_method)
 
     def spawn(

@@ -227,6 +227,12 @@ class ShardCoordinator:
         self.chunk_rounds = chunk_rounds
         self.recorder = recorder
         self.kill_schedule = dict(kill_schedule or {})
+        for shard_id in sorted(self.kill_schedule):
+            if not 0 <= shard_id < num_shards:
+                raise ValueError(
+                    f"kill_schedule shard {shard_id} out of range for "
+                    f"{num_shards} shards"
+                )
 
         # The reference replica backs merged localization: Algorithm 1
         # reads overlay tables, RNIC flow tables, and underlay routes,
@@ -363,6 +369,10 @@ class ShardCoordinator:
         if not status.alive:
             return
         status.alive = False
+        # Handles normally mark themselves dead when they raise, but
+        # failover correctness (no pair left unowned, worklist
+        # termination) must not depend on backend discipline.
+        self.handles[shard_id].alive = False
         self.metrics.increment("shard.deaths")
         if self.recorder is not None:
             self.recorder.event(
@@ -378,67 +388,79 @@ class ShardCoordinator:
     def _failover(
         self, chunk: int, dead: List[int], upto_round: int
     ) -> List[ChunkResult]:
-        """Reassign dead shards' pairs and replay them on survivors."""
-        survivors = self._live_shards()
-        if not survivors:
-            raise ShardPlaneError(
-                f"all shards dead at chunk {chunk}; cannot continue"
-            )
-        additions: Dict[int, List[ProbePair]] = {
-            shard_id: [] for shard_id in survivors
-        }
-        for dead_id in dead:
-            orphaned = sorted(self._pairs_of.pop(dead_id, ()))
-            if not orphaned:
-                continue
-            for index, pair in enumerate(orphaned):
-                additions[survivors[index % len(survivors)]].append(pair)
-            for target in survivors:
-                moved = sum(
-                    1 for i, _ in enumerate(orphaned)
-                    if survivors[i % len(survivors)] == target
-                )
-                if moved == 0:
-                    continue
-                self.reassignments.append(Reassignment(
-                    chunk=chunk,
-                    round_index=upto_round,
-                    from_shard=dead_id,
-                    to_shard=target,
-                    pair_count=moved,
-                ))
-                self.metrics.increment("shard.reassignments")
-                self.metrics.increment(
-                    f"shard.{target}.pairs_adopted", moved
-                )
-                if self.recorder is not None:
-                    self.recorder.event(
-                        "shard.reassign",
-                        sim_time=self.spec.round_time(upto_round),
-                        from_shard=dead_id, to_shard=target,
-                        pairs=moved,
-                    )
+        """Reassign dead shards' pairs and replay them on survivors.
 
+        Runs as a worklist: an adopter that dies mid-rebuild re-orphans
+        its whole pair set (original + adopted) on the next pass, so no
+        pair is ever left unowned.  Exhausting the survivors raises
+        :class:`ShardPlaneError`.
+        """
         replays: List[ChunkResult] = []
-        for target in survivors:
-            if not additions[target]:
-                continue
-            union = tuple(sorted(
-                set(self._pairs_of[target]) | set(additions[target])
-            ))
-            self._pairs_of[target] = union
-            status = self.statuses[target]
-            status.adopted_pairs += len(additions[target])
-            status.pair_count = len(union)
-            try:
-                replay = self.handles[target].rebuild(union, upto_round)
-            except ShardDeadError:
-                # The adopter died mid-rebuild: its (now larger) pair
-                # set orphans again next chunk via the normal path.
-                self._mark_dead(target, upto_round)
-                continue
-            if replay is not None:
-                replays.append(replay)
+        pending = sorted(set(dead))
+        while pending:
+            survivors = self._live_shards()
+            if not survivors:
+                raise ShardPlaneError(
+                    f"all shards dead at chunk {chunk}; cannot continue"
+                )
+            additions: Dict[int, List[ProbePair]] = {
+                shard_id: [] for shard_id in survivors
+            }
+            for dead_id in pending:
+                orphaned = sorted(self._pairs_of.pop(dead_id, ()))
+                if not orphaned:
+                    continue
+                for index, pair in enumerate(orphaned):
+                    additions[survivors[index % len(survivors)]].append(
+                        pair
+                    )
+                for target in survivors:
+                    moved = sum(
+                        1 for i, _ in enumerate(orphaned)
+                        if survivors[i % len(survivors)] == target
+                    )
+                    if moved == 0:
+                        continue
+                    self.reassignments.append(Reassignment(
+                        chunk=chunk,
+                        round_index=upto_round,
+                        from_shard=dead_id,
+                        to_shard=target,
+                        pair_count=moved,
+                    ))
+                    self.metrics.increment("shard.reassignments")
+                    self.metrics.increment(
+                        f"shard.{target}.pairs_adopted", moved
+                    )
+                    if self.recorder is not None:
+                        self.recorder.event(
+                            "shard.reassign",
+                            sim_time=self.spec.round_time(upto_round),
+                            from_shard=dead_id, to_shard=target,
+                            pairs=moved,
+                        )
+
+            pending = []
+            for target in survivors:
+                if not additions[target]:
+                    continue
+                union = tuple(sorted(
+                    set(self._pairs_of[target]) | set(additions[target])
+                ))
+                self._pairs_of[target] = union
+                status = self.statuses[target]
+                status.adopted_pairs += len(additions[target])
+                status.pair_count = len(union)
+                try:
+                    replay = self.handles[target].rebuild(
+                        union, upto_round
+                    )
+                except ShardDeadError:
+                    self._mark_dead(target, upto_round)
+                    pending.append(target)
+                    continue
+                if replay is not None:
+                    replays.append(replay)
         return replays
 
     # ------------------------------------------------------------------

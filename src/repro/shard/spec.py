@@ -173,6 +173,14 @@ class FaultScheduleRunner:
                         self._active.pop(idx), at
                     )
                 if fault_spec.start_round == r:
+                    if (
+                        fault_spec.end_round is not None
+                        and fault_spec.end_round <= fault_spec.start_round
+                    ):
+                        # Empty interval [start, start): never inject —
+                        # injecting here would leave the fault active
+                        # forever, since its clear round already passed.
+                        continue
                     self._active[idx] = self._inject(fault_spec, at)
         self._next_round = max(self._next_round, round_index + 1)
 

@@ -4,12 +4,37 @@ import pytest
 
 from repro.obs.trace import TraceRecorder
 from repro.shard import (
+    InProcessBackend,
     MergedVoteTable,
     ShardCoordinator,
+    ShardDeadError,
     ShardPlaneError,
     run_plane,
 )
-from repro.shard.backend import backend_named
+from repro.shard.backend import MultiprocessingBackend, backend_named
+
+
+class DyingAdopterBackend:
+    """In-process backend whose chosen shard crashes the moment it is
+    asked to rebuild — an adopter dying mid-failover."""
+
+    name = "inproc"
+
+    def __init__(self, dies_on_rebuild):
+        self._dies = dies_on_rebuild
+        self._inner = InProcessBackend()
+
+    def spawn(self, shard_id, spec, pairs):
+        handle = self._inner.spawn(shard_id, spec, pairs)
+        if shard_id == self._dies:
+            def dying_rebuild(pairs, upto_round):
+                handle.alive = False
+                raise ShardDeadError(
+                    f"shard {shard_id} crashed mid-rebuild"
+                )
+
+            handle.rebuild = dying_rebuild
+        return handle
 
 
 class TestHeartbeats:
@@ -87,6 +112,44 @@ class TestFailover:
             run_plane(spec, 2, chunk_rounds=3,
                       kill_schedule={0: 2, 1: 2})
 
+    def test_dead_adopter_reorphans_its_pairs(self, spec):
+        # Shard 1 is killed at chunk 2; shard 0 (an adopter) crashes
+        # during the failover rebuild.  Its whole pair set — original
+        # and adopted — must land on shard 2, not silently vanish.
+        coordinator = ShardCoordinator(
+            spec, 3, backend=DyingAdopterBackend(0),
+            chunk_rounds=3, kill_schedule={1: 2},
+        )
+        result = coordinator.run()
+        assert not result.statuses[0].alive
+        assert not result.statuses[1].alive
+        assert result.statuses[2].alive
+        assert result.statuses[2].pair_count == sum(
+            result.plan.pair_counts()
+        )
+        assert {m.from_shard for m in result.reassignments} == {0, 1}
+
+    def test_dead_adopter_keeps_baseline_equivalence(self, spec):
+        # The coverage guarantee: even with a mid-failover adopter
+        # crash, events and verdicts match the single-shard baseline.
+        baseline = run_plane(spec, 1, chunk_rounds=3)
+        coordinator = ShardCoordinator(
+            spec, 3, backend=DyingAdopterBackend(0),
+            chunk_rounds=3, kill_schedule={1: 2},
+        )
+        result = coordinator.run()
+        assert result.event_summary() == baseline.event_summary()
+        assert result.verdict_summary() == baseline.verdict_summary()
+
+    def test_every_adopter_dying_raises(self, spec):
+        # Two shards: one killed, the sole survivor dies adopting.
+        coordinator = ShardCoordinator(
+            spec, 2, backend=DyingAdopterBackend(1),
+            chunk_rounds=3, kill_schedule={0: 2},
+        )
+        with pytest.raises(ShardPlaneError):
+            coordinator.run()
+
     def test_failover_events_recorded(self, spec):
         recorder = TraceRecorder()
         run_plane(spec, 3, chunk_rounds=3, kill_schedule={2: 2},
@@ -144,3 +207,16 @@ class TestConstruction:
             ShardCoordinator(spec, 2, chunk_rounds=0)
         with pytest.raises(ValueError):
             backend_named("carrier-pigeon")
+
+    def test_kill_schedule_ids_validated(self, spec):
+        with pytest.raises(ValueError):
+            ShardCoordinator(spec, 2, kill_schedule={5: 1})
+        with pytest.raises(ValueError):
+            ShardCoordinator(spec, 2, kill_schedule={-1: 1})
+
+    def test_mp_backend_picks_an_available_start_method(self):
+        import multiprocessing as mp
+
+        backend = MultiprocessingBackend()
+        method = backend._context.get_start_method()
+        assert method in mp.get_all_start_methods()

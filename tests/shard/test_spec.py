@@ -1,0 +1,59 @@
+"""Tests for the replayable fault schedule."""
+
+from repro.network.issues import IssueType
+from repro.shard import (
+    FaultScheduleRunner,
+    FaultSpec,
+    ShardScenarioSpec,
+    build_replica,
+)
+
+
+def spec_with_interval(start_round, end_round):
+    base = ShardScenarioSpec(
+        num_containers=8, gpus_per_container=2, total_rounds=12,
+    )
+    probe = build_replica(base)
+    rnic = probe.rnic_of_rank(3)
+    return ShardScenarioSpec(
+        num_containers=8, gpus_per_container=2, total_rounds=12,
+        faults=(
+            FaultSpec(
+                issue=IssueType.RNIC_PORT_DOWN.name, target=rnic,
+                start_round=start_round, end_round=end_round,
+            ),
+        ),
+    )
+
+
+class TestFaultScheduleRunner:
+    def test_half_open_interval_clears_at_end_round(self):
+        spec = spec_with_interval(2, 5)
+        runner = FaultScheduleRunner(build_replica(spec), spec)
+        runner.advance_to(1)
+        assert runner.active_faults() == []
+        runner.advance_to(4)
+        assert len(runner.active_faults()) == 1
+        runner.advance_to(5)
+        assert runner.active_faults() == []
+
+    def test_empty_interval_never_injects(self):
+        # [start, start) is empty: the fault must never become active,
+        # not get injected and stay active forever.
+        spec = spec_with_interval(3, 3)
+        runner = FaultScheduleRunner(build_replica(spec), spec)
+        for round_index in range(1, spec.total_rounds + 1):
+            runner.advance_to(round_index)
+            assert runner.active_faults() == []
+
+    def test_inverted_interval_never_injects(self):
+        spec = spec_with_interval(5, 2)
+        runner = FaultScheduleRunner(build_replica(spec), spec)
+        runner.advance_to(spec.total_rounds)
+        assert runner.active_faults() == []
+
+    def test_open_ended_interval_stays_active(self):
+        spec = spec_with_interval(2, None)
+        runner = FaultScheduleRunner(build_replica(spec), spec)
+        runner.advance_to(spec.total_rounds)
+        assert len(runner.active_faults()) == 1
