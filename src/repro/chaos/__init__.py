@@ -1,0 +1,20 @@
+"""Monitor-plane chaos: fault injection against the monitoring pipeline.
+
+The dual of :mod:`repro.network.faults`: where that module breaks the
+*monitored* network (Table 1 of the paper), this package breaks the
+*monitor itself* — telemetry samples, probe reports, agents, and
+flow-table reads — so the hardening in :mod:`repro.core` can be
+exercised and its graceful degradation measured (``repro chaos``).
+"""
+
+from repro.chaos.faults import (
+    MonitorFault,
+    MonitorFaultInjector,
+    MonitorIssue,
+)
+
+__all__ = [
+    "MonitorFault",
+    "MonitorFaultInjector",
+    "MonitorIssue",
+]

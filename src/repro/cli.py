@@ -11,6 +11,7 @@ Usage::
     python -m repro export-metrics [--faults N]
     python -m repro verify [--issue NAME] [--lint [paths...]]
     python -m repro bench [--quick] [--out FILE]
+    python -m repro chaos [--quick] [--out FILE]
     python -m repro run [--shards N] [--backend inproc|mp] [--faults N]
     python -m repro shard-status [--shards N] [--kill SHARD]
     python -m repro bench-shard [--quick] [--out FILE]
@@ -36,6 +37,12 @@ incremental vs full-rebuild detector windows), verifies the fast path is
 result-identical to the sequential one, and fails if batching is ever
 slower.  ``--quick`` is the CI smoke configuration.
 
+``chaos`` runs the monitor-plane degradation gate: the fault campaign
+twice — perfect monitor vs standard chaos weather (telemetry + report
+loss, one agent crash) — and fails unless detection recall and the
+localization rate stay within the committed bounds
+(``BENCH_chaos.json``).
+
 The last three commands drive the sharded monitoring plane
 (:mod:`repro.shard`): ``run`` executes a faulted scenario across N
 shard workers and prints the merged events, verdicts, and per-shard
@@ -53,10 +60,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.cluster.identifiers import ContainerId
-from repro.network.issues import ISSUE_CATALOG, ComponentClass, IssueType
+from repro.network.issues import ISSUE_CATALOG, IssueType
 from repro.workloads.production import ProductionStatistics
-from repro.workloads.scenarios import build_scenario
+from repro.workloads.scenarios import build_scenario, standard_fault_target
 
 __all__ = ["main"]
 
@@ -154,6 +160,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
 
+    chaos = commands.add_parser(
+        "chaos", help="run the monitor-plane degradation gate "
+        "(clean vs chaotic monitoring, bounded accuracy loss)"
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="one issue per layer instead of the full Table-1 sweep "
+        "(the CI smoke mode)",
+    )
+    chaos.add_argument(
+        "--out", default="BENCH_chaos.json",
+        help="write the JSON report here (default: BENCH_chaos.json)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--telemetry-loss", type=float, default=0.10,
+        help="telemetry and probe-report loss rate (default 0.10)",
+    )
+
     def add_shard_args(command) -> None:
         command.add_argument(
             "--shards", type=int, default=4,
@@ -210,25 +235,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _target_for(scenario, issue: IssueType):
-    rnic = scenario.rnic_of_rank(scenario.workload.gpus_per_container)
-    if issue in (IssueType.CRC_ERROR, IssueType.SWITCH_PORT_DOWN,
-                 IssueType.SWITCH_PORT_FLAPPING):
-        pair = scenario.hunter.monitored_pairs()[0]
-        return scenario.fabric.traceroute(pair.src, pair.dst).links[1]
-    if issue in (IssueType.SWITCH_OFFLINE,
-                 IssueType.CONGESTION_CONTROL_ISSUE):
-        return scenario.topology.tor_of(rnic)
-    if issue == IssueType.CONTAINER_CRASH:
-        return scenario.task.containers[
-            ContainerId(scenario.task.id, 1)
-        ]
-    host_level = (ComponentClass.HOST_BOARD, ComponentClass.VIRTUAL_SWITCH,
-                  ComponentClass.CONFIGURATION)
-    if ISSUE_CATALOG[issue].component in host_level and \
-            issue is not IssueType.REPETITIVE_FLOW_OFFLOADING:
-        return rnic.host
-    return rnic
+# The shared target resolution lives with the scenario builder so the
+# chaos degradation gate injects exactly what the CLI campaigns inject.
+_target_for = standard_fault_target
 
 
 def _run_demo(args: argparse.Namespace) -> int:
@@ -419,6 +428,18 @@ def _run_bench(args: argparse.Namespace) -> int:
               f"{sizes} endpoints", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.gate import format_report, run_chaos_benchmark
+
+    report = run_chaos_benchmark(
+        quick=args.quick, seed=args.seed, out=args.out,
+        telemetry_loss=args.telemetry_loss,
+    )
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    return 0 if report["summary"]["passed"] else 1
 
 
 def _shard_spec(args: argparse.Namespace, num_faults: int):
@@ -627,6 +648,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(args) if args.lint else run_verify(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "run":
         return _run_sharded(args)
     if args.command == "shard-status":

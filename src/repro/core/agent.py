@@ -23,6 +23,7 @@ from typing import List, Optional
 from repro.cluster.container import Container
 from repro.cluster.identifiers import EndpointId, HostId
 from repro.core.pinglist import PingList, ProbePair
+from repro.core.probing import ResilientProber, coarse_pairs
 from repro.core.rnic_validation import RnicFinding, RnicValidator
 from repro.network.fabric import DataPlaneFabric
 from repro.network.packet import ProbeResult
@@ -77,6 +78,7 @@ class OverlayAgent:
         started_at: float,
         resources: Optional[AgentResourceModel] = None,
         version: str = "v1.0.0",
+        prober: Optional[ResilientProber] = None,
     ) -> None:
         self.container = container
         self.ping_list = ping_list
@@ -86,7 +88,11 @@ class OverlayAgent:
             resources if resources is not None else AgentResourceModel()
         )
         self.version = version  # sidecar release the agent launched with
+        # Monitor-plane hardening; None keeps the original direct path
+        # (and its probe outcomes) bit-identical.
+        self.prober = prober
         self.probes_sent = 0
+        self.rounds_skipped = 0
 
     @property
     def endpoints(self) -> List[EndpointId]:
@@ -108,8 +114,30 @@ class OverlayAgent:
     def execute_round(
         self, fabric: DataPlaneFabric, now: float, salt: int = 0
     ) -> List[ProbeResult]:
-        """Probe this agent's share of the active pairs (one batch)."""
-        results = fabric.send_probe_batch(self.my_pairs(), now, salt)
+        """Probe this agent's share of the active pairs (one batch).
+
+        Without a prober this is the original direct path.  With one,
+        the round is monitor-plane hardened: a crashed or hung agent
+        probes nothing (and feeds its circuit breaker), a slow-starting
+        agent and an open breaker fall back to coarse coverage, and
+        lost/late probe reports are retried with keyed backoff.
+        """
+        if self.prober is None:
+            results = fabric.send_probe_batch(self.my_pairs(), now, salt)
+            self.probes_sent += len(results)
+            return results
+        state = self.prober.chaos.agent_state(str(self.container.id), now)
+        if state in ("crashed", "hung"):
+            self.rounds_skipped += 1
+            if self.prober.recorder is not None:
+                self.prober.recorder.count("agent.rounds_skipped")
+            if self.prober.breaker is not None:
+                self.prober.breaker.record_failure(now)
+            return []
+        pairs, _ = self.prober.plan_round(self.my_pairs(), now)
+        if state == "slow":
+            pairs = coarse_pairs(pairs)
+        results = self.prober.execute(fabric, pairs, now, salt)
         self.probes_sent += len(results)
         return results
 

@@ -159,6 +159,15 @@ class Analyzer:
     # ------------------------------------------------------------------
 
     def _score(self, summary: WindowSummary) -> List[DetectedAnomaly]:
+        if summary.sent == 0:
+            # A window with no probes is a *missing* round (crashed
+            # agent, lost reports, pair dropped from the list) — not a
+            # healthy one.  It carries no evidence either way, so it
+            # must neither feed the detectors nor resolve an open event
+            # as "recovered".
+            if self.recorder is not None:
+                self.recorder.count("windows.skipped_empty")
+            return []
         found: List[DetectedAnomaly] = []
         anomaly = self._short.observe(summary)
         if anomaly is not None:

@@ -22,6 +22,8 @@ from repro.cluster.identifiers import ContainerId, EndpointId, TaskId
 from repro.cluster.orchestrator import Cluster
 from repro.core.agent import AgentResourceModel, OverlayAgent
 from repro.core.pinglist import PingList
+from repro.core.probing import ResilientProber
+from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.core.skeleton import InferredSkeleton
 
 __all__ = ["Controller", "ControllerError"]
@@ -48,6 +50,8 @@ class Controller:
         resources: Optional[AgentResourceModel] = None,
         release_manager=None,
         recorder=None,
+        chaos=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster
         # Constructed per instance, not shared via a default argument
@@ -60,6 +64,11 @@ class Controller:
         self.release_manager = release_manager
         # Optional TraceRecorder: ping-list and agent lifecycle events.
         self.recorder = recorder
+        # Optional MonitorFaultInjector: when set, every agent launches
+        # with a ResilientProber (retry/backoff + circuit breaker); when
+        # None, agents run the original direct path bit-identically.
+        self.chaos = chaos
+        self.retry_policy = retry_policy
         self._tasks: Dict[TaskId, _TaskState] = {}
 
     # ------------------------------------------------------------------
@@ -105,12 +114,21 @@ class Controller:
             self.release_manager.current_version(now)
             if self.release_manager is not None else "v1.0.0"
         )
+        prober = None
+        if self.chaos is not None:
+            prober = ResilientProber(
+                self.chaos,
+                retry=self.retry_policy,
+                breaker=CircuitBreaker(recorder=self.recorder),
+                recorder=self.recorder,
+            )
         agent = OverlayAgent(
             container=container,
             ping_list=state.ping_list,
             started_at=now,
             resources=self.resources,
             version=version,
+            prober=prober,
         )
         state.agents[container.id] = agent
         agent.register()
@@ -142,10 +160,22 @@ class Controller:
     def apply_skeleton(
         self, task_id: TaskId, skeleton: InferredSkeleton
     ) -> PingList:
-        """Swap the task's ping list for the skeleton-restricted one."""
+        """Swap the task's ping list for the skeleton-restricted one.
+
+        Endpoints the inference quarantined (series too gappy to place
+        in a group) keep their current pairs: losing telemetry about an
+        RNIC is no reason to stop probing it.
+        """
         state = self._state(task_id)
         before = len(state.ping_list.pairs)
-        optimized = state.ping_list.restrict_to(skeleton.edges)
+        edges = skeleton.edges
+        if skeleton.quarantined:
+            unplaced = set(skeleton.quarantined)
+            edges = set(skeleton.edges)
+            for pair in state.ping_list.pairs:
+                if pair.src in unplaced or pair.dst in unplaced:
+                    edges.add(frozenset((pair.src, pair.dst)))
+        optimized = state.ping_list.restrict_to(edges)
         state.ping_list = optimized
         state.skeleton = skeleton
         for agent in state.agents.values():

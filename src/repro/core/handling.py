@@ -43,6 +43,11 @@ class _BlacklistEntry:
     since: float
     reason: str
     cleared_at: Optional[float] = None
+    #: Provenance: entries added by one localization report share a
+    #: group key, so repairing any of them can clear its derived
+    #: siblings (a repaired RNIC un-blacklists the host entry the same
+    #: report produced).
+    group: Optional[str] = None
 
 
 class Blacklist:
@@ -51,21 +56,45 @@ class Blacklist:
     def __init__(self) -> None:
         self._entries: Dict[str, _BlacklistEntry] = {}
 
-    def add(self, component: str, at: float, reason: str) -> None:
+    def add(
+        self,
+        component: str,
+        at: float,
+        reason: str,
+        group: Optional[str] = None,
+    ) -> None:
         """Blacklist a component (idempotent while active)."""
         current = self._entries.get(component)
         if current is not None and current.cleared_at is None:
             return
         self._entries[component] = _BlacklistEntry(
-            component=component, since=at, reason=reason
+            component=component, since=at, reason=reason, group=group
         )
 
-    def clear(self, component: str, at: float) -> bool:
-        """Mark a component repaired; returns whether it was listed."""
+    def clear(
+        self, component: str, at: float, cascade: bool = False
+    ) -> bool:
+        """Mark a component repaired; returns whether it was listed.
+
+        Plain ``clear`` touches exactly one entry — an operator
+        clearing ``host:h3`` does not silently re-admit the RNIC that
+        incriminated it.  With ``cascade``, entries sharing the
+        component's (non-``None``) provenance group are cleared too:
+        that is the :meth:`FailureHandler.mark_repaired` path, where
+        fixing the diagnosed component also retires the host/OVS
+        entries the same report derived from it.
+        """
         entry = self._entries.get(component)
         if entry is None or entry.cleared_at is not None:
             return False
         entry.cleared_at = at
+        if cascade and entry.group is not None:
+            for sibling in self._entries.values():
+                if (
+                    sibling.cleared_at is None
+                    and sibling.group == entry.group
+                ):
+                    sibling.cleared_at = at
         return True
 
     def contains(self, component: object) -> bool:
@@ -116,7 +145,13 @@ class FailureHandler:
         self.alerts: List[Alert] = []
 
     def handle(self, at: float, report: LocalizationReport) -> List[Alert]:
-        """Process one localization report: alert + blacklist."""
+        """Process one localization report: alert + blacklist.
+
+        Entries from one report share a provenance group, so
+        :meth:`mark_repaired` on any of them clears the others — a
+        repaired RNIC does not leave its host blacklisted.
+        """
+        group = f"report@{at:.3f}"
         raised: List[Alert] = []
         for diagnosis in report.diagnoses:
             alert = Alert(
@@ -134,7 +169,8 @@ class FailureHandler:
                 and diagnosis.layer in self._BLACKLISTABLE_LAYERS
             ):
                 self.blacklist.add(
-                    diagnosis.component, at, diagnosis.evidence
+                    diagnosis.component, at, diagnosis.evidence,
+                    group=group,
                 )
         return raised
 
@@ -150,8 +186,14 @@ class FailureHandler:
         return AlertSeverity.MINOR
 
     def mark_repaired(self, component: str, at: float) -> bool:
-        """The operation team fixed a component: re-admit it."""
-        return self.blacklist.clear(component, at)
+        """The operation team fixed a component: re-admit it.
+
+        Cascades through the entry's provenance group — blacklist
+        entries derived from the same localization report (e.g. the
+        ``host:`` entry raised alongside an RNIC diagnosis) are cleared
+        with it, so a repaired RNIC never strands its host.
+        """
+        return self.blacklist.clear(component, at, cascade=True)
 
     def critical_alerts(self) -> List[Alert]:
         """All critical alerts raised so far."""

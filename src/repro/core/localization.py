@@ -119,11 +119,14 @@ class Localizer:
         fabric: DataPlaneFabric,
         intersection: Optional[PhysicalIntersection] = None,
         recorder=None,
+        chaos=None,
     ) -> None:
         self.cluster = cluster
         self.fabric = fabric
         self.intersection = intersection or PhysicalIntersection()
-        self.validator = RnicValidator(cluster)
+        self.validator = RnicValidator(
+            cluster, chaos=chaos, recorder=recorder
+        )
         self.recorder = recorder
         self._now = 0.0     # sim time of the localize() call in flight
 
@@ -144,9 +147,9 @@ class Localizer:
         failing pairs (e.g. reported by shard workers); pairs missing
         from it fall back to a live traceroute.
         """
+        self._now = now
         if self.recorder is None:
             return self._localize(events, healthy_pairs, paths)
-        self._now = now
         with self.recorder.span(
             "localize.run", sim_time=now, events=len(events)
         ) as span:
@@ -469,8 +472,10 @@ class Localizer:
         self, event: FailureEvent, rnics: List[RnicId]
     ) -> Optional[Diagnosis]:
         for rnic in rnics:
-            finding = self.validator.validate(rnic)
-            if not finding.suspicious:
+            finding = self.validator.validate(rnic, at=self._now)
+            if finding.read_error or not finding.suspicious:
+                # A failed dump is evidence of nothing: skip the RNIC
+                # rather than misread it as clean *or* suspicious.
                 continue
             diagnosis = self._diagnosis_for_finding(event, rnic, finding)
             if self.recorder is not None:
@@ -527,12 +532,16 @@ class Localizer:
 
     def _whole_host_on_software_path(self, rnic: RnicId) -> bool:
         host = self.cluster.host(rnic.host)
-        findings = self.validator.validate_many(r.id for r in host.rnics)
+        findings = self.validator.validate_many(
+            (r.id for r in host.rnics), at=self._now
+        )
         active = [
             f for f in findings.values()
-            if f.inconsistencies or len(
-                self.cluster.overlay.offload_table(f.rnic)
-            ) > 0
+            if not f.read_error and (
+                f.inconsistencies or len(
+                    self.cluster.overlay.offload_table(f.rnic)
+                ) > 0
+            )
         ]
         if len(active) < 2:
             return False

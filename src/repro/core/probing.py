@@ -15,15 +15,18 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.pinglist import PingList, ProbePair
+from repro.core.resilience import BreakerState, CircuitBreaker, RetryPolicy
 from repro.network.fabric import DataPlaneFabric
 from repro.network.packet import ProbeResult
 
 __all__ = [
     "ProbeCostModel",
     "ProbeRoundExecutor",
+    "ResilientProber",
+    "coarse_pairs",
     "estimate_round_duration",
     "estimate_sharded_round_duration",
     "probes_per_round",
@@ -97,6 +100,150 @@ def estimate_sharded_round_duration(
     return worst
 
 
+def coarse_pairs(pairs: Sequence[ProbePair]) -> List[ProbePair]:
+    """The coarse fallback subset: one pair per container pair.
+
+    While an agent's circuit breaker is open, probing every rail pair
+    would just feed the failing monitor path; one probe per peer
+    container keeps reachability coverage (a down host or crashed peer
+    is still seen) at a fraction of the load.  Deterministic: input
+    order is preserved and the first pair of each container pair wins,
+    so the same ``pairs`` list always coarsens identically.
+    """
+    seen = set()
+    out: List[ProbePair] = []
+    for pair in pairs:
+        key = (pair.src.container, pair.dst.container)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(pair)
+    return out
+
+
+class ResilientProber:
+    """Monitor-plane hardening around a probe round.
+
+    Wraps the fabric's batched round with the three defenses of
+    ``docs/ROBUSTNESS.md``:
+
+    * **report fate** — each probe's *report* may be lost or late
+      (:meth:`MonitorFaultInjector.probe_report`); a probe the network
+      genuinely dropped is NOT retried, so real unconnectivity is never
+      masked;
+    * **bounded retry** — lost/late reports are retried up to
+      ``retry.max_retries`` times at ``now + timeout + backoff`` with
+      keyed jitter, keeping per-pair timestamps monotone and runs
+      reproducible;
+    * **circuit breaker** — rounds that still lose reports after
+      retries count as failures; consecutive failures trip the breaker
+      and the agent falls back to :func:`coarse_pairs` until half-open
+      recovery.
+    """
+
+    def __init__(
+        self,
+        chaos,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        recorder=None,
+    ) -> None:
+        self.chaos = chaos
+        self.retry = (
+            retry if retry is not None else RetryPolicy(seed=chaos.seed)
+        )
+        self.breaker = breaker
+        self.recorder = recorder
+        self.retries = 0
+        self.retry_successes = 0
+        self.reports_lost = 0
+        self.reports_late = 0
+        self.monitor_failures = 0
+
+    def plan_round(
+        self, pairs: Sequence[ProbePair], now: float
+    ) -> Tuple[List[ProbePair], str]:
+        """The pairs to probe this round, given the breaker state.
+
+        ``CLOSED`` probes everything; ``OPEN`` probes the coarse subset;
+        ``HALF_OPEN`` probes everything as the trial round (success
+        closes the breaker, failure re-opens it).
+        """
+        pairs = list(pairs)
+        if self.breaker is None:
+            return pairs, "full"
+        state = self.breaker.state_at(now)
+        if state is BreakerState.OPEN:
+            return coarse_pairs(pairs), "coarse"
+        return pairs, "full" if state is BreakerState.CLOSED else "trial"
+
+    def execute(
+        self,
+        fabric: DataPlaneFabric,
+        pairs: Sequence[ProbePair],
+        now: float,
+        salt: int = 0,
+    ) -> List[ProbeResult]:
+        """One hardened round over ``pairs``; returns delivered results."""
+        results = fabric.send_probe_batch(pairs, now, salt)
+        delivered: List[ProbeResult] = []
+        failed = 0
+        for pair, result in zip(pairs, results):
+            final = self._deliver(fabric, pair, result, now, salt)
+            if final is None:
+                failed += 1
+            else:
+                delivered.append(final)
+        if self.breaker is not None:
+            if failed:
+                self.breaker.record_failure(now)
+            else:
+                self.breaker.record_success(now)
+        return delivered
+
+    def _deliver(
+        self,
+        fabric: DataPlaneFabric,
+        pair: ProbePair,
+        result: ProbeResult,
+        now: float,
+        salt: int,
+    ) -> Optional[ProbeResult]:
+        """Resolve one probe's report, retrying monitor-plane losses."""
+        at = now
+        attempt = 0
+        current = result
+        while True:
+            fate = self.chaos.probe_report(pair.src, pair.dst, at, attempt)
+            if fate == "ok":
+                if attempt > 0:
+                    self.retry_successes += 1
+                    self._count("probe.retry_success")
+                return current
+            if fate == "late":
+                self.reports_late += 1
+                self._count("probe.reports_late")
+            else:
+                self.reports_lost += 1
+                self._count("probe.reports_lost")
+            if attempt >= self.retry.max_retries:
+                self.monitor_failures += 1
+                self._count("probe.monitor_failures")
+                return None
+            attempt += 1
+            self.retries += 1
+            self._count("probe.retries")
+            delay = self.retry.backoff_s(
+                attempt, key=f"{pair.src}->{pair.dst}@{now!r}"
+            )
+            at = at + self.retry.timeout_s + delay
+            current = fabric.send_probe(pair.src, pair.dst, at, salt)
+
+    def _count(self, name: str) -> None:
+        if self.recorder is not None:
+            self.recorder.count(name)
+
+
 class ProbeRoundExecutor:
     """Sends one probe per active pair through the fabric each round."""
 
@@ -104,9 +251,11 @@ class ProbeRoundExecutor:
         self,
         fabric: DataPlaneFabric,
         on_result: Optional[Callable[[ProbeResult], None]] = None,
+        prober: Optional[ResilientProber] = None,
     ) -> None:
         self.fabric = fabric
         self.on_result = on_result
+        self.prober = prober
         self.rounds_executed = 0
         self.probes_issued = 0
 
@@ -116,11 +265,17 @@ class ProbeRoundExecutor:
         """Probe every *active* pair of ``ping_list`` at time ``now``.
 
         The round goes through the fabric's batched fast path;
-        ``on_result`` still fires once per result, in pair order.
+        ``on_result`` still fires once per result, in pair order.  With
+        a :class:`ResilientProber` attached, the round is hardened
+        (report retry + breaker gating) and lost reports are absent
+        from the returned results.
         """
-        results = self.fabric.send_probe_batch(
-            ping_list.active_pairs(), now, salt
-        )
+        pairs = ping_list.active_pairs()
+        if self.prober is None:
+            results = self.fabric.send_probe_batch(pairs, now, salt)
+        else:
+            pairs, _ = self.prober.plan_round(pairs, now)
+            results = self.prober.execute(self.fabric, pairs, now, salt)
         if self.on_result is not None:
             for result in results:
                 self.on_result(result)

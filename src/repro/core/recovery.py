@@ -47,12 +47,20 @@ class RecoveryManager:
         orchestrator: Orchestrator,
         blacklist: Optional[Blacklist] = None,
         cooldown_s: float = 300.0,
+        max_migrations_per_window: int = 3,
+        migration_window_s: float = 3600.0,
     ) -> None:
         self.orchestrator = orchestrator
         self.blacklist = blacklist
         self.cooldown_s = cooldown_s
+        # Thrash guard: the cooldown alone lets a container bounce
+        # between two flapping hosts forever at exactly ``cooldown_s``
+        # intervals; the window cap bounds total moves per container.
+        self.max_migrations_per_window = max_migrations_per_window
+        self.migration_window_s = migration_window_s
         self.actions: List[MigrationAction] = []
-        self._last_migration: Dict[ContainerId, float] = {}
+        self.throttled = 0
+        self._migration_times: Dict[ContainerId, List[float]] = {}
 
     # ------------------------------------------------------------------
     # Reaction
@@ -97,8 +105,20 @@ class RecoveryManager:
         return None
 
     def _cooled_down(self, container_id: ContainerId, at: float) -> bool:
-        last = self._last_migration.get(container_id)
-        return last is None or at - last >= self.cooldown_s
+        history = self._migration_times.get(container_id)
+        if not history:
+            return True
+        if at - history[-1] < self.cooldown_s:
+            return False
+        if self.max_migrations_per_window <= 0:
+            return True
+        recent = [
+            t for t in history if at - t < self.migration_window_s
+        ]
+        if len(recent) >= self.max_migrations_per_window:
+            self.throttled += 1
+            return False
+        return True
 
     def _migrate(
         self, at: float, container: Container, trigger: str
@@ -112,7 +132,12 @@ class RecoveryManager:
         except PlacementError:
             target = None
         if target is not None:
-            self._last_migration[container.id] = at
+            history = self._migration_times.setdefault(container.id, [])
+            history.append(at)
+            # Keep only timestamps the window cap can still see.
+            cutoff = at - self.migration_window_s
+            while history and history[0] < cutoff:
+                history.pop(0)
         return MigrationAction(
             at=at, container=container.id, source=source,
             target=target, trigger=trigger,

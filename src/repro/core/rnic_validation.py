@@ -19,11 +19,12 @@ degrade the data plane, so the localizer only reaches for it last.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.cluster.flowtable import FlowInconsistency, diff_tables
 from repro.cluster.identifiers import RnicId
 from repro.cluster.orchestrator import Cluster
+from repro.core.resilience import RetryPolicy
 
 __all__ = ["RnicFinding", "RnicValidator"]
 
@@ -35,6 +36,10 @@ class RnicFinding:
     rnic: RnicId
     inconsistencies: List[FlowInconsistency]
     invalidation_count: int
+    #: The dump itself failed (monitor-plane read error, retries
+    #: exhausted): no diff evidence either way.  Callers must *skip*
+    #: such findings, never read them as "clean".
+    read_error: bool = False
 
     @property
     def suspicious(self) -> bool:
@@ -65,6 +70,7 @@ class RnicFinding:
             "silently_invalidated": self.silently_invalidated,
             "software_path_rules": self.software_path_rules,
             "invalidation_count": self.invalidation_count,
+            "read_error": self.read_error,
             "examples": [
                 item.reason for item in self.inconsistencies[:examples]
             ],
@@ -72,16 +78,44 @@ class RnicFinding:
 
 
 class RnicValidator:
-    """Dumps and diffs OVS vs RNIC hardware flow tables."""
+    """Dumps and diffs OVS vs RNIC hardware flow tables.
 
-    def __init__(self, cluster: Cluster) -> None:
+    With a chaos injector attached, each dump may hit a monitor-plane
+    ``FLOW_TABLE_READ_ERROR``; the validator retries with keyed backoff
+    and, when retries are exhausted, returns a finding flagged
+    ``read_error`` — evidence of nothing, rather than a false "clean".
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        chaos=None,
+        retry: Optional[RetryPolicy] = None,
+        recorder=None,
+    ) -> None:
         self._cluster = cluster
+        self.chaos = chaos
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(seed=chaos.seed if chaos is not None else 0)
+        )
+        self._recorder = recorder
         self.dumps_performed = 0
+        self.read_errors = 0
+        self.read_retries = 0
 
-    def validate(self, rnic: RnicId) -> RnicFinding:
+    def validate(self, rnic: RnicId, at: float = 0.0) -> RnicFinding:
         """Diff one RNIC's hardware cache against its host's OVS table."""
         overlay = self._cluster.overlay
         self.dumps_performed += 1
+        if self.chaos is not None and not self._read_succeeds(rnic, at):
+            return RnicFinding(
+                rnic=rnic,
+                inconsistencies=[],
+                invalidation_count=0,
+                read_error=True,
+            )
         ovs = overlay.ovs_table(rnic.host)
         hw = overlay.offload_table(rnic)
         inconsistencies = diff_tables(ovs, hw, rnic_name=str(rnic))
@@ -91,11 +125,28 @@ class RnicValidator:
             invalidation_count=hw.invalidations,
         )
 
+    def _read_succeeds(self, rnic: RnicId, at: float) -> bool:
+        """Attempt the dump with bounded keyed-backoff retries."""
+        key = f"flowread:{rnic}@{at!r}"
+        attempt = 0
+        while self.chaos.flow_table_read_fails(rnic, at, attempt):
+            if attempt >= self.retry.max_retries:
+                self.read_errors += 1
+                if self._recorder is not None:
+                    self._recorder.count("validation.read_errors")
+                return False
+            attempt += 1
+            self.read_retries += 1
+            if self._recorder is not None:
+                self._recorder.count("validation.read_retries")
+            at = at + self.retry.backoff_s(attempt, key=key)
+        return True
+
     def validate_many(
-        self, rnics: Iterable[RnicId]
+        self, rnics: Iterable[RnicId], at: float = 0.0
     ) -> Dict[RnicId, RnicFinding]:
         """Validate several RNICs, deduplicated, in sorted order."""
         findings: Dict[RnicId, RnicFinding] = {}
         for rnic in sorted(set(rnics)):
-            findings[rnic] = self.validate(rnic)
+            findings[rnic] = self.validate(rnic, at=at)
         return findings

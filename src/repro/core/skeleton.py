@@ -33,7 +33,21 @@ from repro.analysis.clustering import (
 from repro.analysis.stft import StftConfig, feature_matrix
 from repro.cluster.identifiers import EndpointId
 
-__all__ = ["InferredSkeleton", "SkeletonInference"]
+__all__ = [
+    "InferredSkeleton",
+    "SkeletonInference",
+    "SkeletonInferenceError",
+]
+
+
+class SkeletonInferenceError(ValueError):
+    """Inference could not run on the (possibly degraded) input.
+
+    Subclasses :class:`ValueError` for backward compatibility; callers
+    in the monitoring loop catch it and keep the current ping list
+    rather than crashing the plane (see
+    :meth:`repro.core.system.SkeletonHunter.observe_and_optimize`).
+    """
 
 
 @dataclass
@@ -47,6 +61,10 @@ class InferredSkeleton:
     stage_of_group: List[int]          # pipeline level of each group
     edges: Set[FrozenSet[EndpointId]] = field(default_factory=set)
     group_topology: str = "ring"       # intra-group pattern used
+    #: Endpoints whose throughput series were too gappy/short to use;
+    #: the controller keeps probing them at basic coverage instead of
+    #: silently dropping them from the optimized list.
+    quarantined: List[EndpointId] = field(default_factory=list)
     # Lazy endpoint -> group-index map backing group_of(); not part of
     # the skeleton's identity.
     _group_index: Optional[Dict[EndpointId, int]] = field(
@@ -101,6 +119,8 @@ class SkeletonInference:
         iteration_period_s: float = 30.0,
         group_topology: str = "auto",
         onset_threshold: float = 0.25,
+        min_coverage: float = 0.6,
+        recorder=None,
     ) -> None:
         if group_topology not in ("ring", "mesh", "auto"):
             raise ValueError(
@@ -111,6 +131,11 @@ class SkeletonInference:
         self.iteration_period_s = iteration_period_s
         self.group_topology = group_topology
         self.onset_threshold = onset_threshold
+        #: Minimum fraction of finite samples an endpoint's series must
+        #: carry to take part in inference; below it the endpoint is
+        #: quarantined (kept at basic probing coverage) instead.
+        self.min_coverage = min_coverage
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -121,18 +146,38 @@ class SkeletonInference:
         series_by_endpoint: Dict[EndpointId, np.ndarray],
         host_of: Callable[[EndpointId], Hashable],
     ) -> InferredSkeleton:
-        """Run the full inference pipeline on collected throughput series."""
-        endpoints = sorted(series_by_endpoint)
+        """Run the full inference pipeline on collected throughput series.
+
+        Gapped or corrupt series (NaN samples — dropped telemetry) are
+        repaired by interpolation when coverage allows, or quarantined
+        otherwise; clean input flows through untouched, bit-identical
+        to the unhardened path.  Raises :class:`SkeletonInferenceError`
+        (a :class:`ValueError`) when fewer than two usable endpoints
+        remain — never a crash deeper in the pipeline.
+        """
+        usable, quarantined = self._sanitize_series(series_by_endpoint)
+        if quarantined and self.recorder is not None:
+            self.recorder.count(
+                "skeleton.quarantined", amount=float(len(quarantined))
+            )
+            self.recorder.event(
+                "skeleton.quarantine",
+                endpoints=[str(e) for e in quarantined],
+            )
+        endpoints = sorted(usable)
         if len(endpoints) < 2:
-            raise ValueError("need at least two endpoints to infer")
-        series = [series_by_endpoint[e] for e in endpoints]
+            raise SkeletonInferenceError(
+                "need at least two endpoints to infer "
+                f"({len(quarantined)} quarantined as incomplete)"
+            )
+        series = [usable[e] for e in endpoints]
         features = feature_matrix(series, self.stft_config)
         hosts = [host_of(e) for e in endpoints]
 
         grouping = constrained_position_groups(features, hosts)
         groups = self._materialize_groups(endpoints, grouping)
         profiles = [
-            self._folded_profile(group, series_by_endpoint)
+            self._folded_profile(group, usable)
             for group in groups
         ]
         stage_of_group = self._partition_stages(
@@ -150,7 +195,78 @@ class SkeletonInference:
             stage_of_group=stage_of_group,
             edges=edges,
             group_topology=topology,
+            quarantined=quarantined,
         )
+
+    # ------------------------------------------------------------------
+    # Ingestion hardening
+    # ------------------------------------------------------------------
+
+    def _sanitize_series(
+        self,
+        series_by_endpoint: Dict[EndpointId, np.ndarray],
+    ) -> "tuple[Dict[EndpointId, np.ndarray], List[EndpointId]]":
+        """Split input into usable (possibly repaired) and quarantined.
+
+        An endpoint is quarantined when its series is shorter than one
+        iteration period or carries less than ``min_coverage`` finite
+        samples.  Remaining NaN gaps are repaired *phase-aware*: the
+        series is periodic in the iteration, so a missing sample takes
+        the median of its phase bin across the other iterations.  That
+        preserves burst onsets — which linear interpolation across a
+        burst edge smears, silently collapsing the stage partition.
+        Phases with no finite sample anywhere fall back to linear
+        interpolation.  Fully-finite series are passed through *by
+        reference* so the clean path stays bit-identical.
+        """
+        period = int(round(self.iteration_period_s))
+        usable: Dict[EndpointId, np.ndarray] = {}
+        quarantined: List[EndpointId] = []
+        for endpoint in sorted(series_by_endpoint):
+            data = np.asarray(
+                series_by_endpoint[endpoint], dtype=np.float64
+            )
+            if len(data) < period:
+                quarantined.append(endpoint)
+                continue
+            finite = np.isfinite(data)
+            if finite.all():
+                usable[endpoint] = data
+                continue
+            if float(finite.mean()) < self.min_coverage or finite.sum() < 2:
+                quarantined.append(endpoint)
+                continue
+            usable[endpoint] = self._repair_series(data, finite, period)
+        return usable, quarantined
+
+    @staticmethod
+    def _repair_series(
+        data: np.ndarray, finite: np.ndarray, period: int
+    ) -> np.ndarray:
+        """Fill NaN gaps from the same phase bin of other iterations."""
+        repaired = data.copy()
+        pad = (-len(data)) % period
+        padded = np.concatenate([data, np.full(pad, np.nan)])
+        table = padded.reshape(-1, period)
+        phase_counts = np.isfinite(table).sum(axis=0)
+        phase_median = np.zeros(period, dtype=np.float64)
+        covered = phase_counts > 0
+        if covered.any():
+            # nanmedian warns on all-NaN columns; only covered phases
+            # are evaluated, so the reduction stays silent.
+            phase_median[covered] = np.nanmedian(
+                table[:, covered], axis=0
+            )
+        bad = np.flatnonzero(~finite)
+        fillable = covered[bad % period]
+        repaired[bad[fillable]] = phase_median[bad[fillable] % period]
+        remaining = np.flatnonzero(~np.isfinite(repaired))
+        if len(remaining):
+            good = np.flatnonzero(np.isfinite(repaired))
+            repaired[remaining] = np.interp(
+                remaining, good, repaired[good]
+            )
+        return repaired
 
     # ------------------------------------------------------------------
     # Steps

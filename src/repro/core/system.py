@@ -33,7 +33,11 @@ from repro.core.localization import (
     healthy_pairs_for,
 )
 from repro.core.pinglist import ProbePair
-from repro.core.skeleton import InferredSkeleton, SkeletonInference
+from repro.core.skeleton import (
+    InferredSkeleton,
+    SkeletonInference,
+    SkeletonInferenceError,
+)
 from repro.network.fabric import DataPlaneFabric
 from repro.obs.trace import TraceRecorder
 from repro.sim.engine import PeriodicTask, SimulationEngine
@@ -60,6 +64,8 @@ class SkeletonHunter:
         release_manager=None,
         observability: Optional[TraceRecorder] = None,
         verify_on_start: bool = False,
+        chaos=None,
+        retry_policy=None,
     ) -> None:
         self.cluster = cluster
         self.engine = engine
@@ -73,15 +79,24 @@ class SkeletonHunter:
         self.obs = observability
         if observability is not None:
             fabric.attach_metrics(observability.metrics)
+        # Optional monitor-plane chaos (repro.chaos): when set, agents
+        # run hardened (retry/backoff + breakers), telemetry is
+        # corrupted per the schedule, and flow-table reads can fail.
+        # None keeps every path bit-identical to the unhardened plane.
+        self.chaos = chaos
         self.controller = Controller(
             cluster, resources, release_manager=release_manager,
-            recorder=observability,
+            recorder=observability, chaos=chaos, retry_policy=retry_policy,
         )
         self.analyzer = Analyzer(
             detector_config, recorder=observability
         )
-        self.localizer = Localizer(cluster, fabric, recorder=observability)
-        self.inference = inference or SkeletonInference()
+        self.localizer = Localizer(
+            cluster, fabric, recorder=observability, chaos=chaos
+        )
+        self.inference = inference or SkeletonInference(
+            recorder=observability
+        )
         # Optional operational integrations (§8): alerting/blacklisting
         # and migration-based recovery react to each new report.
         self.handler = handler
@@ -286,19 +301,36 @@ class SkeletonHunter:
         self,
         task_id: TaskId,
         series_by_endpoint: Dict[EndpointId, np.ndarray],
-    ) -> InferredSkeleton:
+        observed_at: float = 0.0,
+    ) -> Optional[InferredSkeleton]:
         """Infer the traffic skeleton and shrink the task's ping list.
 
         ``series_by_endpoint`` is what the agents' throughput sampling
         collected (in the simulator, generated by the training-traffic
-        substrate).
+        substrate); ``observed_at`` is the simulated time of its first
+        sample (only meaningful under chaos, which corrupts samples by
+        their timestamps).  When inference cannot run on the degraded
+        telemetry, the plane keeps the current ping list and returns
+        ``None`` — a worse list beats a crashed monitor.
         """
         task = self.orchestrator.task(task_id)
 
         def host_of(endpoint: EndpointId):
             return task.containers[endpoint.container].host
 
-        skeleton = self.inference.infer(series_by_endpoint, host_of)
+        if self.chaos is not None:
+            series_by_endpoint = self.chaos.corrupt_series(
+                series_by_endpoint, at=observed_at
+            )
+        try:
+            skeleton = self.inference.infer(series_by_endpoint, host_of)
+        except SkeletonInferenceError as error:
+            if self.obs is not None:
+                self.obs.count("skeleton.inference_failed")
+                self.obs.event(
+                    "skeleton.inference_failed", reason=str(error)
+                )
+            return None
         self.controller.apply_skeleton(task_id, skeleton)
         return skeleton
 

@@ -30,7 +30,7 @@ import numpy as np
 from repro.cluster.identifiers import EndpointId
 from repro.sim.rng import _stable_hash
 
-__all__ = ["PairwiseDrawSource"]
+__all__ = ["PairwiseDrawSource", "keyed_uniform", "keyed_uniforms"]
 
 _U64 = np.uint64
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
@@ -56,6 +56,38 @@ def _mix64(state: np.ndarray) -> np.ndarray:
     z = (z ^ (z >> _U64(30))) * _MIX1
     z = (z ^ (z >> _U64(27))) * _MIX2
     return z ^ (z >> _U64(31))
+
+
+def keyed_uniform(seed: int, key: str, salt: int = 0) -> float:
+    """One uniform in [0, 1) as a pure function of ``(seed, key, salt)``.
+
+    The scalar sibling of :meth:`PairwiseDrawSource.uniforms`: the same
+    inputs return the same draw in any process, at any call order.  The
+    chaos injector and the retry/backoff jitter use it so that monitor-
+    plane decisions never depend on execution order — the same property
+    the probing plane gets from :class:`PairwiseDrawSource`.
+    """
+    state = _stable_hash(f"keyed:{seed}:{key}") ^ _scalar_mix64(
+        salt & _MASK64
+    )
+    return (_scalar_mix64(state) >> 11) * _TO_UNIT
+
+
+def keyed_uniforms(
+    seed: int, key: str, count: int, salt: int = 0
+) -> np.ndarray:
+    """``count`` keyed uniforms, vectorized (see :func:`keyed_uniform`).
+
+    Draw *i* equals ``keyed_uniform(seed, key, salt + i)`` in spirit but
+    is computed in one numpy pass; the block is a pure function of the
+    arguments, independent of batch size elsewhere.
+    """
+    base = _U64(
+        _stable_hash(f"keyed:{seed}:{key}") ^ _scalar_mix64(salt & _MASK64)
+    )
+    offsets = (np.arange(count, dtype=np.uint64) * _GOLDEN).astype(_U64)
+    bits = _mix64(base + offsets)
+    return (bits >> _U64(11)).astype(np.float64) * _TO_UNIT
 
 
 class PairwiseDrawSource:

@@ -86,6 +86,12 @@ class ShardStatus:
     last_round: int = 0
     last_sim_time: float = 0.0
     adopted_pairs: int = 0
+    #: Latest per-agent circuit-breaker snapshots reported by the shard
+    #: (chaos runs only): container id -> (state, consecutive_failures,
+    #: opened_at, trips, recoveries).  After failover the adopter's
+    #: replayed snapshots land here, so the coordinator's view of an
+    #: adopted agent's breaker is the replay-exact one.
+    breakers: Dict[str, tuple] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -171,6 +177,23 @@ class ShardRunResult:
     def event_keys(self) -> Set[Tuple[ProbePair, float]]:
         """The identity set of every opened failure event."""
         return {record.key for record in self.events}
+
+    def breaker_summary(self) -> List[tuple]:
+        """Comparable breaker rows from every *live* shard: sorted
+        ``(shard_id, container_id, state, consecutive_failures,
+        opened_at, trips, recoveries)``.  Dead shards are excluded —
+        their last snapshots are stale by definition; the adopters'
+        replayed snapshots carry the authoritative state."""
+        rows = []
+        for shard_id in sorted(self.statuses):
+            status = self.statuses[shard_id]
+            if not status.alive:
+                continue
+            for agent_key in sorted(status.breakers):
+                rows.append(
+                    (shard_id, agent_key) + status.breakers[agent_key]
+                )
+        return rows
 
     def event_summary(self) -> List[Tuple[str, str, float, str]]:
         """Sorted (src, dst, detected-at, symptom) rows."""
@@ -482,6 +505,8 @@ class ShardCoordinator:
             )
             if not result.replayed:
                 status.chunks_completed += 1
+            for row in result.breaker_states:
+                status.breakers[row[0]] = tuple(row[1:])
             scope = f"shard.{result.shard_id}"
             self.metrics.increment("shard.heartbeats")
             self.metrics.increment(

@@ -28,10 +28,13 @@ from repro.cluster.identifiers import EndpointId
 from repro.core.agent import OverlayAgent
 from repro.core.analyzer import Analyzer, FailureEvent
 from repro.core.pinglist import PingList, ProbePair
+from repro.core.probing import ResilientProber
+from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.network.issues import Symptom
 from repro.shard.spec import (
     FaultScheduleRunner,
     ShardScenarioSpec,
+    build_monitor_chaos,
     build_replica,
 )
 from repro.sim.rng import RngRegistry, derive_seed
@@ -91,6 +94,14 @@ class ChunkResult:
     probes_lost: int
     events: Tuple[EventRecord, ...]
     replayed: bool = False
+    #: Per-agent circuit-breaker snapshots at the chunk's end — rows of
+    #: ``(container_id, state, consecutive_failures, opened_at, trips,
+    #: recoveries)``, sorted by container.  Empty when the spec has no
+    #: monitor-fault schedule (the default also keeps old pickles
+    #: loadable).  Breakers are driven purely by simulated time, so an
+    #: adopter's post-replay snapshots are bit-identical to those of a
+    #: monitor that owned the union pair set from round one.
+    breaker_states: Tuple[tuple, ...] = ()
 
 
 class ShardMonitor:
@@ -126,6 +137,16 @@ class ShardMonitor:
         for container_id in self.scenario.task.containers:
             self.ping_list.register(container_id)
         self.analyzer = Analyzer(config=self.spec.detector)
+        # Monitor-plane chaos: the injector is pure and its fault ids
+        # are pinned by the spec, so rebuilding it here (fresh breakers
+        # included) before a failover replay reproduces the exact
+        # hardened trajectory of a monitor that owned these pairs from
+        # round one.
+        self.chaos = build_monitor_chaos(self.spec)
+        retry = (
+            RetryPolicy(seed=self.spec.seed)
+            if self.chaos is not None else None
+        )
         containers = sorted(
             {pair.src.container for pair in self.pairs}
         )
@@ -134,11 +155,28 @@ class ShardMonitor:
                 container=self.scenario.task.containers[container_id],
                 ping_list=self.ping_list,
                 started_at=0.0,
+                prober=(
+                    None if self.chaos is None else ResilientProber(
+                        self.chaos, retry=retry, breaker=CircuitBreaker()
+                    )
+                ),
             )
             for container_id in containers
         ]
         self._reported: Set[Tuple[ProbePair, float]] = set()
         self.rounds_completed = 0
+
+    def breaker_snapshots(self) -> Tuple[tuple, ...]:
+        """Per-agent breaker snapshots, sorted by container id."""
+        rows = []
+        for agent in self.agents:
+            if agent.prober is None or agent.prober.breaker is None:
+                continue
+            rows.append(
+                (str(agent.container.id),)
+                + agent.prober.breaker.snapshot()
+            )
+        return tuple(sorted(rows))
 
     # ------------------------------------------------------------------
     # Probe rounds
@@ -177,6 +215,7 @@ class ShardMonitor:
             probes_lost=fabric.probes_lost - lost0,
             events=self._collect_fresh_events(),
             replayed=replayed,
+            breaker_states=self.breaker_snapshots(),
         )
 
     def _collect_fresh_events(self) -> Tuple[EventRecord, ...]:

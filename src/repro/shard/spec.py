@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.chaos.faults import MonitorFaultInjector, MonitorIssue
 from repro.cluster.identifiers import ContainerId
 from repro.core.detection import DetectorConfig
 from repro.core.pinglist import PingList, ProbePair
@@ -33,7 +34,9 @@ from repro.workloads.scenarios import MonitoredScenario, build_scenario
 __all__ = [
     "FaultSpec",
     "FaultScheduleRunner",
+    "MonitorFaultSpec",
     "ShardScenarioSpec",
+    "build_monitor_chaos",
     "build_replica",
     "pair_universe",
 ]
@@ -64,6 +67,31 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class MonitorFaultSpec:
+    """One scheduled monitor-plane fault, in replayable form.
+
+    The chaos dual of :class:`FaultSpec`: windows are round numbers,
+    ``scope`` is an identifier-string prefix (never a live object), and
+    the whole schedule is pure — :func:`build_monitor_chaos` pins each
+    fault's id to its spec index, so every replica, rebuilt at any time
+    in any process, draws identical per-query fates and a failover
+    replay sees the same monitor-plane weather the dead shard saw.
+    ``rate``/``delay_s`` of ``None`` keep the catalogue defaults.
+    """
+
+    issue: str
+    start_round: int
+    end_round: Optional[int] = None
+    scope: Optional[str] = None
+    rate: Optional[float] = None
+    delay_s: Optional[float] = None
+
+    def issue_type(self) -> MonitorIssue:
+        """The monitor-plane catalogue issue this spec injects."""
+        return MonitorIssue[self.issue]
+
+
+@dataclass(frozen=True)
 class ShardScenarioSpec:
     """Everything needed to rebuild the monitored scenario anywhere."""
 
@@ -79,6 +107,9 @@ class ShardScenarioSpec:
     #: "basic" — the full rail-pruned preload list.
     pair_mode: str = "ring_chord"
     faults: Tuple[FaultSpec, ...] = ()
+    #: Monitor-plane (chaos) schedule; empty means a perfect monitor
+    #: and keeps every shard on the original, unhardened probe path.
+    monitor_faults: Tuple[MonitorFaultSpec, ...] = ()
     detector: Optional[DetectorConfig] = None
 
     def round_time(self, round_index: int) -> float:
@@ -113,6 +144,38 @@ def build_replica(spec: ShardScenarioSpec) -> MonitoredScenario:
     )
     scenario.fabric.use_pairwise_draws(spec.seed)
     return scenario
+
+
+def build_monitor_chaos(
+    spec: ShardScenarioSpec,
+) -> Optional[MonitorFaultInjector]:
+    """The spec's monitor-fault injector; ``None`` = perfect monitor.
+
+    Every fault's id is pinned to its spec index: the injector's keyed
+    draws include the fault id, so pinning (rather than the module's
+    process-global counter) is what makes two replicas — or one replica
+    rebuilt after failover — draw byte-identical monitor-plane fates.
+    """
+    if not spec.monitor_faults:
+        return None
+    injector = MonitorFaultInjector(seed=spec.seed)
+    for index, mf in enumerate(spec.monitor_faults):
+        overrides = {"fault_id": index}
+        if mf.rate is not None:
+            overrides["rate"] = mf.rate
+        if mf.delay_s is not None:
+            overrides["delay_s"] = mf.delay_s
+        injector.inject_issue(
+            mf.issue_type(),
+            start=spec.round_time(mf.start_round),
+            end=(
+                spec.round_time(mf.end_round)
+                if mf.end_round is not None else None
+            ),
+            scope=mf.scope,
+            **overrides,
+        )
+    return injector
 
 
 def pair_universe(

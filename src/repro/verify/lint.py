@@ -36,6 +36,15 @@ verification exists to surface.  This linter walks the AST of
     shared by every call — two agents handed the same default resource
     model mutate each other's state.
 
+``retry-without-backoff``
+    A loop that visibly retries (its loop variable or ``while`` test
+    names an ``attempt``/``retry`` counter) must space its attempts:
+    somewhere in the body a call whose name mentions ``backoff``,
+    ``sleep``, ``delay``, or ``wait`` must appear (e.g.
+    ``RetryPolicy.backoff_s``).  A bare retry loop hammers the failing
+    dependency and, in sim code, collapses every attempt onto one
+    timestamp.
+
 ``worker-determinism``
     Functions handed to ``multiprocessing`` as worker entry points
     (the ``target=`` of a ``Process(...)`` call, or the function
@@ -72,6 +81,7 @@ _BROAD_EXCEPT = "broad-except"
 _MUTABLE_DEFAULT = "mutable-default"
 _SHARED_DEFAULT = "shared-instance-default"
 _WORKER_DETERMINISM = "worker-determinism"
+_RETRY_NO_BACKOFF = "retry-without-backoff"
 
 #: Dotted-call suffixes that read the wall clock.
 _WALL_CLOCK_CALLS = (
@@ -106,6 +116,12 @@ _WORKER_FORBIDDEN_CALLS = (
     "os.urandom",
     "uuid.uuid4",
 )
+
+#: Loop-variable / test-name fragments that mark a loop as a retry loop.
+_RETRY_NAME_FRAGMENTS = ("attempt", "retry", "retries")
+
+#: Call-name fragments that count as spacing the attempts out.
+_BACKOFF_NAME_FRAGMENTS = ("backoff", "sleep", "delay", "wait")
 
 #: Pool methods whose first argument is a worker entry point.
 _POOL_DISPATCH_METHODS = (
@@ -339,6 +355,59 @@ class _Visitor(ast.NodeVisitor):
                     "at def time, shared by every call; default to "
                     "None and construct per call in the body",
                 )
+
+    # -- retry loops without backoff -----------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        names = {
+            n.id.lower()
+            for n in ast.walk(node.target)
+            if isinstance(n, ast.Name)
+        }
+        if self._names_look_like_retry(names):
+            self._check_retry_loop(node)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        names = set()
+        for sub in ast.walk(node.test):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id.lower())
+            elif isinstance(sub, ast.Attribute):
+                names.add(sub.attr.lower())
+        if self._names_look_like_retry(names):
+            self._check_retry_loop(node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _names_look_like_retry(names: Iterable[str]) -> bool:
+        return any(
+            fragment in name
+            for name in names
+            for fragment in _RETRY_NAME_FRAGMENTS
+        )
+
+    def _check_retry_loop(self, node) -> None:
+        """A retry loop must space attempts via a backoff/sleep call."""
+        calls = [
+            sub for stmt in node.body for sub in ast.walk(stmt)
+            if isinstance(sub, ast.Call)
+        ]
+        if not calls:
+            return
+        for call in calls:
+            dotted = _dotted_name(call.func)
+            if dotted is None:
+                continue
+            last = dotted.rsplit(".", 1)[-1].lower()
+            if any(f in last for f in _BACKOFF_NAME_FRAGMENTS):
+                return
+        self._emit(
+            node, _RETRY_NO_BACKOFF,
+            "retry loop without backoff hammers the failing "
+            "dependency; space attempts with a backoff/sleep/delay "
+            "call (e.g. RetryPolicy.backoff_s)",
+        )
 
     # -- worker determinism (post-pass) --------------------------------
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.cluster.container import TrainingTask
-from repro.cluster.identifiers import EndpointId
+from repro.cluster.identifiers import ContainerId, EndpointId
 from repro.cluster.orchestrator import Cluster, Orchestrator, StartupModel
 from repro.cluster.topology import RailOptimizedTopology
 from repro.core.detection import DetectorConfig
@@ -23,7 +23,7 @@ from repro.core.skeleton import InferredSkeleton, SkeletonInference
 from repro.core.system import SkeletonHunter
 from repro.network.fabric import DataPlaneFabric
 from repro.network.faults import Fault, FaultInjector
-from repro.network.issues import IssueType
+from repro.network.issues import ISSUE_CATALOG, ComponentClass, IssueType
 from repro.network.latency import LatencyModel, TransientCongestion
 from repro.obs.trace import TraceRecorder
 from repro.sim.engine import SimulationEngine
@@ -32,7 +32,11 @@ from repro.training.parallelism import ParallelismConfig
 from repro.training.traffic import TrafficGenerator, TrafficModel
 from repro.training.workload import TrainingWorkload
 
-__all__ = ["MonitoredScenario", "build_scenario"]
+__all__ = [
+    "MonitoredScenario",
+    "build_scenario",
+    "standard_fault_target",
+]
 
 
 @dataclass
@@ -51,6 +55,9 @@ class MonitoredScenario:
     workload: TrainingWorkload
     generator: TrafficGenerator
     observability: Optional[TraceRecorder] = None
+    #: Monitor-plane fault injector (repro.chaos), when the scenario
+    #: runs under chaos; None means a perfect monitor.
+    chaos: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Convenience operations
@@ -72,10 +79,18 @@ class MonitoredScenario:
 
     def apply_skeleton(
         self, observation_s: float = 600.0
-    ) -> InferredSkeleton:
-        """Collect throughput series and apply the inferred skeleton."""
+    ) -> Optional[InferredSkeleton]:
+        """Collect throughput series and apply the inferred skeleton.
+
+        Under chaos the series pass through the monitor-fault schedule
+        first (sample 0 is stamped at the current simulated time); a
+        telemetry outage bad enough to defeat inference keeps the
+        current ping list and returns ``None``.
+        """
         series = self.generator.all_series(observation_s)
-        return self.hunter.observe_and_optimize(self.task.id, series)
+        return self.hunter.observe_and_optimize(
+            self.task.id, series, observed_at=self.engine.now
+        )
 
     def score(
         self, faults: Optional[List[Fault]] = None
@@ -96,6 +111,33 @@ class MonitoredScenario:
     def rnic_of_rank(self, rank: int):
         """The physical RNIC under global training rank ``rank``."""
         return self.cluster.overlay.rnic_of(self.endpoint_of_rank(rank))
+
+
+def standard_fault_target(scenario: MonitoredScenario, issue: IssueType):
+    """The canonical injection target for ``issue`` in this scenario.
+
+    One shared resolution — used by the CLI demo/campaign commands and
+    the chaos degradation gate — so "inject issue X" always hits the
+    same kind of component for the same scenario and seed.
+    """
+    rnic = scenario.rnic_of_rank(scenario.workload.gpus_per_container)
+    if issue in (IssueType.CRC_ERROR, IssueType.SWITCH_PORT_DOWN,
+                 IssueType.SWITCH_PORT_FLAPPING):
+        pair = scenario.hunter.monitored_pairs()[0]
+        return scenario.fabric.traceroute(pair.src, pair.dst).links[1]
+    if issue in (IssueType.SWITCH_OFFLINE,
+                 IssueType.CONGESTION_CONTROL_ISSUE):
+        return scenario.topology.tor_of(rnic)
+    if issue == IssueType.CONTAINER_CRASH:
+        return scenario.task.containers[
+            ContainerId(scenario.task.id, 1)
+        ]
+    host_level = (ComponentClass.HOST_BOARD, ComponentClass.VIRTUAL_SWITCH,
+                  ComponentClass.CONFIGURATION)
+    if ISSUE_CATALOG[issue].component in host_level and \
+            issue is not IssueType.REPETITIVE_FLOW_OFFLOADING:
+        return rnic.host
+    return rnic
 
 
 def build_scenario(
@@ -121,6 +163,8 @@ def build_scenario(
     observe: bool = False,
     observability: Optional[TraceRecorder] = None,
     verify_on_start: bool = False,
+    chaos=None,
+    retry_policy=None,
 ) -> MonitoredScenario:
     """Build a monitored training task end to end.
 
@@ -164,6 +208,8 @@ def build_scenario(
         inference=inference,
         observability=observability,
         verify_on_start=verify_on_start,
+        chaos=chaos,
+        retry_policy=retry_policy,
     )
 
     task = orchestrator.submit_task(
@@ -193,5 +239,5 @@ def build_scenario(
         topology=topology, cluster=cluster, engine=engine, rng=rng,
         orchestrator=orchestrator, injector=injector, fabric=fabric,
         hunter=hunter, task=task, workload=workload, generator=generator,
-        observability=observability,
+        observability=observability, chaos=chaos,
     )

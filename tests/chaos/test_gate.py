@@ -1,0 +1,83 @@
+"""Tests for the degradation gate (repro.chaos.gate)."""
+
+from repro.chaos.gate import (
+    CRASH_SCOPE,
+    DegradationBounds,
+    QUICK_ISSUES,
+    run_chaos_benchmark,
+    standard_chaos,
+)
+from repro.chaos.faults import MonitorIssue
+
+
+class TestStandardChaos:
+    def test_composition_and_pinned_fault_ids(self):
+        injector = standard_chaos(seed=0, telemetry_loss=0.10)
+        faults = injector.all_faults()
+        assert [f.issue for f in faults] == [
+            MonitorIssue.TELEMETRY_DROP,
+            MonitorIssue.PROBE_REPORT_LOSS,
+            MonitorIssue.AGENT_CRASH,
+        ]
+        assert [f.fault_id for f in faults] == [0, 1, 2]
+        assert faults[0].rate == faults[1].rate == 0.10
+        assert faults[2].scope == CRASH_SCOPE
+        assert faults[2].start < faults[2].end
+
+    def test_rebuilding_draws_identical_fates(self):
+        """Pinned fault ids make the weather a pure function of the
+        arguments — a replica rebuilt later in the same process sees
+        the same chaos (the module-global fault counter must not
+        leak in)."""
+        from repro.cluster.identifiers import (
+            ContainerId, EndpointId, TaskId,
+        )
+
+        src = EndpointId(ContainerId(TaskId(0), 0), 0)
+        dst = EndpointId(ContainerId(TaskId(0), 1), 0)
+
+        def fates():
+            injector = standard_chaos(seed=3)
+            return [
+                injector.probe_report(src, dst, float(t))
+                for t in range(100)
+            ]
+
+        assert fates() == fates()
+
+
+class TestBounds:
+    def test_passing_summary_has_no_violations(self):
+        bounds = DegradationBounds()
+        assert bounds.check(
+            {"recall_ratio": 1.0, "localization_ratio": 0.8}
+        ) == []
+
+    def test_each_bound_reports_its_violation(self):
+        bounds = DegradationBounds(
+            min_recall_ratio=0.9, min_localization_ratio=0.75
+        )
+        violations = bounds.check(
+            {"recall_ratio": 0.5, "localization_ratio": 0.5}
+        )
+        assert len(violations) == 2
+        assert any("recall" in v for v in violations)
+        assert any("localization" in v for v in violations)
+
+
+class TestQuickGate:
+    def test_quick_gate_passes_and_exercises_the_hardening(self):
+        """The in-suite acceptance check: 10% telemetry loss plus one
+        agent crash keeps recall within the committed bounds, and the
+        chaos leg demonstrably retried reports and tripped breakers."""
+        report = run_chaos_benchmark(quick=True, seed=0)
+        summary = report["summary"]
+        assert summary["passed"], summary["violations"]
+        assert summary["issues"] == len(QUICK_ISSUES)
+        assert summary["recall_ratio"] >= 0.9
+        assert summary["retry_successes"] > 0
+        assert summary["breaker_trips"] > 0
+        assert summary["breaker_recoveries"] > 0
+        for row in report["rows"]:
+            assert row["clean"]["retries"] == 0
+            assert row["clean"]["rounds_skipped"] == 0

@@ -125,6 +125,67 @@ class TestFailureHandler:
         assert handler.blacklist.host_allowed(HostId(1))
 
 
+class TestRepairCascade:
+    def test_clear_without_cascade_touches_one_entry(self):
+        blacklist = Blacklist()
+        blacklist.add("host-1/rnic-0", at=0.0, reason="down", group="g")
+        blacklist.add("host:host-1", at=0.0, reason="derived", group="g")
+        assert blacklist.clear("host-1/rnic-0", at=10.0)
+        assert not blacklist.contains("host-1/rnic-0")
+        assert blacklist.contains("host:host-1")  # operator clears stay narrow
+
+    def test_cascade_clears_the_provenance_group(self):
+        blacklist = Blacklist()
+        blacklist.add("host-1/rnic-0", at=0.0, reason="down", group="g")
+        blacklist.add("host:host-1", at=0.0, reason="derived", group="g")
+        blacklist.add("tor-9", at=0.0, reason="other report", group="h")
+        assert blacklist.clear("host-1/rnic-0", at=10.0, cascade=True)
+        assert not blacklist.contains("host-1/rnic-0")
+        assert not blacklist.contains("host:host-1")
+        assert blacklist.contains("tor-9")  # other groups untouched
+
+    def test_cascade_without_group_is_a_plain_clear(self):
+        blacklist = Blacklist()
+        blacklist.add("a", at=0.0, reason="x")
+        blacklist.add("b", at=0.0, reason="y")
+        assert blacklist.clear("a", at=1.0, cascade=True)
+        assert blacklist.contains("b")
+
+    def test_repaired_rnic_does_not_strand_its_host(self):
+        """The satellite regression: one report blacklists an RNIC and
+        its host; mark_repaired on the RNIC must re-admit the host."""
+        handler = FailureHandler()
+        handler.handle(0.0, report(
+            diagnosis("host-1/rnic-0"),
+            diagnosis("host:host-1", layer="host"),
+        ))
+        assert handler.blacklist.contains("host:host-1")
+        assert not handler.blacklist.host_allowed(HostId(1))
+        assert handler.mark_repaired("host-1/rnic-0", at=50.0)
+        assert not handler.blacklist.contains("host:host-1")
+        assert handler.blacklist.host_allowed(HostId(1))
+
+    def test_entries_from_different_reports_survive_each_other(self):
+        handler = FailureHandler()
+        handler.handle(0.0, report(diagnosis("host-1/rnic-0")))
+        handler.handle(5.0, report(diagnosis("host-2/rnic-3")))
+        handler.mark_repaired("host-1/rnic-0", at=50.0)
+        assert handler.blacklist.contains("host-2/rnic-3")
+
+    def test_relisted_component_gets_its_new_group(self):
+        """A component repaired and later re-blacklisted by a fresh
+        report cascades with the *new* report's siblings."""
+        handler = FailureHandler()
+        handler.handle(0.0, report(diagnosis("host-1/rnic-0")))
+        handler.mark_repaired("host-1/rnic-0", at=10.0)
+        handler.handle(20.0, report(
+            diagnosis("host-1/rnic-0"),
+            diagnosis("host:host-1", layer="host"),
+        ))
+        handler.mark_repaired("host-1/rnic-0", at=30.0)
+        assert not handler.blacklist.contains("host:host-1")
+
+
 class TestSchedulingIntegration:
     def test_blacklisted_host_not_used_for_new_tasks(
         self, cluster, engine, rng

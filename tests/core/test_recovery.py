@@ -142,6 +142,51 @@ class TestRecoveryManager:
         third = manager.react(400.0, host_report(container.host))
         assert third and third[0].succeeded
 
+    def test_window_cap_stops_cooldown_paced_thrashing(
+        self, orchestrator, engine
+    ):
+        """A container bouncing between two flapping hosts at exactly
+        ``cooldown_s`` intervals satisfies the cooldown every time; the
+        per-window cap must still stop the thrash."""
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        manager = RecoveryManager(
+            orchestrator, cooldown_s=300.0,
+            max_migrations_per_window=3, migration_window_s=3600.0,
+        )
+        moved = 0
+        for tick in range(8):
+            at = 10.0 + tick * 300.0  # exactly one cooldown apart
+            actions = manager.react(at, host_report(container.host))
+            moved += sum(1 for a in actions if a.succeeded)
+        assert moved == 3  # capped, not 8
+        assert manager.throttled > 0
+        # Once the window slides past the early moves, it may migrate
+        # again — the cap bounds rate, it is not a permanent ban.
+        late = manager.react(10.0 + 3600.0 + 3 * 300.0,
+                             host_report(container.host))
+        assert late and late[0].succeeded
+
+    def test_window_cap_disabled_with_nonpositive_limit(
+        self, orchestrator, engine
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        manager = RecoveryManager(
+            orchestrator, cooldown_s=100.0,
+            max_migrations_per_window=0,
+        )
+        moved = 0
+        for tick in range(5):
+            actions = manager.react(
+                10.0 + tick * 100.0, host_report(container.host)
+            )
+            moved += sum(1 for a in actions if a.succeeded)
+        assert moved == 5
+        assert manager.throttled == 0
+
     def test_blacklisted_hosts_not_chosen_as_targets(
         self, orchestrator, engine
     ):

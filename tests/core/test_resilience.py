@@ -1,0 +1,129 @@
+"""Tests for retry/backoff policy and the circuit breaker."""
+
+import pytest
+
+from repro.core.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        a = RetryPolicy(seed=5)
+        b = RetryPolicy(seed=5)
+        for attempt in (1, 2, 3):
+            assert a.backoff_s(attempt, "p@1.0") == b.backoff_s(
+                attempt, "p@1.0"
+            )
+
+    def test_backoff_depends_on_key_and_attempt(self):
+        policy = RetryPolicy(seed=0)
+        assert policy.backoff_s(1, "x") != policy.backoff_s(1, "y")
+        assert policy.backoff_s(1, "x") != policy.backoff_s(2, "x")
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(seed=0, jitter=0.0)
+        delays = [policy.backoff_s(a, "k") for a in range(1, 6)]
+        assert delays[0] == 0.05
+        assert delays[1] == 0.10
+        assert delays[2] == 0.20
+        assert delays[3] == 0.40
+        assert delays[4] == 0.40  # capped at backoff_max_s
+
+    def test_jitter_stays_inside_the_band(self):
+        policy = RetryPolicy(seed=0, jitter=0.5)
+        for attempt in (1, 2, 3):
+            base = min(
+                policy.backoff_base_s
+                * policy.backoff_factor ** (attempt - 1),
+                policy.backoff_max_s,
+            )
+            for key in ("a", "b", "c", "d"):
+                delay = policy.backoff_s(attempt, key)
+                assert base * 0.5 <= delay <= base
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0, "k")
+
+    def test_total_delay_bound_covers_any_actual_schedule(self):
+        policy = RetryPolicy(seed=1)
+        worst = sum(
+            policy.timeout_s + policy.backoff_s(a, "k")
+            for a in range(1, policy.max_retries + 1)
+        ) + policy.timeout_s
+        assert policy.total_delay_bound_s() >= worst
+
+    def test_bounded_under_probe_interval(self):
+        # A fully retried probe must still land before the next 2 s
+        # round so per-pair series stay monotone.
+        assert RetryPolicy().total_delay_bound_s() < 2.0
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state_at(1.5) is BreakerState.CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state_at(2.5) is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        breaker.record_failure(4.0)
+        assert breaker.state_at(5.0) is BreakerState.CLOSED
+
+    def test_half_open_after_the_open_window(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, open_duration_s=10.0
+        )
+        breaker.record_failure(0.0)
+        assert breaker.state_at(9.9) is BreakerState.OPEN
+        assert breaker.state_at(10.0) is BreakerState.HALF_OPEN
+
+    def test_half_open_success_recovers(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, open_duration_s=10.0
+        )
+        breaker.record_failure(0.0)
+        breaker.record_success(12.0)
+        assert breaker.state_at(12.0) is BreakerState.CLOSED
+        assert breaker.recoveries == 1
+
+    def test_half_open_failure_retrips(self):
+        breaker = CircuitBreaker(
+            failure_threshold=3, open_duration_s=10.0
+        )
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        breaker.record_failure(15.0)  # the trial round fails
+        assert breaker.state_at(15.0) is BreakerState.OPEN
+        assert breaker.trips == 2
+        # The new open window starts at the re-trip.
+        assert breaker.state_at(24.0) is BreakerState.OPEN
+        assert breaker.state_at(25.0) is BreakerState.HALF_OPEN
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_snapshot_restore_round_trip(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        copy = CircuitBreaker(failure_threshold=2)
+        copy.restore(breaker.snapshot())
+        assert copy.snapshot() == breaker.snapshot()
+        assert copy.state_at(2.0) is BreakerState.OPEN
+        # The restored breaker continues the same trajectory.
+        copy.record_success(20.0)
+        breaker.record_success(20.0)
+        assert copy.snapshot() == breaker.snapshot()

@@ -44,6 +44,64 @@ class TestTimeSeries:
         assert series.last() == (3.0, 7.0)
 
 
+class TestIngestionOrder:
+    """Out-of-order and duplicate-timestamp ingestion: rejection must
+    leave the series intact, and ``complete_since`` must stay correct
+    through duplicates and eviction."""
+
+    def test_rejected_append_leaves_the_series_unchanged(self):
+        series = TimeSeries("x")
+        series.record(5.0, 1.0)
+        series.record(6.0, 2.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 99.0)
+        assert series.times() == [5.0, 6.0]
+        assert series.values() == [1.0, 2.0]
+        assert series.complete_since(0.0)  # nothing was dropped
+
+    def test_rejection_keeps_later_appends_working(self):
+        series = TimeSeries("x")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 99.0)
+        series.record(5.0, 2.0)  # equal to the last time: allowed
+        series.record(7.0, 3.0)
+        assert series.values() == [1.0, 2.0, 3.0]
+
+    def test_duplicate_timestamps_all_land_in_the_window(self):
+        series = TimeSeries("x")
+        for value in (1.0, 2.0, 3.0):
+            series.record(10.0, value)
+        assert series.window(10.0, 10.5) == [1.0, 2.0, 3.0]
+        assert series.complete_since(10.0)
+
+    def test_complete_since_with_duplicates_across_eviction(self):
+        """Evicting one of several samples sharing a timestamp must
+        report the window at that timestamp as incomplete — a sum over
+        it would silently miss the evicted sample."""
+        series = TimeSeries("x", max_samples=3)
+        series.record(10.0, 1.0)
+        series.record(10.0, 2.0)
+        series.record(10.0, 3.0)
+        series.record(11.0, 4.0)  # evicts the first 10.0 sample
+        assert series.values() == [2.0, 3.0, 4.0]
+        assert not series.complete_since(10.0)
+        assert series.complete_since(10.5)
+        assert series.complete_since(11.0)
+        assert series.dropped == 1
+
+    def test_complete_since_after_ordinary_eviction(self):
+        series = TimeSeries("x", max_samples=2)
+        for t in range(4):
+            series.record(float(t), float(t))
+        assert series.values() == [2.0, 3.0]
+        assert not series.complete_since(1.0)
+        # The last evicted sample sits at t=1.0, so any window starting
+        # strictly after it is complete.
+        assert series.complete_since(1.5)
+        assert series.complete_since(2.0)
+
+
 class TestDescribe:
     def test_single_value(self):
         stats = TimeSeries.describe([5.0])

@@ -281,6 +281,67 @@ class TestSuppressionsAndErrors:
         assert "unseeded-random" in text
 
 
+class TestRetryWithoutBackoff:
+    def test_bare_for_retry_loop_is_flagged(self):
+        violations = lint("""
+            def fetch(client):
+                for attempt in range(3):
+                    result = client.get()
+                    if result:
+                        return result
+        """)
+        assert [v.rule for v in violations] == ["retry-without-backoff"]
+
+    def test_bare_while_retry_loop_is_flagged(self):
+        violations = lint("""
+            def fetch(client, retries):
+                while retries > 0:
+                    retries -= 1
+                    client.get()
+        """)
+        assert [v.rule for v in violations] == ["retry-without-backoff"]
+
+    def test_backoff_call_satisfies_the_rule(self):
+        violations = lint("""
+            def fetch(client, policy):
+                for attempt in range(1, 4):
+                    result = client.get()
+                    if result:
+                        return result
+                    policy.backoff_s(attempt, key="fetch")
+        """)
+        assert violations == []
+
+    def test_sleep_and_delay_calls_also_count(self):
+        violations = lint("""
+            def a(clock):
+                for attempt in range(3):
+                    clock.sleep(1)
+            def b(engine):
+                for retry in range(3):
+                    engine.delay(0.1)
+        """)
+        assert violations == []
+
+    def test_ordinary_loops_are_not_retry_loops(self):
+        violations = lint("""
+            def scan(items, client):
+                for item in items:
+                    client.get(item)
+        """)
+        assert violations == []
+
+    def test_loop_without_calls_is_not_flagged(self):
+        violations = lint("""
+            def count(n):
+                total = 0
+                for attempt in range(n):
+                    total += attempt
+                return total
+        """)
+        assert violations == []
+
+
 class TestLintPaths:
     def test_fixture_file_fails_and_clean_file_passes(self, tmp_path):
         dirty = tmp_path / "dirty.py"
