@@ -16,6 +16,8 @@ The package is organized bottom-up:
 * :mod:`repro.core` — SkeletonHunter itself: phased ping lists, traffic
   skeleton inference, anomaly detection, Algorithm-1 localization, and
   the :class:`~repro.core.system.SkeletonHunter` facade;
+* :mod:`repro.bus` — durable telemetry bus with JSONL record/replay
+  (``python -m repro record / replay / tail``);
 * :mod:`repro.verify` — static fabric-verification passes and the
   determinism lint (``python -m repro.verify [--lint]``);
 * :mod:`repro.baselines` — Pingmesh, deTector, and R-Pingmesh baselines;
@@ -78,6 +80,14 @@ from repro.network import (
     Symptom,
     TransientCongestion,
 )
+from repro.bus import (
+    JsonlRecorder,
+    Recording,
+    TailDashboard,
+    TelemetryBus,
+    Topic,
+    load_recording,
+)
 from repro.obs import (
     Span,
     TraceEvent,
@@ -133,6 +143,7 @@ __all__ = [
     "HostId",
     "InferredSkeleton",
     "IssueType",
+    "JsonlRecorder",
     "LatencyModel",
     "LinkId",
     "LocalizationReport",
@@ -146,6 +157,7 @@ __all__ = [
     "ProbeResult",
     "ProductionStatistics",
     "RailOptimizedTopology",
+    "Recording",
     "RngRegistry",
     "RnicId",
     "SimulationEngine",
@@ -154,8 +166,11 @@ __all__ = [
     "Span",
     "SwitchId",
     "Symptom",
+    "TailDashboard",
     "TaskId",
+    "TelemetryBus",
     "TimeSeries",
+    "Topic",
     "TraceEvent",
     "TraceRecorder",
     "TrafficGenerator",
@@ -166,6 +181,7 @@ __all__ = [
     "VerifierReport",
     "build_scenario",
     "estimate_round_duration",
+    "load_recording",
     "explain_diagnosis",
     "explain_report",
     "to_jsonl",

@@ -1,0 +1,207 @@
+"""A live terminal dashboard over the telemetry bus.
+
+``repro tail`` attaches a :class:`TailDashboard` to a
+:class:`~repro.bus.core.TelemetryBus` and re-renders a compact status
+frame as the run publishes: last round counters, breaker states,
+recent verdicts, quarantined endpoints, shard health, and the fault
+ground truth seen so far.
+
+On a TTY each frame repaints in place (ANSI clear + home); redirected
+to a file or pipe, frames append as plain text so the output stays
+grep-able.  Rendering never touches the simulation clock or any RNG —
+the dashboard is a pure bus subscriber and can be attached or dropped
+without perturbing a run (the determinism lint's rules apply to it
+like to any observability module).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.bus.core import TelemetryBus, Topic
+
+__all__ = ["TailDashboard"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+#: Topics the dashboard consumes; everything else stays untouched.
+_TOPICS = (
+    Topic.ROUND,
+    Topic.VERDICTS,
+    Topic.EVENTS,
+    Topic.BREAKERS,
+    Topic.QUARANTINE,
+    Topic.SHARD_HEALTH,
+    Topic.GROUND_TRUTH,
+)
+
+
+class TailDashboard:
+    """Render live run state from bus records.
+
+    ``stream`` defaults to stdout; ``ansi`` forces in-place repaint on
+    (True) or off (False), defaulting to the stream's TTY-ness.
+    """
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        stream=None,
+        ansi: Optional[bool] = None,
+        recent_verdicts: int = 5,
+    ):
+        self.bus = bus
+        self.stream = stream if stream is not None else sys.stdout
+        if ansi is None:
+            ansi = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.ansi = ansi
+        self.frames_rendered = 0
+        self._round: Optional[Dict[str, Any]] = None
+        self._round_count = 0
+        self._verdicts: Deque[Dict[str, Any]] = deque(
+            maxlen=recent_verdicts
+        )
+        self._verdict_count = 0
+        self._event_count = 0
+        self._breakers: Dict[str, str] = {}
+        self._quarantined: set = set()
+        self._shards: List[Dict[str, Any]] = []
+        self._faults: Dict[str, int] = {}
+        for topic in _TOPICS:
+            bus.subscribe(self._on_record, topic=topic)
+
+    def close(self) -> None:
+        """Detach from the bus (idempotent)."""
+        self.bus.unsubscribe(self._on_record)
+
+    def __enter__(self) -> "TailDashboard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Record handling
+    # ------------------------------------------------------------------
+
+    def _on_record(self, record: Dict[str, Any]) -> None:
+        topic = record["topic"]
+        data = record["data"]
+        if topic == Topic.ROUND:
+            self._round = dict(data, sim_time=record["sim_time"])
+            self._round_count += 1
+            self.render()
+        elif topic == Topic.VERDICTS:
+            self._verdict_count += 1
+            self._verdicts.append(data)
+        elif topic == Topic.EVENTS:
+            self._event_count += 1
+        elif topic == Topic.BREAKERS:
+            self._ingest_breakers(data)
+        elif topic == Topic.QUARANTINE:
+            self._quarantined.update(data.get("endpoints", ()))
+        elif topic == Topic.SHARD_HEALTH:
+            self._shards = list(data.get("shards", ()))
+            self.render()
+        elif topic == Topic.GROUND_TRUTH:
+            fault = data.get("fault", {})
+            label = "{}:{}".format(
+                data.get("plane", "?"), fault.get("issue", "?")
+            )
+            if data.get("action") == "inject":
+                self._faults[label] = self._faults.get(label, 0) + 1
+
+    def _ingest_breakers(self, data: Dict[str, Any]) -> None:
+        if data.get("kind") == "transition":
+            self._breakers[data["container"]] = data["to_state"]
+        elif data.get("kind") == "snapshot":
+            for row in data.get("rows", ()):  # [shard, agent, state, ...]
+                self._breakers[str(row[1])] = str(row[2])
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> None:
+        """Write one frame to the stream."""
+        self.frames_rendered += 1
+        out = self.stream
+        if self.ansi:
+            out.write(_CLEAR)
+        for line in self._frame_lines():
+            out.write(line + "\n")
+        out.flush()
+
+    def _frame_lines(self) -> List[str]:
+        lines = ["== repro tail =="]
+        if self._round is not None:
+            r = self._round
+            lines.append(
+                "round {count} @ t={t:.1f}s  sent={sent} lost={lost} "
+                "anomalies={anom} opened={opened} open={open}".format(
+                    count=self._round_count,
+                    t=r.get("sim_time", 0.0),
+                    sent=r.get("sent", 0), lost=r.get("lost", 0),
+                    anom=r.get("anomalies", 0),
+                    opened=r.get("events_opened", 0),
+                    open=r.get("open_events", 0),
+                )
+            )
+        else:
+            lines.append("waiting for first round...")
+        lines.append(
+            "events={} verdicts={} quarantined={}".format(
+                self._event_count, self._verdict_count,
+                len(self._quarantined),
+            )
+        )
+        if self._faults:
+            lines.append("faults: " + "  ".join(
+                f"{label} x{n}"
+                for label, n in sorted(self._faults.items())
+            ))
+        tripped = {
+            key: state for key, state in sorted(self._breakers.items())
+            if state != "closed"
+        }
+        if tripped:
+            lines.append("breakers: " + "  ".join(
+                f"{key}={state}" for key, state in tripped.items()
+            ))
+        elif self._breakers:
+            lines.append(
+                f"breakers: all {len(self._breakers)} closed"
+            )
+        for verdict in self._verdicts:
+            diagnoses = verdict.get("diagnoses", ())
+            summary = "; ".join(
+                "{} ({}, {:.3f})".format(d[0], d[2], d[3])
+                for d in diagnoses
+            ) or "no diagnosis"
+            lines.append(
+                "verdict @ t={:.1f}s: {}  [unexplained={}]".format(
+                    verdict.get("at", 0.0), summary,
+                    verdict.get("unexplained", 0),
+                )
+            )
+        if self._quarantined:
+            lines.append("quarantined: " + ", ".join(
+                sorted(self._quarantined)[:8]
+            ))
+        for shard in self._shards:
+            lines.append(
+                "shard {id}: {state}  pairs={pairs} agents={agents} "
+                "chunks={chunks} last_round={last}".format(
+                    id=shard.get("id"),
+                    state=("alive" if shard.get("alive") else "DEAD"),
+                    pairs=shard.get("pairs", 0),
+                    agents=shard.get("agents", 0),
+                    chunks=shard.get("chunks", 0),
+                    last=shard.get("last_round", 0),
+                )
+            )
+        if not self.ansi:
+            lines.append("")  # blank separator between appended frames
+        return lines

@@ -141,10 +141,47 @@ class MonitorFaultInjector:
         self.seed = int(seed)
         self._recorder = recorder
         self._faults: Dict[int, MonitorFault] = {}
+        self._bus = None
 
     # ------------------------------------------------------------------
     # Schedule management
     # ------------------------------------------------------------------
+
+    def attach_bus(self, bus) -> None:
+        """Publish this schedule (and future injects) as ground truth.
+
+        Already-injected faults are published immediately so a recorder
+        attached after schedule construction still captures the full
+        monitor-plane weather.  Attaching the same bus twice is a
+        no-op.
+        """
+        if bus is self._bus:
+            return
+        self._bus = bus
+        for fault in self.all_faults():
+            self._publish(fault)
+
+    def _publish(self, fault: MonitorFault) -> None:
+        if self._bus is None:
+            return
+        from repro.bus.core import Topic
+
+        self._bus.publish(
+            Topic.GROUND_TRUTH,
+            sim_time=fault.start,
+            plane="monitor",
+            action="inject",
+            fault={
+                "issue": fault.issue.name,
+                "start": fault.start,
+                "end": fault.end,
+                "rate": fault.rate,
+                "scope": fault.scope,
+                "delay_s": fault.delay_s,
+                "culprits": sorted(fault.culprits),
+                "fault_id": fault.fault_id,
+            },
+        )
 
     def inject(self, fault: MonitorFault) -> MonitorFault:
         """Register a fault (no cluster side effects)."""
@@ -153,6 +190,7 @@ class MonitorFaultInjector:
         self._faults[fault.fault_id] = fault
         if self._recorder is not None:
             self._recorder.count("chaos.injected")
+        self._publish(fault)
         return fault
 
     def inject_issue(

@@ -15,6 +15,9 @@ Usage::
     python -m repro run [--shards N] [--backend inproc|mp] [--faults N]
     python -m repro shard-status [--shards N] [--kill SHARD]
     python -m repro bench-shard [--quick] [--out FILE]
+    python -m repro record [--out FILE] [--seed S] [--issue NAME]
+    python -m repro replay RECORDING [--no-verify]
+    python -m repro tail [--shards N] [--plain]
 
 ``demo`` monitors one training task, applies skeleton inference, injects
 an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
@@ -50,6 +53,15 @@ summary; ``shard-status`` runs a short plane (optionally killing a
 shard mid-run) and renders the coordinator's heartbeat/failover view;
 ``bench-shard`` runs the shard-equivalence gate plus the scaling sweep
 behind ``BENCH_shard.json``.
+
+The last three commands drive the telemetry bus (:mod:`repro.bus`):
+``record`` runs the standard chaos campaign leg and persists every bus
+topic to a versioned JSONL recording; ``replay`` reconstructs
+detection + localization from a recording without re-simulating the
+fabric and (by default) fails on any verdict or event drift; ``tail``
+runs a live scenario with a terminal dashboard of rounds, verdicts,
+breaker states, quarantine events, and — with ``--shards`` — shard
+health.
 """
 
 from __future__ import annotations
@@ -232,6 +244,72 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here (default: BENCH_shard.json)",
     )
     bench_shard.add_argument("--seed", type=int, default=0)
+
+    def add_record_args(command) -> None:
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--issue", default="RNIC_PORT_DOWN",
+            choices=[i.name for i in IssueType],
+        )
+        command.add_argument(
+            "--telemetry-loss", type=float, default=0.10,
+            help="monitor-plane loss rate (default 0.10; the PR-5 "
+            "standard chaos schedule)",
+        )
+        command.add_argument("--containers", type=int, default=4)
+        command.add_argument("--gpus", type=int, default=4)
+        command.add_argument(
+            "--warm-s", type=float, default=200.0,
+            help="fault-free warm-up before skeleton inference",
+        )
+        command.add_argument(
+            "--fault-s", type=float, default=120.0,
+            help="how long the injected fault stays active",
+        )
+        command.add_argument(
+            "--cool-s", type=float, default=40.0,
+            help="post-clear cool-down",
+        )
+
+    record = commands.add_parser(
+        "record", help="run the standard chaos campaign leg and "
+        "persist every bus topic to a JSONL recording"
+    )
+    record.add_argument(
+        "--out", default="recording.jsonl",
+        help="recording path (default: recording.jsonl)",
+    )
+    add_record_args(record)
+
+    replay = commands.add_parser(
+        "replay", help="reconstruct detection + localization from a "
+        "recording and check it against the recorded verdicts"
+    )
+    replay.add_argument("recording", help="JSONL recording to replay")
+    replay.add_argument(
+        "--no-verify", action="store_true",
+        help="report the replay without failing on drift",
+    )
+
+    tail = commands.add_parser(
+        "tail", help="run a live scenario with a terminal dashboard "
+        "of verdicts, breakers, quarantines, and shard health"
+    )
+    add_record_args(tail)
+    tail.add_argument(
+        "--shards", type=int, default=0,
+        help="run the sharded plane with this many workers instead "
+        "of the single-process hunter (default 0: single-process)",
+    )
+    tail.add_argument(
+        "--rounds", type=int, default=30,
+        help="total probe rounds in --shards mode (default 30)",
+    )
+    tail.add_argument(
+        "--plain", action="store_true",
+        help="append frames as plain text instead of repainting "
+        "in place (automatic when stdout is not a TTY)",
+    )
     return parser
 
 
@@ -625,6 +703,100 @@ def _run_bench_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_config(args: argparse.Namespace) -> dict:
+    """The :func:`standard_run_config` overrides shared by ``record``
+    and single-process ``tail``."""
+    return dict(
+        seed=args.seed,
+        issue=args.issue,
+        telemetry_loss=args.telemetry_loss,
+        num_containers=args.containers,
+        gpus_per_container=args.gpus,
+        warm_s=args.warm_s,
+        fault_s=args.fault_s,
+        cool_s=args.cool_s,
+    )
+
+
+def _run_record(args: argparse.Namespace) -> int:
+    from repro.bus.replay import record_standard_run
+
+    try:
+        summary = record_standard_run(args.out, **_record_config(args))
+    except OSError as error:
+        print(f"cannot write recording to {args.out}: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"recorded {summary['records']} records to {summary['path']}")
+    print(f"  verdicts: {summary['verdicts']}  "
+          f"events: {summary['events']}  "
+          f"breaker transitions: {summary['breaker_transitions']}")
+    print(f"  config fingerprint: {summary['fingerprint']}")
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from repro.bus.recorder import RecordingError, load_recording
+    from repro.bus.replay import Replayer
+
+    try:
+        recording = load_recording(args.recording)
+        replayer = Replayer(recording)
+    except (OSError, RecordingError) as error:
+        print(f"cannot replay {args.recording}: {error}",
+              file=sys.stderr)
+        return 1
+    result = replayer.replay()
+    print(f"replayed {args.recording}: schema {recording.schema}, "
+          f"seed {recording.seed}, {len(recording.records)} records")
+    print(f"  {result.rounds} rounds, {result.probes_ingested} probes, "
+          f"{result.faults_applied} fault(s) re-applied, "
+          f"{len(result.breaker_transitions)} breaker transition(s)")
+    print(f"  verdicts: {len(result.recorded_verdicts)} recorded / "
+          f"{len(result.replayed_verdicts)} replayed;  "
+          f"events: {len(result.recorded_events)} recorded / "
+          f"{len(result.replayed_events)} replayed")
+    problems = result.divergences()
+    if problems:
+        for problem in problems[:5]:
+            print(problem, file=sys.stderr)
+        print(f"replay diverged: {len(problems)} difference(s)",
+              file=sys.stderr)
+        return 0 if args.no_verify else 1
+    if not result.recorded_verdicts and not args.no_verify:
+        print("recording contains no verdicts to compare — the gate "
+              "would pass vacuously", file=sys.stderr)
+        return 1
+    print("replay is bit-exact: every verdict and event matches")
+    return 0
+
+
+def _run_tail(args: argparse.Namespace) -> int:
+    from repro.bus.core import TelemetryBus
+    from repro.bus.tail import TailDashboard
+
+    bus = TelemetryBus()
+    ansi = False if args.plain else None
+    with TailDashboard(bus, ansi=ansi) as dashboard:
+        if args.shards > 0:
+            from repro.shard import run_plane
+
+            spec = _shard_spec(args, 2)
+            run_plane(spec, args.shards, bus=bus)
+        else:
+            from repro.bus.replay import (
+                drive_standard_run,
+                standard_run_config,
+            )
+
+            config = standard_run_config(**_record_config(args))
+            drive_standard_run(bus, config)
+        dashboard.render()  # the final frame, after the run settles
+    print(f"run complete: {dashboard.frames_rendered} frames from "
+          f"{bus.published} bus records")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -656,6 +828,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_shard_status(args)
     if args.command == "bench-shard":
         return _run_bench_shard(args)
+    if args.command == "record":
+        return _run_record(args)
+    if args.command == "replay":
+        return _run_replay(args)
+    if args.command == "tail":
+        return _run_tail(args)
     return 2  # unreachable: argparse enforces the choices
 
 

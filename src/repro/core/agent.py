@@ -79,6 +79,7 @@ class OverlayAgent:
         resources: Optional[AgentResourceModel] = None,
         version: str = "v1.0.0",
         prober: Optional[ResilientProber] = None,
+        bus=None,
     ) -> None:
         self.container = container
         self.ping_list = ping_list
@@ -91,6 +92,9 @@ class OverlayAgent:
         # Monitor-plane hardening; None keeps the original direct path
         # (and its probe outcomes) bit-identical.
         self.prober = prober
+        # Telemetry bus: delivered report batches are published per
+        # round so a recording carries exactly what the analyzer saw.
+        self.bus = bus
         self.probes_sent = 0
         self.rounds_skipped = 0
 
@@ -125,6 +129,7 @@ class OverlayAgent:
         if self.prober is None:
             results = fabric.send_probe_batch(self.my_pairs(), now, salt)
             self.probes_sent += len(results)
+            self._publish(results, now)
             return results
         state = self.prober.chaos.agent_state(str(self.container.id), now)
         if state in ("crashed", "hung"):
@@ -139,7 +144,21 @@ class OverlayAgent:
             pairs = coarse_pairs(pairs)
         results = self.prober.execute(fabric, pairs, now, salt)
         self.probes_sent += len(results)
+        self._publish(results, now)
         return results
+
+    def _publish(self, results: List[ProbeResult], now: float) -> None:
+        if self.bus is None or not results:
+            return
+        from repro.bus.codec import encode_probe_rows
+        from repro.bus.core import Topic
+
+        self.bus.publish(
+            Topic.PROBE_REPORTS,
+            sim_time=now,
+            container=str(self.container.id),
+            results=encode_probe_rows(results),
+        )
 
     def cpu_percent(self, now: float) -> float:
         """Modelled CPU usage at simulated time ``now``."""

@@ -52,6 +52,7 @@ class Controller:
         recorder=None,
         chaos=None,
         retry_policy: Optional[RetryPolicy] = None,
+        bus=None,
     ) -> None:
         self.cluster = cluster
         # Constructed per instance, not shared via a default argument
@@ -69,6 +70,9 @@ class Controller:
         # None, agents run the original direct path bit-identically.
         self.chaos = chaos
         self.retry_policy = retry_policy
+        # Optional TelemetryBus: agents publish probe-report batches
+        # and breakers publish their state transitions onto it.
+        self.bus = bus
         self._tasks: Dict[TaskId, _TaskState] = {}
 
     # ------------------------------------------------------------------
@@ -119,8 +123,12 @@ class Controller:
             prober = ResilientProber(
                 self.chaos,
                 retry=self.retry_policy,
-                breaker=CircuitBreaker(recorder=self.recorder),
+                breaker=CircuitBreaker(
+                    recorder=self.recorder,
+                    listener=self._breaker_listener(container.id),
+                ),
                 recorder=self.recorder,
+                bus=self.bus,
             )
         agent = OverlayAgent(
             container=container,
@@ -129,6 +137,7 @@ class Controller:
             resources=self.resources,
             version=version,
             prober=prober,
+            bus=self.bus,
         )
         state.agents[container.id] = agent
         agent.register()
@@ -139,6 +148,28 @@ class Controller:
                 container=str(container.id), version=version,
             )
         return agent
+
+    def _breaker_listener(self, container_id: ContainerId):
+        """A breaker-transition callback publishing to the bus."""
+        if self.bus is None:
+            return None
+        key = str(container_id)
+        bus = self.bus
+
+        def on_transition(now, old_state, new_state, breaker) -> None:
+            from repro.bus.core import Topic
+
+            bus.publish(
+                Topic.BREAKERS,
+                sim_time=now,
+                kind="transition",
+                container=key,
+                from_state=old_state,
+                to_state=new_state,
+                snapshot=list(breaker.snapshot()),
+            )
+
+        return on_transition
 
     def on_container_finished(self, container: Container) -> None:
         """Tear down a container's agent and deactivate its targets."""

@@ -147,6 +147,7 @@ class ResilientProber:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         recorder=None,
+        bus=None,
     ) -> None:
         self.chaos = chaos
         self.retry = (
@@ -154,6 +155,9 @@ class ResilientProber:
         )
         self.breaker = breaker
         self.recorder = recorder
+        # Telemetry bus: degraded rounds (lost/late reports, retries)
+        # publish a monitor-plane record for the tail dashboard.
+        self.bus = bus
         self.retries = 0
         self.retry_successes = 0
         self.reports_lost = 0
@@ -188,6 +192,7 @@ class ResilientProber:
         results = fabric.send_probe_batch(pairs, now, salt)
         delivered: List[ProbeResult] = []
         failed = 0
+        retries_before = self.retries
         for pair, result in zip(pairs, results):
             final = self._deliver(fabric, pair, result, now, salt)
             if final is None:
@@ -199,6 +204,17 @@ class ResilientProber:
                 self.breaker.record_failure(now)
             else:
                 self.breaker.record_success(now)
+        retried = self.retries - retries_before
+        if self.bus is not None and (failed or retried):
+            from repro.bus.core import Topic
+
+            self.bus.publish(
+                Topic.MONITOR,
+                sim_time=now,
+                delivered=len(delivered),
+                failed=failed,
+                retries=retried,
+            )
         return delivered
 
     def _deliver(

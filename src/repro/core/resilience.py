@@ -113,12 +113,18 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         open_duration_s: float = 10.0,
         recorder=None,
+        listener=None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         self.failure_threshold = int(failure_threshold)
         self.open_duration_s = float(open_duration_s)
         self._recorder = recorder
+        # Called as ``listener(now, old_state, new_state, breaker)`` on
+        # every transition (state values, not enum members).  The
+        # telemetry bus wires breaker trajectories onto its
+        # breaker-transitions topic through this hook.
+        self._listener = listener
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
@@ -134,7 +140,14 @@ class CircuitBreaker:
             and now - self._opened_at >= self.open_duration_s
         ):
             self._state = BreakerState.HALF_OPEN
+            self._notify(now, BreakerState.OPEN, BreakerState.HALF_OPEN)
         return self._state
+
+    def _notify(
+        self, now: float, old: BreakerState, new: BreakerState
+    ) -> None:
+        if self._listener is not None:
+            self._listener(now, old.value, new.value, self)
 
     def record_success(self, now: float) -> None:
         state = self.state_at(now)
@@ -145,6 +158,7 @@ class CircuitBreaker:
             self.recoveries += 1
             if self._recorder is not None:
                 self._recorder.count("breaker.recoveries")
+            self._notify(now, BreakerState.HALF_OPEN, BreakerState.CLOSED)
 
     def record_failure(self, now: float) -> None:
         state = self.state_at(now)
@@ -159,12 +173,14 @@ class CircuitBreaker:
             self._trip(now)
 
     def _trip(self, now: float) -> None:
+        old = self._state
         self._state = BreakerState.OPEN
         self._opened_at = now
         self._consecutive_failures = 0
         self.trips += 1
         if self._recorder is not None:
             self._recorder.count("breaker.trips")
+        self._notify(now, old, BreakerState.OPEN)
 
     def snapshot(self) -> tuple:
         """Picklable state tuple (merged through shard failover)."""

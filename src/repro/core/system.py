@@ -66,6 +66,7 @@ class SkeletonHunter:
         verify_on_start: bool = False,
         chaos=None,
         retry_policy=None,
+        bus=None,
     ) -> None:
         self.cluster = cluster
         self.engine = engine
@@ -84,9 +85,16 @@ class SkeletonHunter:
         # corrupted per the schedule, and flow-table reads can fail.
         # None keeps every path bit-identical to the unhardened plane.
         self.chaos = chaos
+        # Optional TelemetryBus (repro.bus): every pipeline stage
+        # publishes onto it — probe batches (agents), breaker
+        # transitions (controller), round summaries / events / verdicts
+        # / ping-list snapshots (here) — which is what the JSONL
+        # recorder persists and the replayer reconstructs runs from.
+        self.bus = bus
         self.controller = Controller(
             cluster, resources, release_manager=release_manager,
             recorder=observability, chaos=chaos, retry_policy=retry_policy,
+            bus=bus,
         )
         self.analyzer = Analyzer(
             detector_config, recorder=observability
@@ -104,6 +112,7 @@ class SkeletonHunter:
         self.reports: List[Tuple[float, LocalizationReport]] = []
         self._watched: Set[TaskId] = set()
         self._localized_events: Set[Tuple[ProbePair, float]] = set()
+        self._published_pairs: Optional[List[ProbePair]] = None
         self._round_salt = 0
         self._probe_task: Optional[PeriodicTask] = None
         self.verify_on_start = verify_on_start
@@ -245,11 +254,24 @@ class SkeletonHunter:
         registry = self.metrics
         registry.series("probes.sent_in_round").record(now, sent)
         registry.series("probes.lost_in_round").record(now, lost)
-        return (
-            sent, lost,
-            len(self.analyzer.anomalies) - anomalies0,
-            len(self.analyzer.events) - opened0,
-        )
+        anomalies = len(self.analyzer.anomalies) - anomalies0
+        opened = len(self.analyzer.events) - opened0
+        if self.bus is not None:
+            from repro.bus.core import Topic
+
+            # Published last within the round: the replayer flushes its
+            # analyzer and localizes on this record, after every probe
+            # batch, snapshot, and verdict of the round precedes it.
+            self.bus.publish(
+                Topic.ROUND,
+                sim_time=now,
+                sent=sent,
+                lost=lost,
+                anomalies=anomalies,
+                events_opened=opened,
+                open_events=len(self.analyzer.open_events()),
+            )
+        return (sent, lost, anomalies, opened)
 
     def _localize_new_events(self, now: float) -> None:
         fresh = [
@@ -258,11 +280,28 @@ class SkeletonHunter:
         ]
         if not fresh:
             return
-        healthy = healthy_pairs_for(fresh, self._all_active_pairs())
+        all_pairs = self._all_active_pairs()
+        if self.bus is not None:
+            self._publish_localization_inputs(now, fresh, all_pairs)
+        healthy = healthy_pairs_for(fresh, all_pairs)
         report = self.localizer.localize(
             fresh, healthy_pairs=healthy, now=now
         )
         self.reports.append((now, report))
+        if self.bus is not None:
+            from repro.bus.core import Topic
+
+            self.bus.publish(
+                Topic.VERDICTS,
+                sim_time=now,
+                at=now,
+                diagnoses=[
+                    [d.component, d.component_class.value, d.layer,
+                     round(d.confidence, 9)]
+                    for d in report.diagnoses
+                ],
+                unexplained=len(report.unexplained),
+            )
         for event in fresh:
             self._localized_events.add(event.key)
         if self.handler is not None:
@@ -278,6 +317,39 @@ class SkeletonHunter:
                     self.analyzer.reset_pairs_involving(
                         container.endpoints(), now
                     )
+
+    def _publish_localization_inputs(
+        self,
+        now: float,
+        fresh: List[FailureEvent],
+        all_pairs: List[ProbePair],
+    ) -> None:
+        """Publish what this localization will consume, before it runs.
+
+        The ping-list snapshot (published only when the active set
+        changed) and the fresh events precede the verdict on the bus,
+        so a replayer reading records in sequence order has both in
+        hand when it re-localizes.
+        """
+        from repro.bus.codec import encode_pairs
+        from repro.bus.core import Topic
+
+        if self._published_pairs != all_pairs:
+            self._published_pairs = list(all_pairs)
+            self.bus.publish(
+                Topic.PINGLIST,
+                sim_time=now,
+                pairs=encode_pairs(all_pairs),
+            )
+        for event in fresh:
+            self.bus.publish(
+                Topic.EVENTS,
+                sim_time=now,
+                src=str(event.pair.src),
+                dst=str(event.pair.dst),
+                first_detected_at=event.first_detected_at,
+                symptom=event.symptom.value,
+            )
 
     def _find_container(self, container_id):
         task = self.orchestrator.tasks.get(container_id.task)
@@ -322,6 +394,22 @@ class SkeletonHunter:
             series_by_endpoint = self.chaos.corrupt_series(
                 series_by_endpoint, at=observed_at
             )
+        if self.bus is not None:
+            from repro.bus.core import Topic
+
+            self.bus.publish(
+                Topic.RNIC_SERIES,
+                sim_time=observed_at,
+                task=str(task_id),
+                series=[
+                    [str(ep), int(np.asarray(values).size),
+                     float(np.nansum(np.asarray(values, dtype=float)))]
+                    for ep, values in sorted(
+                        series_by_endpoint.items(),
+                        key=lambda item: item[0],
+                    )
+                ],
+            )
         try:
             skeleton = self.inference.infer(series_by_endpoint, host_of)
         except SkeletonInferenceError as error:
@@ -330,8 +418,38 @@ class SkeletonHunter:
                 self.obs.event(
                     "skeleton.inference_failed", reason=str(error)
                 )
+            if self.bus is not None:
+                from repro.bus.core import Topic
+
+                self.bus.publish(
+                    Topic.SKELETON,
+                    sim_time=observed_at,
+                    task=str(task_id),
+                    applied=False,
+                    reason=str(error),
+                )
             return None
         self.controller.apply_skeleton(task_id, skeleton)
+        if self.bus is not None:
+            from repro.bus.core import Topic
+
+            self.bus.publish(
+                Topic.SKELETON,
+                sim_time=observed_at,
+                task=str(task_id),
+                applied=True,
+                edges=len(skeleton.edges),
+                quarantined=len(skeleton.quarantined),
+            )
+            if skeleton.quarantined:
+                self.bus.publish(
+                    Topic.QUARANTINE,
+                    sim_time=observed_at,
+                    task=str(task_id),
+                    endpoints=sorted(
+                        str(ep) for ep in skeleton.quarantined
+                    ),
+                )
         return skeleton
 
     # ------------------------------------------------------------------

@@ -137,6 +137,20 @@ class FaultInjector:
         self._cluster = cluster
         self._faults: Dict[int, Fault] = {}
         self._epoch = 0
+        # Observers fire as ``observer(action, fault, at)`` with action
+        # "inject" or "clear" — the telemetry bus records ground truth
+        # through this hook so replays can re-apply the exact schedule.
+        self._observers: List[Callable[[str, Fault, float], None]] = []
+
+    def add_observer(
+        self, observer: Callable[[str, Fault, float], None]
+    ) -> None:
+        """Register a ground-truth observer for injects and clears."""
+        self._observers.append(observer)
+
+    def _notify(self, action: str, fault: Fault, at: float) -> None:
+        for observer in list(self._observers):
+            observer(action, fault, at)
 
     @property
     def epoch(self) -> int:
@@ -158,6 +172,7 @@ class FaultInjector:
         self._faults[fault.fault_id] = fault
         self._apply_side_effects(fault)
         self._epoch += 1
+        self._notify("inject", fault, fault.start)
         return fault
 
     def clear(self, fault: Fault, at: float) -> None:
@@ -167,6 +182,7 @@ class FaultInjector:
             undo()
         fault._undo.clear()
         self._epoch += 1
+        self._notify("clear", fault, at)
 
     def active_faults(self, t: float) -> List[Fault]:
         """All faults active at ``t``."""

@@ -56,11 +56,19 @@ class TraceRecorder:
         metrics: Optional[MetricRegistry] = None,
         enabled: bool = True,
         max_events: Optional[int] = None,
+        max_spans: Optional[int] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.enabled = enabled
         self.max_events = max_events
+        # Bounded span retention, mirroring TimeSeries/max_events: a
+        # long soak would otherwise grow span storage without limit.
+        # Evicted (oldest, closed-first) spans are counted on both the
+        # attribute and the shared registry ("trace.dropped_spans") so
+        # a dashboard can see that its trace view is truncated.
+        self.max_spans = max_spans
         self.dropped_events = 0
+        self.dropped_spans = 0
         self._events: List[TraceEvent] = []
         self._spans: List[Span] = []
         self._seq = 0
@@ -112,12 +120,37 @@ class TraceRecorder:
         )
         self._spans.append(span)
         self._stack.append(span.span_id)
+        if (
+            self.max_spans is not None
+            and len(self._spans) > self.max_spans
+        ):
+            self._evict_spans()
         try:
             yield span
         finally:
             self._stack.pop()
             if not span.closed:
                 span.close()
+
+    def _evict_spans(self) -> None:
+        """Drop the oldest closed spans down to ``max_spans``.
+
+        Open spans are never evicted — their ``close()`` still runs and
+        queries during the block must find them — so the list can
+        transiently exceed the cap by the nesting depth.
+        """
+        excess = len(self._spans) - self.max_spans
+        kept: List[Span] = []
+        dropped = 0
+        for span in self._spans:
+            if dropped < excess and span.closed:
+                dropped += 1
+                continue
+            kept.append(span)
+        if dropped:
+            self._spans = kept
+            self.dropped_spans += dropped
+            self.metrics.increment("trace.dropped_spans", dropped)
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Increment a counter on the shared registry (when enabled)."""

@@ -235,6 +235,7 @@ class ShardCoordinator:
         chunk_rounds: int = 5,
         recorder=None,
         kill_schedule: Optional[Dict[int, int]] = None,
+        bus=None,
     ) -> None:
         """``kill_schedule`` maps shard id -> chunk index (1-based) at
         whose start the shard is killed (chaos/failover testing)."""
@@ -249,6 +250,11 @@ class ShardCoordinator:
         )
         self.chunk_rounds = chunk_rounds
         self.recorder = recorder
+        # Telemetry bus: per-shard streams are published here from the
+        # merge step only — results are folded in sorted shard-id
+        # order, so the bus sees one deterministic interleaving no
+        # matter how the backend scheduled the workers.
+        self.bus = bus
         self.kill_schedule = dict(kill_schedule or {})
         for shard_id in sorted(self.kill_schedule):
             if not 0 <= shard_id < num_shards:
@@ -529,7 +535,52 @@ class ShardCoordinator:
                 self._seen_events.add(record.key)
                 fresh.append(record)
                 self.events.append(record)
+        self._publish_chunk(chunk, end_round)
         return fresh
+
+    def _publish_chunk(self, chunk: int, end_round: int) -> None:
+        """Publish the post-merge shard-health and breaker views."""
+        if self.bus is None:
+            return
+        from repro.bus.core import Topic
+
+        at = self.spec.round_time(end_round)
+        self.bus.publish(
+            Topic.SHARD_HEALTH,
+            sim_time=at,
+            chunk=chunk,
+            round=end_round,
+            shards=[
+                {
+                    "id": shard_id,
+                    "alive": self.statuses[shard_id].alive,
+                    "pairs": self.statuses[shard_id].pair_count,
+                    "agents": self.statuses[shard_id].agent_count,
+                    "chunks": self.statuses[shard_id].chunks_completed,
+                    "last_round": self.statuses[shard_id].last_round,
+                    "adopted": self.statuses[shard_id].adopted_pairs,
+                }
+                for shard_id in sorted(self.statuses)
+            ],
+        )
+        rows = []
+        for shard_id in sorted(self.statuses):
+            status = self.statuses[shard_id]
+            if not status.alive:
+                continue
+            for agent_key in sorted(status.breakers):
+                rows.append(
+                    [shard_id, agent_key]
+                    + list(status.breakers[agent_key])
+                )
+        if rows:
+            self.bus.publish(
+                Topic.BREAKERS,
+                sim_time=at,
+                kind="snapshot",
+                chunk=chunk,
+                rows=rows,
+            )
 
     # ------------------------------------------------------------------
     # Merged localization
@@ -547,6 +598,18 @@ class ShardCoordinator:
         for at in sorted(groups):
             records = groups[at]
             events = [record.to_failure_event() for record in records]
+            if self.bus is not None:
+                from repro.bus.core import Topic
+
+                for record in records:
+                    self.bus.publish(
+                        Topic.EVENTS,
+                        sim_time=at,
+                        src=str(record.src),
+                        dst=str(record.dst),
+                        first_detected_at=record.first_detected_at,
+                        symptom=record.symptom,
+                    )
             paths = {
                 record.pair: UnderlayPath.through(record.path_devices)
                 for record in records
@@ -557,6 +620,20 @@ class ShardCoordinator:
                 events, healthy_pairs=healthy, now=at, paths=paths
             )
             self.verdicts.append((at, report))
+            if self.bus is not None:
+                from repro.bus.core import Topic
+
+                self.bus.publish(
+                    Topic.VERDICTS,
+                    sim_time=at,
+                    at=at,
+                    diagnoses=[
+                        [d.component, d.component_class.value, d.layer,
+                         round(d.confidence, 9)]
+                        for d in report.diagnoses
+                    ],
+                    unexplained=len(report.unexplained),
+                )
             self.metrics.increment(
                 "diagnoses.made", len(report.diagnoses)
             )

@@ -41,6 +41,7 @@ def run_plane(
     chunk_rounds: int = 5,
     kill_schedule: Optional[Dict[int, int]] = None,
     recorder=None,
+    bus=None,
 ) -> ShardRunResult:
     """Run the spec'd scenario on the sharded plane, start to finish."""
     coordinator = ShardCoordinator(
@@ -50,6 +51,7 @@ def run_plane(
         chunk_rounds=chunk_rounds,
         recorder=recorder,
         kill_schedule=kill_schedule,
+        bus=bus,
     )
     return coordinator.run()
 

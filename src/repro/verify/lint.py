@@ -45,6 +45,17 @@ verification exists to surface.  This linter walks the AST of
     dependency and, in sim code, collapses every attempt onto one
     timestamp.
 
+``telemetry-write``
+    Telemetry must flow through the bus recorder, not ad-hoc files: a
+    write-mode ``open()`` inside the observability/bus layers
+    (``obs/``, ``bus/``), or an ``open()`` anywhere whose literal path
+    ends in ``.jsonl``, is flagged.  The sanctioned writers — the
+    JSONL recorder (``bus/recorder.py``) and the trace exporter
+    (``obs/export.py``) — are exempted by name, the same mechanism as
+    the RNG exemption for ``sim/rng.py``.  Side-channel telemetry
+    files bypass the recording's sequencing, fingerprint, and footer,
+    so a replay can never prove it saw everything the run emitted.
+
 ``worker-determinism``
     Functions handed to ``multiprocessing`` as worker entry points
     (the ``target=`` of a ``Process(...)`` call, or the function
@@ -82,6 +93,7 @@ _MUTABLE_DEFAULT = "mutable-default"
 _SHARED_DEFAULT = "shared-instance-default"
 _WORKER_DETERMINISM = "worker-determinism"
 _RETRY_NO_BACKOFF = "retry-without-backoff"
+_TELEMETRY_WRITE = "telemetry-write"
 
 #: Dotted-call suffixes that read the wall clock.
 _WALL_CLOCK_CALLS = (
@@ -116,6 +128,14 @@ _WORKER_FORBIDDEN_CALLS = (
     "os.urandom",
     "uuid.uuid4",
 )
+
+#: Directories (path fragments) whose write-mode ``open()`` calls are
+#: telemetry writes by construction.
+_TELEMETRY_SCOPE = ("obs", "bus")
+
+#: Files (relative, ``/``-separated suffixes) allowed to open telemetry
+#: files for writing: the recorder and the trace exporter.
+_TELEMETRY_EXEMPT_SUFFIXES = ("bus/recorder.py", "obs/export.py")
 
 #: Loop-variable / test-name fragments that mark a loop as a retry loop.
 _RETRY_NAME_FRAGMENTS = ("attempt", "retry", "retries")
@@ -181,6 +201,41 @@ def _constructor_name(node: ast.AST) -> Optional[str]:
     return None
 
 
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of a write-capable ``open()`` call.
+
+    ``None`` for read-only opens and for dynamic (non-literal) modes —
+    the rule only fires on provable writes.
+    """
+    mode = "r"
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        if not (isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)):
+            return None
+        mode = arg.value
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            value = keyword.value
+            if not (isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)):
+                return None
+            mode = value.value
+    if any(flag in mode for flag in "wax+"):
+        return mode
+    return None
+
+
+def _opens_jsonl_literal(node: ast.Call) -> bool:
+    """Whether the ``open()`` call's literal path ends in ``.jsonl``."""
+    if not node.args:
+        return False
+    arg = node.args[0]
+    return (isinstance(arg, ast.Constant)
+            and isinstance(arg.value, str)
+            and arg.value.endswith(".jsonl"))
+
+
 class _Visitor(ast.NodeVisitor):
     """Collects violations for one module."""
 
@@ -190,10 +245,14 @@ class _Visitor(ast.NodeVisitor):
         rng_exempt: bool,
         broad_except_scoped: bool,
         allowed: Dict[int, set],
+        telemetry_scoped: bool = False,
+        telemetry_exempt: bool = False,
     ) -> None:
         self.path = path
         self.rng_exempt = rng_exempt
         self.broad_except_scoped = broad_except_scoped
+        self.telemetry_scoped = telemetry_scoped
+        self.telemetry_exempt = telemetry_exempt
         self.allowed = allowed
         self.violations: List[LintViolation] = []
         #: Simple names handed to multiprocessing as entry points.
@@ -223,8 +282,29 @@ class _Visitor(ast.NodeVisitor):
         dotted = _dotted_name(node.func)
         if dotted is not None:
             self._check_call(node, dotted)
+        self._check_telemetry_write(node)
         self._collect_worker_targets(node, dotted)
         self.generic_visit(node)
+
+    def _check_telemetry_write(self, node: ast.Call) -> None:
+        """Direct ``open(..., "w")`` telemetry writes bypass the bus
+        recorder; fires in obs/bus-scoped files and, anywhere, on a
+        write-mode open of a literal ``*.jsonl`` path."""
+        if self.telemetry_exempt:
+            return
+        if not (isinstance(node.func, ast.Name)
+                and node.func.id == "open"):
+            return
+        mode = _open_write_mode(node)
+        if mode is None:
+            return
+        if self.telemetry_scoped or _opens_jsonl_literal(node):
+            self._emit(
+                node, _TELEMETRY_WRITE,
+                f"direct open(..., {mode!r}) writes telemetry outside "
+                "the recorder; publish on the TelemetryBus and let "
+                "JsonlRecorder persist it",
+            )
 
     def _collect_worker_targets(
         self, node: ast.Call, dotted: Optional[str]
@@ -462,9 +542,14 @@ class DeterminismLinter:
         self,
         rng_exempt_suffixes: Sequence[str] = _RNG_EXEMPT_SUFFIXES,
         broad_except_scope: Sequence[str] = _BROAD_EXCEPT_SCOPE,
+        telemetry_scope: Sequence[str] = _TELEMETRY_SCOPE,
+        telemetry_exempt_suffixes: Sequence[str] =
+        _TELEMETRY_EXEMPT_SUFFIXES,
     ) -> None:
         self.rng_exempt_suffixes = tuple(rng_exempt_suffixes)
         self.broad_except_scope = tuple(broad_except_scope)
+        self.telemetry_scope = tuple(telemetry_scope)
+        self.telemetry_exempt_suffixes = tuple(telemetry_exempt_suffixes)
 
     # -- entry points --------------------------------------------------
 
@@ -488,6 +573,14 @@ class DeterminismLinter:
             broad_except_scoped=any(
                 f"/{scope}/" in normalized
                 for scope in self.broad_except_scope
+            ),
+            telemetry_scoped=any(
+                f"/{scope}/" in normalized
+                for scope in self.telemetry_scope
+            ),
+            telemetry_exempt=any(
+                normalized.endswith(suffix)
+                for suffix in self.telemetry_exempt_suffixes
             ),
             allowed=_allowed_lines(source),
         )

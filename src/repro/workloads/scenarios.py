@@ -58,6 +58,9 @@ class MonitoredScenario:
     #: Monitor-plane fault injector (repro.chaos), when the scenario
     #: runs under chaos; None means a perfect monitor.
     chaos: Optional[object] = None
+    #: Telemetry bus (repro.bus), when the scenario publishes its
+    #: pipeline onto one; None keeps all publication paths inert.
+    bus: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Convenience operations
@@ -165,6 +168,7 @@ def build_scenario(
     verify_on_start: bool = False,
     chaos=None,
     retry_policy=None,
+    bus=None,
 ) -> MonitoredScenario:
     """Build a monitored training task end to end.
 
@@ -194,6 +198,10 @@ def build_scenario(
     rng = RngRegistry(seed)
     orchestrator = Orchestrator(cluster, engine, rng, startup_model)
     injector = FaultInjector(cluster)
+    if bus is not None:
+        injector.add_observer(_ground_truth_publisher(bus))
+        if chaos is not None and hasattr(chaos, "attach_bus"):
+            chaos.attach_bus(bus)
     if observability is None and observe:
         observability = TraceRecorder()
     fabric = DataPlaneFabric(
@@ -210,6 +218,7 @@ def build_scenario(
         verify_on_start=verify_on_start,
         chaos=chaos,
         retry_policy=retry_policy,
+        bus=bus,
     )
 
     task = orchestrator.submit_task(
@@ -239,5 +248,34 @@ def build_scenario(
         topology=topology, cluster=cluster, engine=engine, rng=rng,
         orchestrator=orchestrator, injector=injector, fabric=fabric,
         hunter=hunter, task=task, workload=workload, generator=generator,
-        observability=observability, chaos=chaos,
+        observability=observability, chaos=chaos, bus=bus,
     )
+
+
+def _ground_truth_publisher(bus):
+    """A fault-injector observer publishing network ground truth.
+
+    Published fault ids are renumbered per run (the injector's ids come
+    from a process-global counter, which would make two same-seed
+    recordings in one process differ byte-wise); inject/clear records
+    for one fault share the run-local id.
+    """
+    local_ids: dict = {}
+
+    def publish(action: str, fault: Fault, at: float) -> None:
+        from repro.bus.codec import encode_fault
+        from repro.bus.core import Topic
+
+        data = encode_fault(fault)
+        data["fault_id"] = local_ids.setdefault(
+            data["fault_id"], len(local_ids)
+        )
+        bus.publish(
+            Topic.GROUND_TRUTH,
+            sim_time=at,
+            plane="network",
+            action=action,
+            fault=data,
+        )
+
+    return publish

@@ -1,0 +1,135 @@
+"""Tests for the live tail dashboard (pure bus subscriber, plain and
+ANSI frame rendering)."""
+
+import io
+
+from repro.bus.core import TelemetryBus, Topic
+from repro.bus.tail import TailDashboard
+
+
+def publish_round(bus, n=1, sim_time=2.0):
+    bus.publish(
+        Topic.ROUND, sim_time=sim_time, sent=8, lost=n,
+        anomalies=0, events_opened=0, open_events=n,
+    )
+
+
+class TestFrames:
+    def test_round_record_renders_a_frame(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        dashboard = TailDashboard(bus, stream=out, ansi=False)
+        publish_round(bus, n=2, sim_time=6.0)
+        frame = out.getvalue()
+        assert dashboard.frames_rendered == 1
+        assert "round 1 @ t=6.0s" in frame
+        assert "sent=8 lost=2" in frame
+        assert "open=2" in frame
+
+    def test_verdicts_breakers_quarantine_render(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        TailDashboard(bus, stream=out, ansi=False)
+        bus.publish(
+            Topic.EVENTS, sim_time=4.0, src="task-0/node-0/ep-0",
+            dst="task-0/node-1/ep-0", first_detected_at=4.0,
+            symptom="unconnectivity",
+        )
+        bus.publish(
+            Topic.VERDICTS, sim_time=6.0, at=6.0,
+            diagnoses=[["host-1/rnic-0", "RNIC", "underlay", 1.0]],
+            unexplained=0,
+        )
+        bus.publish(
+            Topic.BREAKERS, sim_time=6.0, kind="transition",
+            container="task-0/node-1", from_state="closed",
+            to_state="open", snapshot=["open", 3, 6.0, 1],
+        )
+        bus.publish(
+            Topic.QUARANTINE, sim_time=8.0, task=0,
+            endpoints=["task-0/node-2/ep-1"],
+        )
+        bus.publish(
+            Topic.GROUND_TRUTH, sim_time=0.0, plane="monitor",
+            action="inject", fault={"issue": "TELEMETRY_DROP"},
+        )
+        publish_round(bus)
+        frame = out.getvalue()
+        assert "events=1 verdicts=1 quarantined=1" in frame
+        assert "host-1/rnic-0 (underlay, 1.000)" in frame
+        assert "task-0/node-1=open" in frame
+        assert "quarantined: task-0/node-2/ep-1" in frame
+        assert "monitor:TELEMETRY_DROP x1" in frame
+
+    def test_shard_health_renders_per_shard_rows(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        dashboard = TailDashboard(bus, stream=out, ansi=False)
+        bus.publish(
+            Topic.SHARD_HEALTH, sim_time=10.0, chunk=1, round=5,
+            shards=[
+                {"id": 0, "alive": True, "pairs": 12, "agents": 4,
+                 "chunks": 1, "last_round": 5, "adopted": 0},
+                {"id": 1, "alive": False, "pairs": 0, "agents": 0,
+                 "chunks": 1, "last_round": 5, "adopted": 0},
+            ],
+        )
+        frame = out.getvalue()
+        assert dashboard.frames_rendered == 1
+        assert "shard 0: alive  pairs=12" in frame
+        assert "shard 1: DEAD" in frame
+
+    def test_breaker_snapshot_rows_update_states(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        TailDashboard(bus, stream=out, ansi=False)
+        bus.publish(
+            Topic.BREAKERS, sim_time=4.0, kind="snapshot", chunk=1,
+            rows=[[0, "task-0/node-0", "half_open", 1, 2.0, 1]],
+        )
+        publish_round(bus)
+        assert "task-0/node-0=half_open" in out.getvalue()
+
+    def test_closed_breakers_summarized_not_listed(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        TailDashboard(bus, stream=out, ansi=False)
+        bus.publish(
+            Topic.BREAKERS, sim_time=2.0, kind="transition",
+            container="task-0/node-3", from_state="half_open",
+            to_state="closed", snapshot=[],
+        )
+        publish_round(bus)
+        assert "breakers: all 1 closed" in out.getvalue()
+
+
+class TestModes:
+    def test_ansi_mode_repaints_in_place(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        TailDashboard(bus, stream=out, ansi=True)
+        publish_round(bus)
+        publish_round(bus)
+        assert out.getvalue().count("\x1b[2J\x1b[H") == 2
+
+    def test_plain_mode_appends_frames(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        TailDashboard(bus, stream=out, ansi=False)
+        publish_round(bus)
+        publish_round(bus)
+        text = out.getvalue()
+        assert "\x1b" not in text
+        assert text.count("== repro tail ==") == 2
+
+    def test_non_tty_stream_defaults_to_plain(self):
+        dashboard = TailDashboard(TelemetryBus(), stream=io.StringIO())
+        assert dashboard.ansi is False
+
+    def test_close_detaches_from_the_bus(self):
+        bus = TelemetryBus()
+        out = io.StringIO()
+        with TailDashboard(bus, stream=out, ansi=False) as dashboard:
+            publish_round(bus)
+        publish_round(bus)
+        assert dashboard.frames_rendered == 1

@@ -1,11 +1,15 @@
 """Tests for the JSONL and Prometheus exporters (round-trips)."""
 
 from repro.obs.export import (
+    escape_label_value,
+    format_labels,
     load_jsonl,
     metric_name,
     parse_prometheus,
+    parse_prometheus_samples,
     to_jsonl,
     to_prometheus,
+    unescape_label_value,
     write_jsonl,
 )
 from repro.obs.trace import TraceRecorder
@@ -112,3 +116,76 @@ class TestPrometheus:
 
     def test_empty_registry_exports_empty_text(self):
         assert to_prometheus(MetricRegistry()) == ""
+
+    def test_no_labels_output_is_unchanged(self):
+        registry = MetricRegistry()
+        registry.increment("probes.sent", 5)
+        assert to_prometheus(registry) == to_prometheus(
+            registry, labels={}
+        )
+        assert "{" not in to_prometheus(registry)
+
+
+class TestPrometheusLabels:
+    def test_labels_attach_to_every_sample(self):
+        registry = MetricRegistry()
+        registry.increment("probes.sent", 5)
+        registry.series("loss").record(1.0, 0.5)
+        text = to_prometheus(registry, labels={"run": "r1", "seed": "0"})
+        samples = parse_prometheus_samples(text)
+        assert len(samples) == 3  # counter + gauge + _samples
+        for _name, labels, _kind, _value in samples:
+            assert labels == {"run": "r1", "seed": "0"}
+
+    def test_backslash_and_quote_values_round_trip(self):
+        registry = MetricRegistry()
+        registry.increment("c", 1)
+        nasty = {"path": 'C:\\logs\\"run"', "note": "line1\nline2"}
+        text = to_prometheus(registry, labels=nasty)
+        ((_, labels, kind, value),) = parse_prometheus_samples(text)
+        assert labels == nasty
+        assert (kind, value) == ("counter", 1.0)
+        # The escaped form keeps the sample on one physical line.
+        assert len(text.splitlines()) == 2  # TYPE line + sample line
+
+    def test_label_values_with_metachars_round_trip(self):
+        registry = MetricRegistry()
+        registry.increment("c", 1)
+        tricky = {"a": 'x{y},z= "', "b": "}{"}
+        text = to_prometheus(registry, labels=tricky)
+        ((_, labels, _kind, _value),) = parse_prometheus_samples(text)
+        assert labels == tricky
+
+    def test_bare_name_parse_drops_labels_but_not_values(self):
+        registry = MetricRegistry()
+        registry.increment("probes.sent", 7)
+        text = to_prometheus(registry, labels={"run": "a b c"})
+        parsed = parse_prometheus(text)
+        assert parsed["skeletonhunter_probes_sent_total"] == \
+            ("counter", 7.0)
+
+    def test_format_labels_sorts_keys(self):
+        assert format_labels({"b": "2", "a": "1"}) == \
+            '{a="1",b="2"}'
+        assert format_labels({}) == ""
+
+
+class TestLabelEscaping:
+    def test_the_three_escapes(self):
+        assert escape_label_value("\\") == "\\\\"
+        assert escape_label_value('"') == '\\"'
+        assert escape_label_value("\n") == "\\n"
+
+    def test_unescape_inverts_escape(self):
+        for value in ("", "plain", "\\", '"', "\n", "\\n", "a\\nb",
+                      "\\\\n", 'mix\\"of\nall'):
+            assert unescape_label_value(
+                escape_label_value(value)
+            ) == value
+
+    def test_literal_backslash_n_is_not_a_newline(self):
+        # The raw two characters backslash + n must survive, distinct
+        # from an actual newline.
+        escaped = escape_label_value("\\n")
+        assert escaped == "\\\\n"
+        assert unescape_label_value(escaped) == "\\n"

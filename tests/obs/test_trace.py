@@ -45,6 +45,39 @@ class TestEvents:
         assert kept == [2, 3, 4]
         assert recorder.dropped_events == 2
 
+    def test_max_spans_evicts_oldest_closed(self):
+        recorder = TraceRecorder(max_spans=3)
+        for n in range(5):
+            with recorder.span("work", sim_time=float(n)):
+                pass
+        kept = [s.sim_start for s in recorder.spans()]
+        assert kept == [2.0, 3.0, 4.0]
+        assert recorder.dropped_spans == 2
+        assert recorder.metrics.counter("trace.dropped_spans") == 2.0
+
+    def test_max_spans_never_evicts_open_spans(self):
+        recorder = TraceRecorder(max_spans=1)
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                # Both are open: neither can be evicted, even though
+                # the list transiently exceeds the cap.
+                assert len(recorder.spans()) == 2
+                assert recorder.dropped_spans == 0
+        with recorder.span("after"):
+            pass
+        # Once closed, older spans become evictable.
+        assert [s.name for s in recorder.spans()] == ["after"]
+        assert recorder.dropped_spans == 2
+
+    def test_unbounded_spans_by_default(self):
+        recorder = TraceRecorder()
+        for _ in range(100):
+            with recorder.span("work"):
+                pass
+        assert len(recorder.spans()) == 100
+        assert recorder.dropped_spans == 0
+        assert recorder.metrics.counter("trace.dropped_spans") == 0.0
+
     def test_clear_drops_trace_but_keeps_counters(self):
         recorder = TraceRecorder()
         recorder.event("tick")

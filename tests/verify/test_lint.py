@@ -342,6 +342,80 @@ class TestRetryWithoutBackoff:
         assert violations == []
 
 
+class TestTelemetryWrite:
+    def test_write_open_flagged_in_obs(self):
+        violations = lint("""
+            def dump(rows):
+                with open("trace.out", "w") as handle:
+                    handle.write(str(rows))
+        """, path="src/repro/obs/sink.py")
+        assert [v.rule for v in violations] == ["telemetry-write"]
+        assert "TelemetryBus" in violations[0].message
+
+    def test_write_open_flagged_in_bus(self):
+        violations = lint("""
+            def dump(path, rows):
+                handle = open(path, "w")
+                handle.write(str(rows))
+        """, path="src/repro/bus/sidecar.py")
+        assert [v.rule for v in violations] == ["telemetry-write"]
+
+    def test_append_exclusive_and_update_modes_count_as_writes(self):
+        violations = lint("""
+            a = open("x", "a")
+            b = open("y", "x")
+            c = open("z", "r+")
+        """, path="src/repro/obs/sink.py")
+        assert [v.rule for v in violations] == ["telemetry-write"] * 3
+
+    def test_read_open_is_fine_even_in_scope(self):
+        assert lint("""
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            def load2(path):
+                with open(path, "r") as handle:
+                    return handle.read()
+        """, path="src/repro/bus/loader.py") == []
+
+    def test_dynamic_mode_is_not_flagged(self):
+        assert lint("""
+            def touch(path, mode):
+                return open(path, mode)
+        """, path="src/repro/obs/sink.py") == []
+
+    def test_mode_keyword_argument_is_checked(self):
+        violations = lint(
+            'handle = open("x", mode="w")\n',
+            path="src/repro/bus/sidecar.py",
+        )
+        assert [v.rule for v in violations] == ["telemetry-write"]
+
+    def test_jsonl_literal_write_flagged_anywhere(self):
+        violations = lint("""
+            def dump(rows):
+                with open("run.jsonl", "w") as handle:
+                    handle.write(str(rows))
+        """)
+        assert [v.rule for v in violations] == ["telemetry-write"]
+
+    def test_non_jsonl_write_outside_scope_is_fine(self):
+        assert lint("""
+            def dump(rows):
+                with open("report.txt", "w") as handle:
+                    handle.write(str(rows))
+        """, path="src/repro/cli.py") == []
+
+    def test_recorder_and_export_are_the_sanctioned_paths(self):
+        source = """
+            def persist(path, line):
+                with open(path, "w") as handle:
+                    handle.write(line)
+        """
+        assert lint(source, path="src/repro/bus/recorder.py") == []
+        assert lint(source, path="src/repro/obs/export.py") == []
+
+
 class TestLintPaths:
     def test_fixture_file_fails_and_clean_file_passes(self, tmp_path):
         dirty = tmp_path / "dirty.py"
