@@ -34,7 +34,6 @@ can score what the monitor *should* have been able to see despite it.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -82,9 +81,6 @@ _DEFAULT_DELAY: Dict[MonitorIssue, float] = {
     MonitorIssue.AGENT_SLOW_START: 30.0,
 }
 
-_fault_counter = itertools.count()
-
-
 @dataclass
 class MonitorFault:
     """One scheduled monitor-plane failure.
@@ -105,7 +101,13 @@ class MonitorFault:
     #: warm-up length for ``AGENT_SLOW_START``.
     delay_s: float = 0.0
     culprits: Set[str] = field(default_factory=set)
-    fault_id: int = field(default_factory=lambda: next(_fault_counter))
+    #: Assigned by the injector at :meth:`MonitorFaultInjector.inject`
+    #: when left ``None``.  Ids key every fate draw, so they must be
+    #: run-local (a process-global counter here would make two
+    #: same-seed injectors draw different fates — and two same-seed
+    #: recordings differ byte-wise).  Pin explicitly to make replicas
+    #: built elsewhere agree (cf. ``shard.spec.build_monitor_chaos``).
+    fault_id: Optional[int] = None
 
     def active_at(self, t: float) -> bool:
         """Whether the fault exists at time ``t``."""
@@ -141,6 +143,7 @@ class MonitorFaultInjector:
         self.seed = int(seed)
         self._recorder = recorder
         self._faults: Dict[int, MonitorFault] = {}
+        self._next_fault_id = 0
         self._bus = None
 
     # ------------------------------------------------------------------
@@ -184,7 +187,17 @@ class MonitorFaultInjector:
         )
 
     def inject(self, fault: MonitorFault) -> MonitorFault:
-        """Register a fault (no cluster side effects)."""
+        """Register a fault (no cluster side effects).
+
+        An unpinned fault gets the next run-local id: two same-seed
+        injectors fed the same schedule assign the same ids and hence
+        draw identical fates, whatever else ran in the process.
+        """
+        if fault.fault_id is None:
+            while self._next_fault_id in self._faults:
+                self._next_fault_id += 1
+            fault.fault_id = self._next_fault_id
+            self._next_fault_id += 1
         if not fault.culprits:
             fault.culprits = {_culprit(fault)}
         self._faults[fault.fault_id] = fault

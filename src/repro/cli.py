@@ -9,7 +9,7 @@ Usage::
     python -m repro status [--faults N]
     python -m repro trace [--faults N] [--out FILE] [--explain]
     python -m repro export-metrics [--faults N]
-    python -m repro verify [--issue NAME] [--lint [paths...]]
+    python -m repro verify [--issue NAME] [--lint | --flow [paths...]]
     python -m repro bench [--quick] [--out FILE]
     python -m repro chaos [--quick] [--out FILE]
     python -m repro run [--shards N] [--backend inproc|mp] [--faults N]
@@ -34,6 +34,11 @@ counters and pipeline timings, ``trace`` the JSONL event/span trace
 ``verify`` runs the static fabric-verification passes (zero findings on
 a healthy default cluster; injected inconsistencies are named by
 component) or, with ``--lint``, the determinism lint over the source.
+With ``--flow`` it runs the interprocedural determinism analyzer
+instead: a call-graph taint analysis proving nondeterminism (wall
+clock, unseeded RNG, process identity, unordered iteration) never
+reaches monitor-plane state and that every stochastic value in
+``network``/``chaos``/``workloads`` derives from the keyed-draw API.
 
 ``bench`` measures the probing fast path (batched vs sequential rounds,
 incremental vs full-rebuild detector windows), verifies the fast path is
@@ -815,8 +820,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "export-metrics":
         return _run_export_metrics(args)
     if args.command == "verify":
-        from repro.verify.cli import run_lint, run_verify
+        from repro.verify.cli import run_flow, run_lint, run_verify
 
+        if args.flow:
+            return run_flow(args)
         return run_lint(args) if args.lint else run_verify(args)
     if args.command == "bench":
         return _run_bench(args)

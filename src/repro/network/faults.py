@@ -12,7 +12,6 @@ the paper's manual verification did.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -69,9 +68,6 @@ class Effects:
         )
 
 
-_fault_counter = itertools.count()
-
-
 @dataclass
 class Fault:
     """One injected failure with its data-plane parameters."""
@@ -87,7 +83,11 @@ class Fault:
     flap_duty: float = 0.5
     flow_selector: int = 1  # affect flows with hash % selector == 0
     culprits: Set[str] = field(default_factory=set)
-    fault_id: int = field(default_factory=lambda: next(_fault_counter))
+    #: Assigned by :meth:`FaultInjector.inject` when left ``None``;
+    #: run-local (never a process-global counter) so two same-seed
+    #: runs in one process register identical ids.  Replay re-pins
+    #: recorded ids via ``fault_overrides``.
+    fault_id: Optional[int] = None
     _undo: List[Callable[[], None]] = field(default_factory=list, repr=False)
 
     @property
@@ -136,6 +136,7 @@ class FaultInjector:
     def __init__(self, cluster: Cluster) -> None:
         self._cluster = cluster
         self._faults: Dict[int, Fault] = {}
+        self._next_fault_id = 0
         self._epoch = 0
         # Observers fire as ``observer(action, fault, at)`` with action
         # "inject" or "clear" — the telemetry bus records ground truth
@@ -168,7 +169,16 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def inject(self, fault: Fault) -> Fault:
-        """Register a fault and apply any overlay/table side effects."""
+        """Register a fault and apply any overlay/table side effects.
+
+        An unpinned fault gets the next run-local id, so same-seed
+        runs in one process record byte-identical ground truth.
+        """
+        if fault.fault_id is None:
+            while self._next_fault_id in self._faults:
+                self._next_fault_id += 1
+            fault.fault_id = self._next_fault_id
+            self._next_fault_id += 1
         self._faults[fault.fault_id] = fault
         self._apply_side_effects(fault)
         self._epoch += 1

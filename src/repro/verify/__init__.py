@@ -27,10 +27,28 @@ from repro.verify.framework import (
     VerifierReport,
     default_passes,
 )
+from repro.verify.baseline import FlowBaseline
+from repro.verify.callgraph import CallGraph, CallGraphBuilder
+from repro.verify.contract import ContractChecker, ContractConfig
+from repro.verify.flow import FlowAnalysis, FlowAnalyzer, analyze_package
 from repro.verify.lint import DeterminismLinter, LintViolation, lint_paths
+from repro.verify.resolver import ImportTable
+from repro.verify.taint import Taint, TaintAnalyzer, TaintConfig
 
 __all__ = [
+    "CallGraph",
+    "CallGraphBuilder",
+    "ContractChecker",
+    "ContractConfig",
     "DeterminismLinter",
+    "FlowAnalysis",
+    "FlowAnalyzer",
+    "FlowBaseline",
+    "ImportTable",
+    "Taint",
+    "TaintAnalyzer",
+    "TaintConfig",
+    "analyze_package",
     "FabricVerificationError",
     "FabricVerifier",
     "Finding",

@@ -1,0 +1,198 @@
+"""Committed baselines for flow findings: new ones fail, known ones warn.
+
+A whole-program analyzer adopted onto an existing tree needs a ratchet:
+pre-existing findings someone has *judged* (and recorded a
+justification for) must not block CI, while any **new** finding fails
+immediately.  The baseline file is committed JSON:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "findings": [
+        {
+          "check": "flow.taint-to-sink",
+          "component": "repro.core.analyzer.Analyzer.ingest",
+          "source": "calls time.time() [wall-clock]",
+          "justification": "ticket #42: migrating to sim clock"
+        }
+      ]
+    }
+
+Fingerprints deliberately exclude line numbers (they rot on every
+edit) and match on the check, the blamed function, and the source
+note.  ``repro verify --flow --write-baseline`` regenerates the file
+with empty justifications for a human to fill in; an entry without a
+justification is still accepted but rendered as such, so review
+pressure stays on the author, not the tool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.verify.framework import Finding, Severity, VerifierReport
+
+__all__ = ["BaselineEntry", "FlowBaseline", "fingerprint"]
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    """The stable identity of a finding: (check, component, source)."""
+    return (finding.check, finding.component, _source_note(finding))
+
+
+def _source_note(finding: Finding) -> str:
+    """The source step of the evidence chain, line number stripped."""
+    for detail in finding.details:
+        text = detail.strip()
+        if text.startswith("source") or not text:
+            continue
+        # "path.py:12: note" -> "note"
+        parts = text.split(": ", 1)
+        return parts[1] if len(parts) == 2 else text
+    return ""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding with its recorded justification."""
+
+    check: str
+    component: str
+    source: str
+    justification: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.check, self.component, self.source)
+
+
+@dataclass
+class FlowBaseline:
+    """The committed set of accepted findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: Optional[str] = None
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "FlowBaseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls(path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported flow-baseline version {version!r} in "
+                f"{path} (expected {_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                check=str(row["check"]),
+                component=str(row["component"]),
+                source=str(row.get("source", "")),
+                justification=str(row.get("justification", "")),
+            )
+            for row in payload.get("findings", [])
+        ]
+        return cls(entries=entries, path=path)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the baseline (sorted, stable) and return the path."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        payload = {
+            "version": _VERSION,
+            "findings": [
+                {
+                    "check": e.check,
+                    "component": e.component,
+                    "source": e.source,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    @classmethod
+    def from_report(cls, report: VerifierReport) -> "FlowBaseline":
+        """A baseline accepting every finding of ``report``."""
+        entries = []
+        seen = set()
+        for finding in report.findings:
+            entry = BaselineEntry(
+                check=finding.check,
+                component=finding.component,
+                source=_source_note(finding),
+            )
+            if entry.key in seen:
+                continue
+            seen.add(entry.key)
+            entries.append(entry)
+        return cls(entries=entries)
+
+    # -- application ----------------------------------------------------
+
+    def contains(self, finding: Finding) -> Optional[BaselineEntry]:
+        """The matching entry for a finding, if one is baselined."""
+        key = fingerprint(finding)
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        return None
+
+    def apply(self, report: VerifierReport) -> Dict[str, int]:
+        """Demote baselined findings to WARNING, in place.
+
+        Returns counters: ``new`` (still ERROR), ``accepted``
+        (demoted), ``stale`` (baseline entries matching nothing — a
+        fixed finding whose entry should be deleted).
+        """
+        matched = set()
+        new = accepted = 0
+        for result in report.results:
+            rewritten = []
+            for finding in result.findings:
+                entry = self.contains(finding)
+                if entry is None:
+                    new += 1
+                    rewritten.append(finding)
+                    continue
+                matched.add(entry.key)
+                accepted += 1
+                note = entry.justification or "no justification recorded"
+                rewritten.append(Finding(
+                    check=finding.check,
+                    severity=Severity.WARNING,
+                    component=finding.component,
+                    explanation=(
+                        f"[baseline: {note}] {finding.explanation}"
+                    ),
+                    details=finding.details,
+                ))
+            result.findings = rewritten
+        stale = sum(
+            1 for entry in self.entries if entry.key not in matched
+        )
+        return {"new": new, "accepted": accepted, "stale": stale}
+
+    def stale_entries(
+        self, report: VerifierReport
+    ) -> List[BaselineEntry]:
+        """Entries that no current finding matches."""
+        current = {fingerprint(f) for f in report.findings}
+        # Accepted findings were demoted but keep their fingerprint.
+        return [e for e in self.entries if e.key not in current]

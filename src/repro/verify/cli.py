@@ -11,6 +11,13 @@
     Run the determinism lint over ``src/repro`` (or the given paths).
     Exit status 1 iff any violation.
 
+``python -m repro.verify --flow [root]``
+    Run the interprocedural determinism analyzer (call-graph taint,
+    keyed-draw contract) over the ``repro`` package (or ``root``).
+    ``--baseline``/``--write-baseline`` manage the accepted-findings
+    file; ``--json-out`` writes the machine-readable report.  Exit
+    status 1 iff any non-baselined finding.
+
 The top-level ``repro verify`` subcommand delegates here.
 """
 
@@ -24,12 +31,14 @@ from repro.verify.framework import (
     VerificationContext,
     VerifierReport,
 )
+from repro.verify.flow import run_flow
 from repro.verify.lint import lint_paths
 
 __all__ = [
     "add_verify_arguments",
     "build_default_report",
     "main",
+    "run_flow",
     "run_lint",
     "run_verify",
 ]
@@ -42,9 +51,29 @@ def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the determinism lint instead of the fabric passes",
     )
     parser.add_argument(
+        "--flow", action="store_true",
+        help="run the interprocedural determinism analyzer (call-graph "
+        "taint + keyed-draw contract) instead of the fabric passes",
+    )
+    parser.add_argument(
         "paths", nargs="*",
-        help="files/directories to lint (default: the repro package); "
-        "ignored without --lint",
+        help="files/directories to analyze (default: the repro "
+        "package); ignored without --lint/--flow",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="flow baseline file (default: the committed "
+        "src/repro/verify/flow_baseline.json); only with --flow",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current flow finding into the baseline "
+        "file and exit; only with --flow",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write the machine-readable flow report here; "
+        "only with --flow",
     )
     parser.add_argument(
         "--issue", default=None, metavar="NAME",
@@ -135,6 +164,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     add_verify_arguments(parser)
     args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.lint and args.flow:
+        parser.error("--lint and --flow are mutually exclusive")
+    if args.flow:
+        return run_flow(args)
     if args.lint:
         return run_lint(args)
     return run_verify(args)

@@ -1,0 +1,210 @@
+"""``repro.verify.flow`` — the interprocedural determinism analyzer.
+
+Ties the pieces together: build a call graph over a package
+(:mod:`~repro.verify.callgraph`), run the taint fixpoint
+(:mod:`~repro.verify.taint`), check the keyed-draw contract and sink
+protection (:mod:`~repro.verify.contract`), apply the committed
+baseline (:mod:`~repro.verify.baseline`), and fold everything into the
+same :class:`~repro.verify.framework.VerifierReport` the fabric passes
+use — one report surface, one evidence-chain style.
+
+Entry points::
+
+    PYTHONPATH=src python -m repro.verify --flow
+    PYTHONPATH=src python -m repro verify --flow
+    PYTHONPATH=src python -m repro.verify --flow --write-baseline
+
+Exit status is 1 iff any non-baselined finding survives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.verify.baseline import FlowBaseline
+from repro.verify.callgraph import CallGraph, CallGraphBuilder
+from repro.verify.contract import ContractChecker, ContractConfig
+from repro.verify.framework import PassResult, VerifierReport
+from repro.verify.taint import TaintAnalyzer, TaintConfig
+
+__all__ = [
+    "FlowAnalysis",
+    "FlowAnalyzer",
+    "analyze_package",
+    "default_flow_root",
+    "report_to_json",
+    "run_flow",
+]
+
+
+@dataclass
+class FlowAnalysis:
+    """Everything one flow run produced, for reports and tests."""
+
+    graph: CallGraph
+    taint: TaintAnalyzer
+    report: VerifierReport
+    baseline_stats: Optional[Dict[str, int]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.report.errors()
+
+
+class FlowAnalyzer:
+    """Configurable façade over graph building, taint, and contract."""
+
+    def __init__(
+        self,
+        taint_config: Optional[TaintConfig] = None,
+        contract_config: Optional[ContractConfig] = None,
+    ) -> None:
+        self.taint_config = taint_config or TaintConfig()
+        self.contract_config = contract_config or ContractConfig()
+
+    def analyze_graph(self, graph: CallGraph) -> FlowAnalysis:
+        """Run taint + contract over an already-built graph."""
+        taint = TaintAnalyzer(graph, self.taint_config)
+        taint.analyze()
+        checker = ContractChecker(graph, taint, self.contract_config)
+        sink_result, contract_result = checker.run()
+        stats = PassResult(
+            name="flow.callgraph",
+            checked=len(graph.functions),
+        )
+        report = VerifierReport(
+            results=[stats, sink_result, contract_result]
+        )
+        return FlowAnalysis(graph=graph, taint=taint, report=report)
+
+    def analyze_package(
+        self, root: str, package: Optional[str] = None
+    ) -> FlowAnalysis:
+        """Parse every module under ``root`` and analyze the package."""
+        builder = CallGraphBuilder()
+        count = builder.add_package(root, package=package)
+        if count == 0:
+            raise FileNotFoundError(
+                f"no python modules under {root!r} to analyze"
+            )
+        return self.analyze_graph(builder.build())
+
+    def analyze_sources(
+        self, sources: Dict[str, str]
+    ) -> FlowAnalysis:
+        """Analyze in-memory modules (``dotted name -> source``)."""
+        builder = CallGraphBuilder()
+        for name in sorted(sources):
+            builder.add_source(name, sources[name])
+        return self.analyze_graph(builder.build())
+
+
+def analyze_package(
+    root: Optional[str] = None, package: Optional[str] = None
+) -> FlowAnalysis:
+    """Module-level convenience with the default configuration."""
+    return FlowAnalyzer().analyze_package(
+        root if root is not None else default_flow_root(),
+        package=package,
+    )
+
+
+def default_flow_root() -> str:
+    """The installed ``repro`` package directory (what CI analyzes)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def default_baseline_path() -> str:
+    """The committed baseline next to this module."""
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "flow_baseline.json"
+    )
+
+
+def report_to_json(analysis: FlowAnalysis) -> Dict:
+    """The machine-readable report CI uploads as an artifact."""
+    report = analysis.report
+    return {
+        "version": 1,
+        "functions": len(analysis.graph.functions),
+        "modules": len(analysis.graph.modules),
+        "edges": len(analysis.graph.edges),
+        "passes": [
+            {
+                "name": result.name,
+                "checked": result.checked,
+                "findings": len(result.findings),
+            }
+            for result in report.results
+        ],
+        "findings": [
+            {
+                "check": f.check,
+                "severity": f.severity.value,
+                "component": f.component,
+                "explanation": f.explanation,
+                "evidence": list(f.details),
+            }
+            for f in report.findings
+        ],
+        "baseline": analysis.baseline_stats,
+    }
+
+
+def run_flow(args: argparse.Namespace) -> int:
+    """The ``--flow`` CLI mode; returns the process exit code."""
+    root = args.paths[0] if getattr(args, "paths", None) else None
+    try:
+        analysis = analyze_package(root)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"flow analysis failed: {error}")
+        return 2
+
+    baseline_path = getattr(args, "baseline", None) or \
+        default_baseline_path()
+    if getattr(args, "write_baseline", False):
+        baseline = FlowBaseline.from_report(analysis.report)
+        baseline.save(baseline_path)
+        print(
+            f"wrote {len(baseline.entries)} baseline entr"
+            f"{'y' if len(baseline.entries) == 1 else 'ies'} to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baseline = FlowBaseline.load(baseline_path)
+    stale: List[str] = []
+    if baseline.entries:
+        stale = [
+            f"{e.check}: {e.component} ({e.source})"
+            for e in baseline.stale_entries(analysis.report)
+        ]
+        analysis.baseline_stats = baseline.apply(analysis.report)
+
+    print(analysis.report.render())
+    if analysis.baseline_stats:
+        stats = analysis.baseline_stats
+        print(
+            f"baseline: {stats['accepted']} accepted, "
+            f"{stats['new']} new, {stats['stale']} stale"
+        )
+    for entry in stale:
+        print(f"stale baseline entry (fixed? delete it): {entry}")
+
+    json_out = getattr(args, "json_out", None)
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(report_to_json(analysis), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_out}")
+
+    errors = analysis.report.errors()
+    if getattr(args, "warnings_as_errors", False):
+        errors = errors + analysis.report.warnings()
+    return 1 if errors else 0

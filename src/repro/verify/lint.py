@@ -66,8 +66,16 @@ verification exists to surface.  This linter walks the AST of
     forked worker any of these is a covert per-process input that makes
     shard results depend on which process ran them.
 
-A trailing ``# lint: allow(<rule>)`` comment suppresses one line; the
-shipped tree carries zero suppressions, and the pytest in
+Spelled names are canonicalized through the shared
+:class:`~repro.verify.resolver.ImportTable` before any rule matches,
+so ``from time import time``, ``import numpy.random as npr``, and
+``from datetime import datetime as dt`` are caught the same as their
+fully-spelled forms — the alias gray zone the PR-2 lint left open.
+
+A trailing ``# lint: allow(<rule>[, <rule>...])`` comment suppresses
+one line; naming a rule the linter doesn't know is itself a violation
+(``unknown-suppression``), so a typo can't silently disable a check.
+The shipped tree carries zero suppressions, and the pytest in
 ``tests/verify/test_lint.py`` keeps it that way.  Run standalone with
 ``python -m repro.verify --lint [paths...]``.
 """
@@ -75,9 +83,14 @@ shipped tree carries zero suppressions, and the pytest in
 from __future__ import annotations
 
 import ast
+import io
 import os
+import re
+import tokenize
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.verify.resolver import ImportTable, dotted_name as _dotted_name
 
 __all__ = [
     "DeterminismLinter",
@@ -94,6 +107,19 @@ _SHARED_DEFAULT = "shared-instance-default"
 _WORKER_DETERMINISM = "worker-determinism"
 _RETRY_NO_BACKOFF = "retry-without-backoff"
 _TELEMETRY_WRITE = "telemetry-write"
+_UNKNOWN_SUPPRESSION = "unknown-suppression"
+
+#: Every rule a suppression comment may legally name.
+_KNOWN_RULES = frozenset({
+    _WALL_CLOCK,
+    _UNSEEDED,
+    _BROAD_EXCEPT,
+    _MUTABLE_DEFAULT,
+    _SHARED_DEFAULT,
+    _WORKER_DETERMINISM,
+    _RETRY_NO_BACKOFF,
+    _TELEMETRY_WRITE,
+})
 
 #: Dotted-call suffixes that read the wall clock.
 _WALL_CLOCK_CALLS = (
@@ -166,18 +192,6 @@ class LintViolation:
                f"{self.message}"
 
 
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
 def _is_mutable_default(node: ast.AST) -> bool:
     if isinstance(node, (ast.List, ast.Dict, ast.Set,
                          ast.ListComp, ast.DictComp, ast.SetComp)):
@@ -247,6 +261,7 @@ class _Visitor(ast.NodeVisitor):
         allowed: Dict[int, set],
         telemetry_scoped: bool = False,
         telemetry_exempt: bool = False,
+        imports: Optional[ImportTable] = None,
     ) -> None:
         self.path = path
         self.rng_exempt = rng_exempt
@@ -254,6 +269,7 @@ class _Visitor(ast.NodeVisitor):
         self.telemetry_scoped = telemetry_scoped
         self.telemetry_exempt = telemetry_exempt
         self.allowed = allowed
+        self.imports = imports if imports is not None else ImportTable()
         self.violations: List[LintViolation] = []
         #: Simple names handed to multiprocessing as entry points.
         self.worker_names: set = set()
@@ -279,12 +295,21 @@ class _Visitor(ast.NodeVisitor):
     # -- calls: wall clock and randomness ------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
-        dotted = _dotted_name(node.func)
-        if dotted is not None:
-            self._check_call(node, dotted)
+        spelled = _dotted_name(node.func)
+        resolved = None
+        if spelled is not None:
+            resolved = self.imports.resolve(spelled)
+            self._check_call(node, resolved, spelled)
         self._check_telemetry_write(node)
-        self._collect_worker_targets(node, dotted)
+        self._collect_worker_targets(node, resolved)
         self.generic_visit(node)
+
+    def _spell(self, spelled: str, resolved: str) -> str:
+        """Display form: the spelled name, plus what it resolves to
+        when an import alias hides the canonical path."""
+        if resolved == spelled:
+            return spelled
+        return f"{spelled} (= {resolved})"
 
     def _check_telemetry_write(self, node: ast.Call) -> None:
         """Direct ``open(..., "w")`` telemetry writes bypass the bus
@@ -323,19 +348,22 @@ class _Visitor(ast.NodeVisitor):
             if node.args and isinstance(node.args[0], ast.Name):
                 self.worker_names.add(node.args[0].id)
 
-    def _check_call(self, node: ast.Call, dotted: str) -> None:
+    def _check_call(
+        self, node: ast.Call, dotted: str, spelled: str
+    ) -> None:
+        label = self._spell(spelled, dotted)
         for forbidden in _WALL_CLOCK_CALLS:
             if dotted == forbidden or dotted.endswith("." + forbidden):
                 self._emit(
                     node, _WALL_CLOCK,
-                    f"call to {dotted}() reads the wall clock; sim "
+                    f"call to {label}() reads the wall clock; sim "
                     "code must take time from the simulation engine",
                 )
                 return
         if dotted.startswith("random.") or dotted == "random.random":
             self._emit(
                 node, _UNSEEDED,
-                f"call to {dotted}() uses the global stdlib RNG; "
+                f"call to {label}() uses the global stdlib RNG; "
                 "draw from a named RngRegistry stream instead",
             )
             return
@@ -344,7 +372,7 @@ class _Visitor(ast.NodeVisitor):
                 if dotted.startswith(root):
                     self._emit(
                         node, _UNSEEDED,
-                        f"call to {dotted}() touches numpy's global "
+                        f"call to {label}() touches numpy's global "
                         "RNG machinery outside sim/rng.py; draw from "
                         "a named RngRegistry stream instead",
                     )
@@ -502,9 +530,10 @@ class _Visitor(ast.NodeVisitor):
                 for sub in ast.walk(definition):
                     if not isinstance(sub, ast.Call):
                         continue
-                    dotted = _dotted_name(sub.func)
-                    if dotted is None:
+                    spelled = _dotted_name(sub.func)
+                    if spelled is None:
                         continue
+                    dotted = self.imports.resolve(spelled)
                     for forbidden in _WORKER_FORBIDDEN_CALLS:
                         if dotted == forbidden or dotted.endswith(
                             "." + forbidden
@@ -512,27 +541,62 @@ class _Visitor(ast.NodeVisitor):
                             self._emit(
                                 sub, _WORKER_DETERMINISM,
                                 f"worker entry point '{name}' calls "
-                                f"{dotted}(); per-process inputs make "
-                                "shard results depend on which "
-                                "process ran them",
+                                f"{self._spell(spelled, dotted)}(); "
+                                "per-process inputs make shard "
+                                "results depend on which process "
+                                "ran them",
                             )
 
 
-def _allowed_lines(source: str) -> Dict[int, set]:
-    """Per-line rule suppressions from ``# lint: allow(rule)`` comments."""
-    allowed: Dict[int, set] = {}
-    for number, text in enumerate(source.splitlines(), start=1):
-        marker = "# lint: allow("
-        index = text.find(marker)
-        if index < 0:
+def _allowed_lines(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Per-line rule suppressions from ``# lint: allow(rule, ...)``.
+
+    Returns ``(allowed, unknown)``: the per-line sets of *known* rule
+    names, and every ``(line, name)`` pair naming a rule the linter
+    does not have.  Unknown names never suppress anything — a typo'd
+    ``allow(wallclock)`` would otherwise silently disable nothing
+    while its author believes the line is covered.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    unknown: List[Tuple[int, str]] = []
+    for number, text in _comment_tokens(source):
+        match = re.match(r"#\s*lint:\s*allow\((?P<rules>[^)]*)\)", text)
+        if match is None:
+            if re.match(r"#\s*lint:\s*allow\b", text):
+                unknown.append((number, "<unclosed>"))
             continue
-        rest = text[index + len(marker):]
-        close = rest.find(")")
-        if close < 0:
-            continue
-        rules = {r.strip() for r in rest[:close].split(",") if r.strip()}
-        allowed[number] = rules
-    return allowed
+        rules = {
+            r.strip()
+            for r in match.group("rules").split(",")
+            if r.strip()
+        }
+        for rule in sorted(rules - _KNOWN_RULES):
+            unknown.append((number, rule))
+        known = rules & _KNOWN_RULES
+        if known:
+            allowed[number] = known
+    return allowed, unknown
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """Every ``(line, text)`` comment in ``source``.
+
+    Tokenizing (rather than scanning lines) keeps docstrings and
+    string literals that merely *mention* the suppression marker from
+    being parsed as suppressions.
+    """
+    comments: List[Tuple[int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable tail: the AST pass reports the syntax error.
+        pass
+    return comments
 
 
 class DeterminismLinter:
@@ -564,6 +628,7 @@ class DeterminismLinter:
                 message=str(error.msg),
             )]
         normalized = path.replace(os.sep, "/")
+        allowed, unknown = _allowed_lines(source)
         visitor = _Visitor(
             path=path,
             rng_exempt=any(
@@ -582,10 +647,19 @@ class DeterminismLinter:
                 normalized.endswith(suffix)
                 for suffix in self.telemetry_exempt_suffixes
             ),
-            allowed=_allowed_lines(source),
+            allowed=allowed,
+            imports=ImportTable.from_tree(tree),
         )
         visitor.visit(tree)
         visitor.check_workers()
+        for line, rule in unknown:
+            visitor.violations.append(LintViolation(
+                path=path, line=line, col=0,
+                rule=_UNKNOWN_SUPPRESSION,
+                message=f"allow({rule}) names no known lint rule; "
+                        "known rules: "
+                        + ", ".join(sorted(_KNOWN_RULES)),
+            ))
         return sorted(
             visitor.violations, key=lambda v: (v.line, v.col, v.rule)
         )

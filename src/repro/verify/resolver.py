@@ -1,0 +1,131 @@
+"""Import/alias resolution shared by the lint and the flow analyzer.
+
+Both static passes need the same primitive: given the dotted name a
+call site *spells* (``dt.now``, ``npr.rand``, ``time``), recover the
+name it *means* (``datetime.datetime.now``, ``numpy.random.rand``,
+``time.time``).  The PR-2 lint matched spelled names only, so
+``from time import time`` and ``import numpy.random as npr`` walked
+straight past the ``wall-clock``/``unseeded-random`` rules — exactly
+the indirection gray failures hide behind.  One :class:`ImportTable`
+per module now feeds both passes, so an alias that evades one evades
+neither.
+
+The table is deliberately syntactic: it resolves what the import
+statements of one module declare, without executing anything.  Names
+bound by assignment (``t = time.time``) are the flow analyzer's job
+(it tracks values); names bound by imports are this module's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+__all__ = ["ImportTable", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportTable:
+    """Maps the names one module binds via imports to canonical paths.
+
+    >>> table = ImportTable.from_source(
+    ...     "import numpy.random as npr\\n"
+    ...     "from time import time\\n"
+    ...     "from datetime import datetime as dt\\n")
+    >>> table.resolve("npr.rand")
+    'numpy.random.rand'
+    >>> table.resolve("time")
+    'time.time'
+    >>> table.resolve("dt.now")
+    'datetime.datetime.now'
+    >>> table.resolve("unbound.name")
+    'unbound.name'
+    """
+
+    def __init__(self) -> None:
+        #: local name -> canonical dotted path it is bound to.
+        self.aliases: Dict[str, str] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportTable":
+        """Collect every import binding anywhere in ``tree``.
+
+        Function-local imports are folded into the same table: for
+        alias resolution a wrong *scope* is harmless (worst case a
+        name resolves that would have raised ``NameError``), while a
+        missed binding is exactly the evasion being closed.
+        """
+        table = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                table._add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                table._add_import_from(node)
+        return table
+
+    @classmethod
+    def from_source(cls, source: str) -> "ImportTable":
+        """Convenience wrapper over :meth:`from_tree`."""
+        return cls.from_tree(ast.parse(source))
+
+    def _add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                # ``import numpy.random as npr``: npr -> numpy.random
+                self.aliases[alias.asname] = alias.name
+            else:
+                # ``import numpy.random`` binds ``numpy``; the spelled
+                # call already carries the canonical prefix, so the
+                # identity binding just marks the name as a module.
+                root = alias.name.split(".", 1)[0]
+                self.aliases.setdefault(root, root)
+
+    def _add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            # Relative imports stay package-internal; the call graph
+            # resolves those against the package itself.
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, spelled: str) -> str:
+        """The canonical dotted path for a spelled dotted name.
+
+        The first segment is looked up in the alias table; the rest of
+        the chain rides along unchanged.  Unknown roots resolve to
+        themselves, so resolution is always safe to apply.
+        """
+        root, sep, rest = spelled.partition(".")
+        target = self.aliases.get(root)
+        if target is None:
+            return spelled
+        return f"{target}{sep}{rest}" if rest else target
+
+    def resolve_node(self, node: ast.AST) -> Optional[str]:
+        """Resolve a call's ``func`` node straight to a canonical path."""
+        spelled = dotted_name(node)
+        if spelled is None:
+            return None
+        return self.resolve(spelled)
+
+    def local_names(self) -> Iterable[str]:
+        """The names this module binds via imports (sorted)."""
+        return sorted(self.aliases)

@@ -122,6 +122,47 @@ class TestProbeReport:
 
         assert report_fates(build()) == report_fates(build())
 
+    def test_unpinned_fault_ids_are_run_local(self):
+        """Regression: ids used to come from a process-global counter,
+        so two same-seed injectors built in one process numbered their
+        faults differently — and drew different fates from the very
+        same schedule."""
+        def run():
+            injector = MonitorFaultInjector(seed=42)
+            ids = [
+                injector.inject_issue(
+                    MonitorIssue.PROBE_REPORT_LOSS,
+                    start=0.0, rate=0.3,
+                ).fault_id
+                for _ in range(3)
+            ]
+            return ids, report_fates(injector)
+
+        first = run()
+        # An interleaved, differently-seeded run must not shift the
+        # next run's ids (the global counter did exactly that).
+        MonitorFaultInjector(seed=99).inject_issue(
+            MonitorIssue.PROBE_REPORT_LOSS, start=0.0
+        )
+        second = run()
+        assert first[0] == [0, 1, 2]
+        assert first == second
+
+    def test_auto_allocation_skips_pinned_ids(self):
+        injector = MonitorFaultInjector(seed=0)
+        injector.inject_issue(
+            MonitorIssue.TELEMETRY_DROP, start=0.0, fault_id=0,
+        )
+        injector.inject_issue(
+            MonitorIssue.TELEMETRY_DROP, start=0.0, fault_id=1,
+        )
+        fault = injector.inject_issue(
+            MonitorIssue.TELEMETRY_DROP, start=0.0,
+        )
+        assert fault.fault_id == 2
+        assert sorted(f.fault_id for f in injector.all_faults()) == \
+            [0, 1, 2]
+
     def test_fates_depend_on_fault_id(self):
         def build(fault_id):
             injector = MonitorFaultInjector(seed=42)

@@ -119,6 +119,38 @@ class TestInjection:
         assert str(topology.spines[0]) in truth
 
 
+class TestFaultIds:
+    def test_unpinned_ids_are_run_local(self, cluster, rnic):
+        """Regression: ids used to come from a process-global counter,
+        so ground-truth payloads differed between two same-seed runs
+        in one process."""
+        def run():
+            injector = FaultInjector(cluster)
+            ids = []
+            for start in (10.0, 20.0, 30.0):
+                fault = Fault(IssueType.CRC_ERROR, rnic, start=start)
+                assert fault.fault_id is None
+                ids.append(injector.inject(fault).fault_id)
+                injector.clear(fault, at=start + 1.0)
+            return ids
+
+        first = run()
+        second = run()
+        assert first == [0, 1, 2]
+        assert first == second
+
+    def test_pinned_ids_are_respected_and_skipped(self, cluster, rnic):
+        injector = FaultInjector(cluster)
+        pinned = Fault(
+            IssueType.CRC_ERROR, rnic, start=0.0, fault_id=0
+        )
+        injector.inject(pinned)
+        fresh = injector.inject(
+            Fault(IssueType.CRC_ERROR, rnic, start=1.0)
+        )
+        assert fresh.fault_id == 1
+
+
 class TestSideEffects:
     def test_offloading_failure_forces_software_path(
         self, injector, cluster, rnic

@@ -1,10 +1,27 @@
 """Tests for the verify CLI and the SkeletonHunter wiring."""
 
+import json
+
 import pytest
 
 from repro.cli import main as repro_main
 from repro.verify.cli import build_default_report, main as verify_main
 from repro.verify.framework import FabricVerificationError
+
+
+@pytest.fixture
+def dirty_package(tmp_path):
+    """A throwaway package with one keyed-draw-contract violation."""
+    root = tmp_path / "demo"
+    (root / "network").mkdir(parents=True)
+    (root / "__init__.py").write_text("")
+    (root / "network" / "__init__.py").write_text("")
+    (root / "network" / "noise.py").write_text(
+        "import numpy.random as npr\n"
+        "def jitter():\n"
+        "    return npr.normal()\n"
+    )
+    return root
 
 
 class TestVerifyCli:
@@ -60,6 +77,68 @@ class TestVerifyCli:
             num_containers=2, gpus_per_container=2,
         )
         assert report.ok
+
+
+class TestFlowCli:
+    def test_flow_mode_is_clean_on_the_package(self, capsys):
+        code = verify_main(["--flow"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flow.keyed-draw-contract" in out
+        assert "0 finding(s)" in out
+
+    def test_flow_mode_fails_on_contract_violation(self, dirty_package,
+                                                   capsys):
+        code = verify_main(["--flow", str(dirty_package)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "numpy.random.normal" in out
+        assert "keyed-draw-contract" in out
+
+    def test_write_baseline_then_rerun_passes(self, dirty_package,
+                                              tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        code = verify_main([
+            "--flow", str(dirty_package),
+            "--baseline", str(baseline), "--write-baseline",
+        ])
+        assert code == 0
+        assert baseline.exists()
+
+        code = verify_main([
+            "--flow", str(dirty_package), "--baseline", str(baseline),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline: 1 accepted, 0 new, 0 stale" in out
+
+    def test_json_out_writes_the_report(self, dirty_package, tmp_path):
+        out_path = tmp_path / "flow.json"
+        code = verify_main([
+            "--flow", str(dirty_package), "--json-out", str(out_path),
+        ])
+        assert code == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"]
+        assert payload["findings"][0]["check"] == \
+            "flow.keyed-draw-contract"
+
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        code = verify_main(["--flow", str(empty)])
+        assert code == 2
+        assert "failed" in capsys.readouterr().out
+
+    def test_lint_and_flow_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            verify_main(["--lint", "--flow"])
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_top_level_flow_subcommand(self, dirty_package, capsys):
+        assert repro_main(["verify", "--flow", str(dirty_package)]) == 1
+        assert "keyed-draw-contract" in capsys.readouterr().out
 
 
 class TestVerifyOnStart:

@@ -80,6 +80,78 @@ class TestUnseededRandom:
         assert violations == []
 
 
+class TestAliasEvasion:
+    """The resolver closes the import-alias gray zone: a forbidden
+    call is caught however the import spells it."""
+
+    def test_from_time_import_time(self):
+        violations = lint("""
+            from time import time
+            def stamp():
+                return time()
+        """)
+        assert [v.rule for v in violations] == ["wall-clock"]
+        assert "time (= time.time)" in violations[0].message
+
+    def test_numpy_random_module_alias(self):
+        violations = lint("""
+            import numpy.random as npr
+            x = npr.rand(3)
+        """)
+        assert [v.rule for v in violations] == ["unseeded-random"]
+        assert "numpy.random.rand" in violations[0].message
+
+    def test_datetime_class_alias(self):
+        violations = lint("""
+            from datetime import datetime as dt
+            x = dt.now()
+        """)
+        assert [v.rule for v in violations] == ["wall-clock"]
+        assert "datetime.datetime.now" in violations[0].message
+
+    def test_from_numpy_random_import_member(self):
+        violations = lint("""
+            from numpy.random import rand
+            x = rand(3)
+        """)
+        assert [v.rule for v in violations] == ["unseeded-random"]
+
+    def test_stdlib_random_member_alias(self):
+        violations = lint("""
+            from random import random as rnd
+            x = rnd()
+        """)
+        # The import and the aliased call are both flagged.
+        assert [v.rule for v in violations] == ["unseeded-random"] * 2
+
+    def test_aliased_monotonic_timers_stay_allowed(self):
+        assert lint("""
+            from time import perf_counter, monotonic
+            a = perf_counter()
+            b = monotonic()
+        """) == []
+
+    def test_worker_determinism_sees_through_aliases(self):
+        violations = lint("""
+            import multiprocessing as mp
+            from os import getpid as pid
+
+            def worker(conn):
+                return pid()
+
+            def launch():
+                return mp.Process(target=worker)
+        """)
+        assert [v.rule for v in violations] == ["worker-determinism"]
+        assert "os.getpid" in violations[0].message
+
+    def test_rng_module_exemption_survives_aliasing(self):
+        assert lint("""
+            import numpy.random as npr
+            gen = npr.default_rng(7)
+        """, path="src/repro/sim/rng.py") == []
+
+
 class TestBroadExcept:
     def test_flagged_inside_core(self):
         source = """
@@ -269,6 +341,58 @@ class TestSuppressionsAndErrors:
         """)
         assert len(violations) == 1
         assert violations[0].line == 4
+
+    def test_comma_separated_rule_list(self):
+        violations = lint(
+            "import time\n"
+            "a = time.time()"
+            "  # lint: allow(wall-clock, unseeded-random)\n"
+        )
+        assert violations == []
+
+    def test_unknown_rule_name_is_a_violation_and_never_suppresses(self):
+        violations = lint("""
+            import time
+            a = time.time()  # lint: allow(wallclock)
+        """)
+        assert sorted(v.rule for v in violations) == [
+            "unknown-suppression", "wall-clock",
+        ]
+        unknown = [v for v in violations
+                   if v.rule == "unknown-suppression"][0]
+        assert "wallclock" in unknown.message
+        assert "wall-clock" in unknown.message  # lists the known rules
+
+    def test_mixed_known_and_unknown_rules(self):
+        violations = lint("""
+            import time
+            a = time.time()  # lint: allow(wall-clock, wallclock)
+        """)
+        # The known rule still suppresses; the typo is still flagged.
+        assert [v.rule for v in violations] == ["unknown-suppression"]
+
+    def test_unclosed_allow_is_flagged(self):
+        violations = lint("""
+            import time
+            a = time.time()  # lint: allow(wall-clock
+        """)
+        assert sorted(v.rule for v in violations) == [
+            "unknown-suppression", "wall-clock",
+        ]
+
+    def test_marker_inside_string_literal_is_ignored(self):
+        violations = lint(
+            'MARKER = "# lint: allow(fake-rule)"\n'
+        )
+        assert violations == []
+
+    def test_marker_inside_docstring_is_ignored(self):
+        violations = lint('''
+            def f():
+                """Suppress with ``# lint: allow(fake-rule)``."""
+                return 1
+        ''')
+        assert violations == []
 
     def test_syntax_error_is_reported_not_raised(self):
         violations = lint("def broken(:\n")

@@ -1,0 +1,74 @@
+"""Tests for the shared import/alias resolver."""
+
+import ast
+
+from repro.verify.resolver import ImportTable, dotted_name
+
+
+class TestDottedName:
+    def test_attribute_chain(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(node) == "a.b.c"
+
+    def test_plain_name(self):
+        node = ast.parse("x", mode="eval").body
+        assert dotted_name(node) == "x"
+
+    def test_non_name_root_is_none(self):
+        node = ast.parse("f().attr", mode="eval").body
+        assert dotted_name(node) is None
+
+
+class TestImportTable:
+    def test_module_alias(self):
+        table = ImportTable.from_source("import numpy.random as npr\n")
+        assert table.resolve("npr.rand") == "numpy.random.rand"
+
+    def test_from_import_binds_member(self):
+        table = ImportTable.from_source("from time import time\n")
+        assert table.resolve("time") == "time.time"
+
+    def test_from_import_with_alias(self):
+        table = ImportTable.from_source(
+            "from datetime import datetime as dt\n"
+        )
+        assert table.resolve("dt.now") == "datetime.datetime.now"
+
+    def test_plain_import_is_identity(self):
+        table = ImportTable.from_source("import time\n")
+        assert table.resolve("time.time") == "time.time"
+
+    def test_dotted_import_binds_root(self):
+        table = ImportTable.from_source("import numpy.random\n")
+        assert table.resolve("numpy.random.rand") == "numpy.random.rand"
+
+    def test_unknown_root_resolves_to_itself(self):
+        table = ImportTable.from_source("import os\n")
+        assert table.resolve("pathlib.Path") == "pathlib.Path"
+
+    def test_relative_imports_are_skipped(self):
+        table = ImportTable.from_source("from . import helpers\n")
+        assert table.resolve("helpers.go") == "helpers.go"
+
+    def test_star_imports_are_skipped(self):
+        table = ImportTable.from_source("from os.path import *\n")
+        assert table.resolve("join") == "join"
+
+    def test_function_local_imports_are_folded_in(self):
+        table = ImportTable.from_source(
+            "def f():\n"
+            "    from time import time\n"
+            "    return time()\n"
+        )
+        assert table.resolve("time") == "time.time"
+
+    def test_resolve_node(self):
+        table = ImportTable.from_source("import numpy as np\n")
+        call = ast.parse("np.random.rand(3)", mode="eval").body
+        assert table.resolve_node(call.func) == "numpy.random.rand"
+
+    def test_local_names_sorted(self):
+        table = ImportTable.from_source(
+            "import zlib\nimport abc\n"
+        )
+        assert list(table.local_names()) == ["abc", "zlib"]
