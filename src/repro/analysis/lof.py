@@ -25,21 +25,28 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["IncrementalLOF", "local_outlier_factor", "lof_score_of_new_point"]
+__all__ = [
+    "IncrementalLOF",
+    "local_outlier_factor",
+    "lof_score_of_new_point",
+    "lof_scores_fixed_batch",
+]
 
 
 def _pairwise_distances(points: np.ndarray) -> np.ndarray:
     """Euclidean distance matrix, shape (n, n).
 
-    Uses ``||a - b||² = ||a||² + ||b||² - 2·a·b`` so the work is one
-    BLAS matmul instead of materializing the (n, n, d) difference
-    tensor; cancellation can push a square slightly negative, hence the
-    clamp before the root.
+    Materializes the (n, n, d) difference tensor and contracts it with
+    one einsum.  The ``||a||² + ||b||² - 2·a·b`` identity would be one
+    BLAS matmul instead, but its cancellation error grows with the
+    point magnitudes; the explicit form keeps every caller — the batch
+    references here, :class:`IncrementalLOF`, and
+    :func:`lof_scores_fixed_batch` — on the *same* contraction kernel,
+    so their scores agree bit-for-bit.  n is a look-back (tens), so the
+    tensor stays small.
     """
-    sq = np.einsum("ij,ij->i", points, points)
-    d2 = sq[:, None] + sq[None, :] - 2.0 * (points @ points.T)
-    np.maximum(d2, 0.0, out=d2)
-    return np.sqrt(d2)
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt(np.einsum("ijd,ijd->ij", diff, diff))
 
 
 def local_outlier_factor(points: np.ndarray, k: int = 5) -> np.ndarray:
@@ -109,11 +116,67 @@ def lof_score_of_new_point(
     with np.errstate(divide="ignore"):
         lrd_hist = 1.0 / np.maximum(reach_hist.mean(axis=1), 1e-12)
 
-    dist_cand = np.sqrt(np.sum((hist - cand) ** 2, axis=1))
+    diff_cand = hist - cand
+    dist_cand = np.sqrt(np.einsum("nd,nd->n", diff_cand, diff_cand))
     order_cand = np.argsort(dist_cand)[:k]
     reach_cand = np.maximum(k_distance[order_cand], dist_cand[order_cand])
     lrd_cand = 1.0 / max(float(reach_cand.mean()), 1e-12)
     return float(lrd_hist[order_cand].mean() / lrd_cand)
+
+
+def lof_scores_fixed_batch(
+    histories: np.ndarray, candidates: np.ndarray, k: int = 5
+) -> np.ndarray:
+    """LOF of ``candidates[i]`` against ``histories[i]`` for every i.
+
+    The batched form of :func:`lof_score_of_new_point` the columnar
+    detector uses: ``histories`` is a (B, n, d) stack of per-pair
+    reference sets that all hold the *same* number of points n (the
+    caller buckets by count), ``candidates`` is the matching (B, d)
+    block of new windows.  Every arithmetic step mirrors
+    :meth:`IncrementalLOF.score` over the same cached quantities —
+    explicit-difference distances through the same einsum contraction
+    kernel, reach means divided by ``k_eff`` and clamped at 1e-12 — so
+    per-row results agree with the incremental state bit-for-bit.
+    Rows with n < 2 score a neutral 1.0.
+    """
+    hist = np.asarray(histories, dtype=np.float64)
+    cand = np.asarray(candidates, dtype=np.float64)
+    if hist.ndim != 3 or cand.ndim != 2:
+        raise ValueError("histories must be (B, n, d), candidates (B, d)")
+    batch, n, _ = hist.shape
+    if batch == 0:
+        return np.empty(0)
+    if n < 2:
+        return np.ones(batch)
+    k_eff = max(1, min(k, n - 1))
+
+    diff = hist[:, :, None, :] - hist[:, None, :, :]
+    dist = np.sqrt(np.einsum("bnmd,bnmd->bnm", diff, diff))
+    rows = np.arange(n)
+    dist[:, rows, rows] = np.inf
+
+    # Per-row k-distance and local reachability density of the
+    # reference points (same formulas as IncrementalLOF._refresh_all).
+    idx = np.argpartition(dist, k_eff - 1, axis=2)[:, :, :k_eff]
+    vals = np.take_along_axis(dist, idx, axis=2)
+    kd = vals.max(axis=2)
+    b_ix = np.arange(batch)[:, None, None]
+    reach = np.maximum(kd[b_ix, idx], vals)
+    lrd = 1.0 / np.maximum(
+        np.add.reduce(reach, axis=2) / k_eff, 1e-12
+    )
+
+    # Candidate side (IncrementalLOF.score).
+    diff_c = hist - cand[:, None, :]
+    d_c = np.sqrt(np.einsum("bnd,bnd->bn", diff_c, diff_c))
+    nn = np.argpartition(d_c, k_eff - 1, axis=1)[:, :k_eff]
+    flat = np.arange(batch)[:, None]
+    reach_c = np.maximum(kd[flat, nn], np.take_along_axis(d_c, nn, axis=1))
+    lrd_c = 1.0 / np.maximum(
+        np.add.reduce(reach_c, axis=1) / k_eff, 1e-12
+    )
+    return np.add.reduce(lrd[flat, nn], axis=1) / k_eff / lrd_c
 
 
 class IncrementalLOF:
@@ -143,7 +206,6 @@ class IncrementalLOF:
         self.capacity = capacity
         self._n = 0
         self._pts: Optional[np.ndarray] = None    # (cap, d) buffer
-        self._sq: Optional[np.ndarray] = None     # (cap,) squared norms
         self._dist: Optional[np.ndarray] = None   # (cap, cap), inf diag
         self._k_distance: Optional[np.ndarray] = None
         self._lrd: Optional[np.ndarray] = None
@@ -164,18 +226,16 @@ class IncrementalLOF:
 
     def _allocate(self, size: int, dim: int) -> None:
         pts = np.empty((size, dim))
-        sq = np.empty(size)
         dist = np.full((size, size), np.inf)
         kd = np.full(size, np.inf)
         lrd = np.zeros(size)
         if self._n:
             m = self._n
             pts[:m] = self._pts[:m]
-            sq[:m] = self._sq[:m]
             dist[:m, :m] = self._dist[:m, :m]
             kd[:m] = self._k_distance[:m]
             lrd[:m] = self._lrd[:m]
-        self._pts, self._sq, self._dist = pts, sq, dist
+        self._pts, self._dist = pts, dist
         self._k_distance, self._lrd = kd, lrd
 
     def append(self, point: np.ndarray) -> None:
@@ -201,7 +261,6 @@ class IncrementalLOF:
                 self._k_distance[:n - 1] = self._k_distance[1:n]
                 self._lrd[:n - 1] = self._lrd[1:n]
             self._pts[:n - 1] = self._pts[1:n]
-            self._sq[:n - 1] = self._sq[1:n]
             self._dist[:n - 1, :n - 1] = self._dist[1:n, 1:n]
             n -= 1
         elif n == self._pts.shape[0]:
@@ -210,11 +269,9 @@ class IncrementalLOF:
                 grown = min(grown, self.capacity)
             self._allocate(grown, self._pts.shape[1])
 
-        d_new = np.sqrt(np.maximum(
-            self._sq[:n] + float(p @ p) - 2.0 * (self._pts[:n] @ p), 0.0
-        ))
+        d_row = self._pts[:n] - p
+        d_new = np.sqrt(np.einsum("nd,nd->n", d_row, d_row))
         self._pts[n] = p
-        self._sq[n] = float(p @ p)
         self._dist[n, :n] = d_new
         self._dist[:n, n] = d_new
         self._dist[n, n] = np.inf
@@ -295,11 +352,8 @@ class IncrementalLOF:
             return 1.0
         cand = np.asarray(candidate, dtype=np.float64).ravel()
         k_eff = min(self.k, n - 1)
-        d_c = np.sqrt(np.maximum(
-            self._sq[:n] + float(cand @ cand)
-            - 2.0 * (self._pts[:n] @ cand),
-            0.0,
-        ))
+        diff_c = self._pts[:n] - cand
+        d_c = np.sqrt(np.einsum("nd,nd->n", diff_c, diff_c))
         nn = np.argpartition(d_c, k_eff - 1)[:k_eff]
         reach = np.maximum(self._k_distance[nn], d_c[nn])
         lrd_cand = 1.0 / max(

@@ -21,8 +21,10 @@ __all__ = [
     "LognormalFit",
     "ZTestResult",
     "fit_lognormal",
+    "fit_lognormal_rows",
     "lognormal_goodness",
     "z_test",
+    "z_test_rows",
 ]
 
 
@@ -94,6 +96,71 @@ def z_test(fit: LognormalFit, window: Sequence[float]) -> ZTestResult:
         z=float(z), p_value=p,
         sample_mean_log=sample_mean, reference_mu=fit.mu,
     )
+
+
+def _masked_log_moments(
+    values: np.ndarray, counts: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Row-wise (log-mean, ddof=1 log-std, mask) of a padded matrix.
+
+    ``values`` is (R, C) with row i holding ``counts[i]`` positive
+    latencies followed by padding (any value ≥ 0 works; pads are
+    masked out of every reduction).  The moments mirror
+    :func:`fit_lognormal` — two-pass mean/variance over logs — so a
+    batched fit agrees with the scalar one to float rounding.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    n = np.asarray(counts, dtype=np.int64)
+    if vals.ndim != 2:
+        raise ValueError("values must be a 2-D padded matrix")
+    if np.any(n < 2):
+        raise ValueError("every row needs at least two samples")
+    mask = np.arange(vals.shape[1])[None, :] < n[:, None]
+    if np.any(np.where(mask, vals, 1.0) <= 0):
+        raise ValueError("latencies must be positive")
+    logs = np.log(np.where(mask, vals, 1.0))
+    mean = np.add.reduce(np.where(mask, logs, 0.0), axis=1) / n
+    diff = np.where(mask, logs - mean[:, None], 0.0)
+    var = np.add.reduce(diff * diff, axis=1)
+    return mean, var, mask
+
+
+def fit_lognormal_rows(
+    values: np.ndarray, counts: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched :func:`fit_lognormal`: (mu, sigma) arrays per row.
+
+    One vectorized MLE over many pairs' reference windows at once —
+    the columnar long-term detector fits every pair whose first
+    30-minute aggregate closed in the same flush with two reductions
+    instead of a per-pair Python loop.
+    """
+    mean, var, _ = _masked_log_moments(values, counts)
+    n = np.asarray(counts, dtype=np.int64)
+    sigma = np.sqrt(var / (n - 1))
+    return mean, np.maximum(sigma, 1e-9)
+
+
+def z_test_rows(
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    values: np.ndarray,
+    counts: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched :func:`z_test`: (z, p_value) arrays per row.
+
+    ``mu``/``sigma`` are each row's reference fit; ``values``/``counts``
+    the padded later windows.  The survival function is evaluated once
+    over the whole batch.
+    """
+    mean, _, _ = _masked_log_moments(values, counts)
+    n = np.asarray(counts, dtype=np.int64)
+    stderr = np.asarray(sigma, dtype=np.float64) / np.sqrt(n)
+    z = (mean - np.asarray(mu, dtype=np.float64)) / np.maximum(
+        stderr, 1e-12
+    )
+    p = 2.0 * sp_stats.norm.sf(np.abs(z))
+    return z, np.asarray(p, dtype=np.float64)
 
 
 def lognormal_goodness(latencies: Sequence[float]) -> float:

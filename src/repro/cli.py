@@ -41,9 +41,12 @@ reaches monitor-plane state and that every stochastic value in
 ``network``/``chaos``/``workloads`` derives from the keyed-draw API.
 
 ``bench`` measures the probing fast path (batched vs sequential rounds,
-incremental vs full-rebuild detector windows), verifies the fast path is
-result-identical to the sequential one, and fails if batching is ever
-slower.  ``--quick`` is the CI smoke configuration.
+columnar vs per-pair-object detector windows), verifies both fast paths
+are result-identical to their references (probe streams bit-equal;
+detector verdicts equal with scores within 1e-10), and fails if
+batching is ever slower, the columnar detector drops under the 2x
+smoke floor, or its scores drift.  ``--quick`` is the CI smoke
+configuration.
 
 ``chaos`` runs the monitor-plane degradation gate: the fault campaign
 twice — perfect monitor vs standard chaos weather (telemetry + report
@@ -509,6 +512,27 @@ def _run_bench(args: argparse.Namespace) -> int:
         sizes = ", ".join(str(row["endpoints"]) for row in slow)
         print(f"REGRESSION: batched rounds slower than sequential at "
               f"{sizes} endpoints", file=sys.stderr)
+        return 1
+    # Detector gates: the smoke floor is deliberately below the full
+    # benchmark's ≥10x target — CI runners are noisy at 128 pairs, but
+    # anything under 2x means the columnar path stopped batching.
+    slow_detector = [
+        row for row in report["detector"] if row["speedup"] < 2.0
+    ]
+    if slow_detector:
+        sizes = ", ".join(
+            str(row["pairs"]) for row in slow_detector
+        )
+        print(f"REGRESSION: columnar detector under 2x legacy at "
+              f"{sizes} pairs", file=sys.stderr)
+        return 1
+    drifted = [
+        row for row in report["detector"]
+        if row["score_drift"] > 1e-10
+    ]
+    if drifted:
+        print("REGRESSION: columnar detector scores drifted beyond "
+              "1e-10 from the legacy reference", file=sys.stderr)
         return 1
     return 0
 

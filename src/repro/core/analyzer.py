@@ -10,8 +10,9 @@ persistent fault raises one incident, not one alarm per window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import ColumnarDetectionEngine, ScoredWindow
 from repro.core.detection import (
     DetectedAnomaly,
     DetectorConfig,
@@ -77,21 +78,53 @@ class FailureEvent:
 
 
 class Analyzer:
-    """Routes probe results through monitors and detectors."""
+    """Routes probe results through monitors and detectors.
+
+    Two interchangeable backends sit behind the same incident
+    bookkeeping:
+
+    * ``"columnar"`` (default) — all pairs' windows live in one
+      :class:`~repro.core.columnar.ColumnarDetectionEngine`; window
+      scoring is *deferred* to :meth:`flush` (or an incident-ordering
+      drain on the fast-unconnectivity path) and runs batched across
+      pairs.  ``ingest`` therefore returns only fast-path anomalies.
+    * ``"legacy"`` — the original per-pair ``PairMonitor`` /
+      ``ShortTermDetector`` / ``LongTermDetector`` objects, scored
+      eagerly as each window closes.  Kept as the reference
+      implementation; ``repro bench --verify`` pins the columnar
+      backend to it verdict-for-verdict.
+
+    Both backends produce identical ``anomalies`` / ``events`` state
+    after any ``flush`` (scores equal within 1e-10; see
+    docs/PERFORMANCE.md).
+    """
 
     def __init__(
         self,
         config: Optional[DetectorConfig] = None,
         resolve_after_s: float = 90.0,
         recorder=None,
+        backend: str = "columnar",
     ) -> None:
         # Constructed per instance: a shared default instance would leak
         # one analyzer's tuning into every other (see repro.verify.lint,
         # rule "shared-instance-default").
         config = config if config is not None else DetectorConfig()
+        if backend not in ("columnar", "legacy"):
+            raise ValueError(f"unknown analyzer backend: {backend!r}")
         self.config = config
+        self.backend = backend
         self.resolve_after_s = resolve_after_s
         self.recorder = recorder
+        # Detector-config flags are hoisted out of the per-probe path:
+        # `_fast_unconnectivity` runs on every probe and must not
+        # re-derive them each time.
+        self._fast_enabled = config.fast_unconnectivity_probes > 0
+        self._fast_threshold = config.fast_unconnectivity_probes
+        self._engine: Optional[ColumnarDetectionEngine] = (
+            ColumnarDetectionEngine(config)
+            if backend == "columnar" else None
+        )
         self._monitors: Dict[ProbePair, PairMonitor] = {}
         self._short = ShortTermDetector(config, recorder=recorder)
         self._long = LongTermDetector(config, recorder=recorder)
@@ -104,8 +137,15 @@ class Analyzer:
     # ------------------------------------------------------------------
 
     def ingest(self, result: ProbeResult) -> List[DetectedAnomaly]:
-        """Feed one probe result; returns anomalies from closed windows."""
+        """Feed one probe result; returns anomalies detected *now*.
+
+        On the legacy backend that includes anomalies from windows this
+        probe closed; the columnar backend defers window scoring to
+        :meth:`flush` and only surfaces fast-unconnectivity here.
+        """
         pair = ProbePair.canonical(result.src, result.dst)
+        if self._engine is not None:
+            return self._ingest_columnar(pair, result)
         monitor = self._monitors.get(pair)
         if monitor is None:
             monitor = PairMonitor(pair, self.config)
@@ -119,20 +159,49 @@ class Analyzer:
         new.extend(self._maybe_long_window(pair, monitor, result.sent_at))
         return new
 
+    def _ingest_columnar(
+        self, pair: ProbePair, result: ProbeResult
+    ) -> List[DetectedAnomaly]:
+        engine = self._engine
+        assert engine is not None
+        row = engine.ingest(pair, result)
+        new: List[DetectedAnomaly] = []
+        if (
+            self._fast_enabled
+            and result.lost
+            and engine.consecutive_losses(row) == self._fast_threshold
+        ):
+            # Score this pair's queued windows *before* recording the
+            # fast anomaly, so the incident's first_detected_at matches
+            # the eagerly-scored legacy ordering.
+            new.extend(self._process_verdicts(engine.collect_rows(
+                [row], full=self.recorder is not None,
+                watch=self._open_events,
+            )))
+            anomaly = DetectedAnomaly(
+                pair=pair, detected_at=result.sent_at,
+                symptom=Symptom.UNCONNECTIVITY, detector="fast_loss",
+                score=float(self._fast_threshold),
+                window_start=result.sent_at,
+            )
+            self._record(anomaly)
+            new.append(anomaly)
+        engine.queue_elapsed_longs(row, result.sent_at)
+        return new
+
     def _fast_unconnectivity(
         self, pair: ProbePair, monitor: PairMonitor, result: ProbeResult
     ) -> Optional[DetectedAnomaly]:
         """Alarm the moment a run of consecutive losses looks like a
         dead path, without waiting for the 30-second window to close."""
-        threshold = self.config.fast_unconnectivity_probes
-        if threshold <= 0 or not result.lost:
+        if not self._fast_enabled or not result.lost:
             return None
-        if monitor.consecutive_losses != threshold:
+        if monitor.consecutive_losses != self._fast_threshold:
             return None
         anomaly = DetectedAnomaly(
             pair=pair, detected_at=result.sent_at,
             symptom=Symptom.UNCONNECTIVITY, detector="fast_loss",
-            score=float(threshold), window_start=result.sent_at,
+            score=float(self._fast_threshold), window_start=result.sent_at,
         )
         self._record(anomaly)
         return anomaly
@@ -143,15 +212,73 @@ class Analyzer:
             return self._flush(now)
         with self.recorder.span("analyzer.flush", sim_time=now) as span:
             new = self._flush(now)
-            span.set(pairs=len(self._monitors), anomalies=len(new))
+            span.set(pairs=self._num_pairs(), anomalies=len(new))
         return new
 
+    def _num_pairs(self) -> int:
+        if self._engine is not None:
+            return self._engine.num_pairs
+        return len(self._monitors)
+
     def _flush(self, now: float) -> List[DetectedAnomaly]:
+        if self._engine is not None:
+            self._engine.close_elapsed(now)
+            return self._process_verdicts(self._engine.collect(
+                full=self.recorder is not None, watch=self._open_events,
+            ))
         new: List[DetectedAnomaly] = []
         for pair, monitor in self._monitors.items():
             for summary in monitor.flush(now):
                 new.extend(self._score(summary))
             new.extend(self._maybe_long_window(pair, monitor, now))
+        return new
+
+    def _process_verdicts(
+        self, verdicts: Sequence[ScoredWindow]
+    ) -> List[DetectedAnomaly]:
+        """Fold batched engine verdicts into the incident bookkeeping.
+
+        Mirrors the legacy per-window flow: recorder events for scored
+        windows, ``_record`` for anomalies, resolution checks for
+        healthy short windows.
+        """
+        new: List[DetectedAnomaly] = []
+        recorder = self.recorder
+        cfg = self.config
+        for v in verdicts:
+            if v.kind == "short":
+                if v.sent == 0:
+                    # Missing round: no evidence either way (see
+                    # _score) — never feeds detectors or resolution.
+                    if recorder is not None:
+                        recorder.count("windows.skipped_empty")
+                    continue
+                if v.score is not None and recorder is not None:
+                    recorder.event(
+                        "detect.lof", sim_time=v.window_end,
+                        pair=f"{v.pair.src}<->{v.pair.dst}",
+                        score=float(v.score),
+                        threshold=cfg.lof_threshold,
+                        median_shifted=bool(v.median_shifted),
+                        anomalous=v.anomaly is not None,
+                    )
+                if v.anomaly is not None:
+                    new.append(v.anomaly)
+                    self._record(v.anomaly)
+                else:
+                    self._maybe_resolve(v.pair, v.window_end)
+            else:
+                if v.score is not None and recorder is not None:
+                    recorder.event(
+                        "detect.ztest", sim_time=v.window_end,
+                        pair=f"{v.pair.src}<->{v.pair.dst}",
+                        z=float(v.score), alpha=cfg.ztest_alpha,
+                        samples=v.samples,
+                        anomalous=v.anomaly is not None,
+                    )
+                if v.anomaly is not None:
+                    new.append(v.anomaly)
+                    self._record(v.anomaly)
         return new
 
     # ------------------------------------------------------------------
@@ -174,7 +301,7 @@ class Analyzer:
             found.append(anomaly)
             self._record(anomaly)
         else:
-            self._maybe_resolve(summary)
+            self._maybe_resolve(summary.pair, summary.window_end)
         return found
 
     def _maybe_long_window(
@@ -233,21 +360,20 @@ class Analyzer:
             "long_term_ztest": self.config.ztest_alpha,
         }.get(detector)
 
-    def _maybe_resolve(self, summary: WindowSummary) -> None:
-        event = self._open_events.get(summary.pair)
+    def _maybe_resolve(self, pair: ProbePair, window_end: float) -> None:
+        event = self._open_events.get(pair)
         if event is None or not event.open:
             return
-        if summary.window_end - event.last_seen_at >= self.resolve_after_s:
-            event.resolved_at = summary.window_end
-            del self._open_events[summary.pair]
+        if window_end - event.last_seen_at >= self.resolve_after_s:
+            event.resolved_at = window_end
+            del self._open_events[pair]
             if self.recorder is not None:
                 self.recorder.count("events.resolved")
                 self.recorder.event(
                     "detect.event_resolved",
-                    sim_time=summary.window_end,
+                    sim_time=window_end,
                     pair=f"{event.pair.src}<->{event.pair.dst}",
-                    duration_s=summary.window_end
-                    - event.first_detected_at,
+                    duration_s=window_end - event.first_detected_at,
                 )
 
     # ------------------------------------------------------------------
@@ -269,6 +395,26 @@ class Analyzer:
         open incident are discarded and rebuilt from fresh probes.
         """
         targets = set(endpoints)
+        if self._engine is not None:
+            affected = [
+                pair for pair in self._engine.pairs()
+                if pair.src in targets or pair.dst in targets
+            ]
+            # Score what already closed before discarding: the legacy
+            # path scored those windows eagerly at ingest, so dropping
+            # them here would silently lose verdicts.
+            rows = [self._engine.row_of(pair) for pair in affected]
+            self._process_verdicts(self._engine.collect_rows(
+                [r for r in rows if r is not None],
+                full=self.recorder is not None,
+                watch=self._open_events,
+            ))
+            for pair in affected:
+                self._engine.drop(pair)
+                event = self._open_events.pop(pair, None)
+                if event is not None and event.open:
+                    event.resolved_at = now
+            return affected
         affected = [
             pair for pair in self._monitors
             if pair.src in targets or pair.dst in targets
@@ -292,4 +438,6 @@ class Analyzer:
 
     def monitored_pairs(self) -> List[ProbePair]:
         """Every pair that has reported at least one probe."""
+        if self._engine is not None:
+            return sorted(self._engine.pairs())
         return sorted(self._monitors)

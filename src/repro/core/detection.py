@@ -57,10 +57,20 @@ class WindowSummary:
         return self.lost / self.sent if self.sent else 0.0
 
     def feature_vector(self) -> Optional[np.ndarray]:
-        """The LOF feature: (p25, p50, p75, min, mean, std, max)."""
+        """The LOF feature: (p25, p50, p75, min, mean, std, max).
+
+        Memoized: both the scorer and the baseline append consume the
+        feature of the same window, and building the array dominates
+        neither — but on the hot path even a spare ``np.asarray`` per
+        window shows up at thousands of pairs.
+        """
         if self.stats is None:
             return None
-        return np.asarray(self.stats.as_vector(), dtype=np.float64)
+        cached = getattr(self, "_feature", None)
+        if cached is None:
+            cached = np.asarray(self.stats.as_vector(), dtype=np.float64)
+            object.__setattr__(self, "_feature", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,7 @@ class IncidentReport:
     diagnoses: List[Tuple[float, Diagnosis]] = field(default_factory=list)
     probes_sent: int = 0
     probes_lost: int = 0
+    probe_rounds: int = 0
     monitored_pairs: int = 0
     # Whether probe counts cover exactly [start, end) (derived from the
     # per-round metrics series) or had to fall back to lifetime totals.
@@ -108,6 +109,12 @@ def build_report(
     report.probes_sent, report.probes_lost, report.probes_windowed = (
         _probes_in_range(hunter, start, upper)
     )
+    registry = hunter.metrics
+    if registry.has_series("probes.sent_in_round"):
+        # Count-only query: no need to slice the per-round values.
+        report.probe_rounds = registry.series(
+            "probes.sent_in_round"
+        ).count_window(start, upper)
     report.monitored_pairs = len(hunter.monitored_pairs())
     return report
 
@@ -142,7 +149,8 @@ def render_report(report: IncidentReport) -> str:
         f"incident report [{report.start:.0f}s .. {report.end:.0f}s]",
         f"  monitored pairs: {report.monitored_pairs}, "
         f"probes sent: {report.probes_sent} "
-        f"(lost {report.probes_lost}, {scope})",
+        f"(lost {report.probes_lost}, {scope}, "
+        f"{report.probe_rounds} rounds in range)",
         f"  incidents: {len(report.incidents)} "
         f"({report.open_incidents} still open)",
     ]

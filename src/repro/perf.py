@@ -9,16 +9,22 @@ argument, Figures 15-17):
   cost: one full overlay walk + ECMP enumeration + fault scan per probe)
   against :meth:`~repro.network.fabric.DataPlaneFabric.send_probe_batch`
   with caches warm (the production configuration).
-* **Detector windows** — scoring a 30-second window against a pair's
-  look-back, measured with the legacy full-rebuild
-  (:func:`~repro.analysis.lof.lof_score_of_new_point` over the stacked
-  history) against the rolling :class:`~repro.analysis.lof.IncrementalLOF`
-  state the detector now holds.
+* **Detector windows** — the per-window work of the short-term
+  detector, measured with the legacy per-pair object path (a
+  :meth:`~repro.sim.metrics.TimeSeries.describe` summary +
+  :meth:`~repro.core.detection.ShortTermDetector.observe` per window)
+  against the columnar engine
+  (:class:`~repro.core.columnar.ColumnarDetectionEngine`), which queues
+  every pair's closed window and scores one flush-sized batch across
+  all pairs at once.
 
 Before timing anything, :func:`verify_equivalence` replays one round
 both ways on identically seeded scenarios and insists on bit-identical
-:class:`~repro.network.packet.ProbeResult` streams — the fast path is
-only a fast path if it changes nothing but the clock.
+:class:`~repro.network.packet.ProbeResult` streams, and
+:func:`verify_detector_equivalence` runs the full analyzer on both
+backends over a loss-and-spike probe stream and insists on identical
+anomaly/event histories (scores within 1e-10) — a fast path is only a
+fast path if it changes nothing but the clock.
 
 Wall-clock measurement uses ``time.perf_counter`` (monotonic interval
 timing is determinism-lint clean; only calendar time is banned).
@@ -29,13 +35,22 @@ from __future__ import annotations
 import gc
 import json
 import time
-from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.lof import IncrementalLOF, lof_score_of_new_point
+from repro.analysis.lof import IncrementalLOF
 from repro.cluster.identifiers import EndpointId
+from repro.core.analyzer import Analyzer
+from repro.core.columnar import ColumnarDetectionEngine
+from repro.core.detection import (
+    DetectorConfig,
+    ShortTermDetector,
+    WindowSummary,
+)
+from repro.core.pinglist import ProbePair
+from repro.network.packet import ProbeResult
+from repro.sim.metrics import TimeSeries
 from repro.sim.rng import RngRegistry
 from repro.workloads.scenarios import MonitoredScenario, build_scenario
 
@@ -44,6 +59,7 @@ __all__ = [
     "bench_probing",
     "format_report",
     "run_benchmark",
+    "verify_detector_equivalence",
     "verify_equivalence",
 ]
 
@@ -172,58 +188,277 @@ def bench_probing(
     }
 
 
+def _detector_pairs(num_pairs: int) -> List[ProbePair]:
+    return [
+        ProbePair.canonical(f"bench-{2 * i}", f"bench-{2 * i + 1}")
+        for i in range(num_pairs)
+    ]
+
+
+def _detector_windows(
+    num_pairs: int,
+    windows_per_pair: int,
+    probes_per_window: int,
+    seed: int,
+) -> np.ndarray:
+    """Synthetic per-window latencies: mostly healthy, a few spiked.
+
+    Continuous draws (no exact duplicates) so kNN neighbour sets are
+    unambiguous; occasional 3x median shifts exercise the LOF anomaly
+    branch in both implementations.
+    """
+    rng = RngRegistry(seed).stream("bench.detector")
+    lats = 18.0 + 2.0 * rng.random(
+        (num_pairs, windows_per_pair, probes_per_window)
+    )
+    spiked = rng.random((num_pairs, windows_per_pair)) < 0.02
+    lats[spiked] *= 3.0
+    return lats
+
+
 def bench_detector(
     num_pairs: int,
     windows_per_pair: int = 40,
-    k: int = 4,
-    lookback: int = 10,
+    probes_per_window: int = 8,
     seed: int = 0,
 ) -> Dict[str, float]:
-    """Time legacy full-rebuild LOF vs the incremental detector state.
+    """Time legacy per-pair window scoring vs the columnar engine.
 
-    Replays the short-term detector's per-window work — score the new
-    feature against the look-back, then admit it — for ``num_pairs``
-    monitored pairs, using synthetic healthy feature vectors.
+    Replays the short-term detector's per-window work for ``num_pairs``
+    monitored pairs over ``windows_per_pair`` flushes:
+
+    * legacy — per pair per window, a :meth:`TimeSeries.describe`
+      summary, a :class:`WindowSummary`, and
+      :meth:`ShortTermDetector.observe` (LOF + median shift + baseline
+      admit), exactly as ``Analyzer(backend="legacy")`` does it;
+    * columnar — every pair's closed window enqueued into the
+      :class:`ColumnarDetectionEngine` and one batched ``collect`` per
+      flush.
+
+    A separate untimed pass replays the columnar run in full-verdict
+    mode and pins every LOF score to an :class:`IncrementalLOF`
+    reference (the legacy detector's state), reporting the max
+    ``score_drift``.
     """
-    rng = RngRegistry(seed).stream("bench.detector")
-    features = 18.0 + rng.random((num_pairs, windows_per_pair, 7))
+    cfg = DetectorConfig()
+    pairs = _detector_pairs(num_pairs)
+    lats = _detector_windows(
+        num_pairs, windows_per_pair, probes_per_window, seed
+    )
+    window_s = cfg.short_window_s
 
     gc.collect()
     start = time.perf_counter()
-    legacy_scores = 0.0
-    for p in range(num_pairs):
-        history: deque = deque(maxlen=lookback)
+    legacy_anomalies = 0
+    detector = ShortTermDetector(cfg)
+    for p, pair in enumerate(pairs):
         for w in range(windows_per_pair):
-            vec = features[p, w]
-            if len(history) >= 2:
-                legacy_scores += lof_score_of_new_point(
-                    np.vstack(history), vec, k=k
-                )
-            history.append(vec)
+            stats = TimeSeries.describe(lats[p, w])
+            summary = WindowSummary(
+                pair=pair, window_start=w * window_s,
+                window_end=(w + 1) * window_s,
+                sent=probes_per_window, lost=0, stats=stats,
+            )
+            if detector.observe(summary) is not None:
+                legacy_anomalies += 1
     legacy_s = time.perf_counter() - start
 
     gc.collect()
     start = time.perf_counter()
-    incremental_scores = 0.0
-    for p in range(num_pairs):
-        inc = IncrementalLOF(k=k, capacity=lookback)
-        for w in range(windows_per_pair):
-            vec = features[p, w]
-            if len(inc) >= 2:
-                incremental_scores += inc.score(vec)
-            inc.append(vec)
-    incremental_s = time.perf_counter() - start
+    columnar_anomalies = 0
+    engine = ColumnarDetectionEngine(cfg)
+    for w in range(windows_per_pair):
+        for pair, row_lats in zip(pairs, lats[:, w]):
+            engine.enqueue_window(
+                pair, w * window_s, (w + 1) * window_s,
+                probes_per_window, 0, row_lats,
+            )
+        for verdict in engine.collect():
+            if verdict.anomaly is not None:
+                columnar_anomalies += 1
+    columnar_s = time.perf_counter() - start
+
+    if legacy_anomalies != columnar_anomalies:
+        raise AssertionError(
+            f"detector benchmark diverged: legacy flagged "
+            f"{legacy_anomalies} windows, columnar {columnar_anomalies}"
+        )
+    drift = _detector_score_drift(cfg, pairs, lats)
 
     windows = num_pairs * windows_per_pair
     return {
         "pairs": num_pairs,
         "windows_per_pair": windows_per_pair,
+        "anomalies": legacy_anomalies,
         "legacy_s": legacy_s,
-        "incremental_s": incremental_s,
+        "columnar_s": columnar_s,
         "legacy_windows_per_s": windows / max(legacy_s, 1e-9),
-        "incremental_windows_per_s": windows / max(incremental_s, 1e-9),
-        "speedup": legacy_s / max(incremental_s, 1e-9),
-        "score_drift": abs(legacy_scores - incremental_scores),
+        "columnar_windows_per_s": windows / max(columnar_s, 1e-9),
+        "speedup": legacy_s / max(columnar_s, 1e-9),
+        "score_drift": drift,
+    }
+
+
+def _detector_score_drift(
+    cfg: DetectorConfig, pairs: List[ProbePair], lats: np.ndarray
+) -> float:
+    """Max |columnar - reference| LOF score over every scored window.
+
+    The reference replays the legacy detector's exact state machine
+    (scores against an :class:`IncrementalLOF`, anomalous windows kept
+    out of the baseline); the columnar engine replays the same windows
+    in full-verdict mode.  Also insists both sides score the *same*
+    windows with the same verdicts.
+    """
+    windows_per_pair = lats.shape[1]
+    window_s = cfg.short_window_s
+    engine = ColumnarDetectionEngine(cfg)
+    columnar: Dict[Tuple[ProbePair, float], float] = {}
+    for w in range(windows_per_pair):
+        for pair, row_lats in zip(pairs, lats[:, w]):
+            engine.enqueue_window(
+                pair, w * window_s, (w + 1) * window_s,
+                lats.shape[2], 0, row_lats,
+            )
+    for verdict in engine.collect(full=True):
+        if verdict.score is not None:
+            columnar[(verdict.pair, verdict.window_end)] = (
+                verdict.score
+            )
+    drift = 0.0
+    scored = 0
+    for p, pair in enumerate(pairs):
+        inc = IncrementalLOF(k=cfg.lof_k, capacity=cfg.lookback_windows)
+        for w in range(windows_per_pair):
+            vec = np.asarray(
+                TimeSeries.describe(lats[p, w]).as_vector()
+            )
+            anomalous = False
+            if len(inc) >= cfg.min_history_windows:
+                score = inc.score(vec)
+                base = float(np.median(inc.points[:, 1]))
+                shifted = base <= 0 or (
+                    (float(vec[1]) - base) / base
+                    > cfg.median_shift_threshold
+                )
+                anomalous = score > cfg.lof_threshold and shifted
+                got = columnar.get((pair, (w + 1) * window_s))
+                if got is None:
+                    raise AssertionError(
+                        f"columnar skipped a window the legacy "
+                        f"detector scored: pair {pair}, window {w}"
+                    )
+                drift = max(drift, abs(got - score))
+                scored += 1
+            if not anomalous:
+                inc.append(vec)
+    if scored != len(columnar):
+        raise AssertionError(
+            f"columnar scored {len(columnar)} windows, the legacy "
+            f"reference {scored}"
+        )
+    return drift
+
+
+def verify_detector_equivalence(
+    num_pairs: int = 48,
+    rounds: int = 240,
+    seed: int = 7,
+    probe_interval_s: float = 5.0,
+) -> Dict[str, float]:
+    """Assert both analyzer backends agree verdict-for-verdict.
+
+    Feeds an identical probe stream — healthy latency noise, one pair
+    with a mid-run loss burst, one with a latency shift, plus a
+    mid-stream ``reset_pairs_involving`` churn — through
+    ``Analyzer(backend="legacy")`` and ``Analyzer(backend="columnar")``
+    and compares the full anomaly and event histories.  Raises
+    ``AssertionError`` on any divergence; returns comparison counts and
+    the max score drift.
+    """
+    rng = RngRegistry(seed).stream("verify.detector")
+    endpoints = [f"vd-{i}" for i in range(2 * num_pairs)]
+    pair_ids = [
+        (endpoints[2 * i], endpoints[2 * i + 1])
+        for i in range(num_pairs)
+    ]
+    lossy = pair_ids[num_pairs // 3]
+    shifted = pair_ids[2 * num_pairs // 3]
+    loss_draws = rng.random((rounds, num_pairs))
+    lat_draws = rng.random((rounds, num_pairs))
+
+    def run(backend: str) -> Analyzer:
+        analyzer = Analyzer(
+            config=DetectorConfig(
+                long_window_s=300.0, min_long_samples=20
+            ),
+            backend=backend,
+        )
+        for r in range(rounds):
+            at = r * probe_interval_s
+            for i, (src, dst) in enumerate(pair_ids):
+                burst = (src, dst) == lossy and 400 <= at < 700
+                slow = (src, dst) == shifted and at >= 600
+                lost = bool(
+                    loss_draws[r, i] < (0.9 if burst else 0.002)
+                )
+                latency = (
+                    None if lost
+                    else (18.0 + 2.0 * lat_draws[r, i])
+                    * (2.5 if slow else 1.0)
+                )
+                analyzer.ingest(ProbeResult(
+                    src=src, dst=dst, sent_at=at,
+                    lost=lost, latency_us=latency,
+                ))
+            if r == rounds // 2:
+                analyzer.reset_pairs_involving([shifted[0]], at)
+            analyzer.flush(at)
+        analyzer.flush(rounds * probe_interval_s)
+        return analyzer
+
+    legacy = run("legacy")
+    columnar = run("columnar")
+
+    def anomaly_keys(analyzer: Analyzer) -> List[tuple]:
+        return sorted(
+            (a.pair, a.detected_at, a.symptom.value, a.detector,
+             a.window_start)
+            for a in analyzer.anomalies
+        )
+
+    def event_keys(analyzer: Analyzer) -> List[tuple]:
+        return sorted(
+            (e.pair, e.first_detected_at, e.symptom.value,
+             e.resolved_at, len(e.anomalies))
+            for e in analyzer.events
+        )
+
+    if anomaly_keys(legacy) != anomaly_keys(columnar):
+        raise AssertionError(
+            "columnar and legacy analyzers flagged different anomalies"
+        )
+    if event_keys(legacy) != event_keys(columnar):
+        raise AssertionError(
+            "columnar and legacy analyzers opened different events"
+        )
+    reference = {
+        (a.pair, a.detected_at, a.detector): a.score
+        for a in legacy.anomalies
+    }
+    drift = max(
+        (
+            abs(reference[(a.pair, a.detected_at, a.detector)] - a.score)
+            for a in columnar.anomalies
+        ),
+        default=0.0,
+    )
+    return {
+        "pairs": num_pairs,
+        "rounds": rounds,
+        "anomalies_compared": len(legacy.anomalies),
+        "events_compared": len(legacy.events),
+        "score_drift": drift,
     }
 
 
@@ -239,11 +474,16 @@ def run_benchmark(
     )
     rounds = 1 if quick else 3
     compared = verify_equivalence()
+    detector_eq = verify_detector_equivalence(
+        num_pairs=16 if quick else 48,
+        rounds=120 if quick else 240,
+    )
     report: Dict[str, object] = {
         "benchmark": "probing-fast-path",
         "quick": quick,
         "seed": seed,
         "equivalence_results_compared": compared,
+        "detector_equivalence": detector_eq,
         "probing": [
             bench_probing(size, rounds=rounds, seed=seed)
             for size in chosen
@@ -276,20 +516,30 @@ def format_report(report: Dict[str, object]) -> str:
             f"{row['batched_probes_per_s']:>15.0f} "
             f"{row['speedup']:>8.1f}x"
         )
-    lines.append("detector windows (full-rebuild LOF vs incremental):")
     lines.append(
-        f"  {'pairs':>10} {'legacy win/s':>14} {'incr win/s':>12} "
-        f"{'speedup':>9}"
+        "detector windows (per-pair objects vs columnar batches):"
+    )
+    lines.append(
+        f"  {'pairs':>10} {'legacy win/s':>14} {'columnar win/s':>15} "
+        f"{'speedup':>9} {'drift':>10}"
     )
     for row in report["detector"]:
         lines.append(
             f"  {row['pairs']:>10} {row['legacy_windows_per_s']:>14.0f} "
-            f"{row['incremental_windows_per_s']:>12.0f} "
-            f"{row['speedup']:>8.1f}x"
+            f"{row['columnar_windows_per_s']:>15.0f} "
+            f"{row['speedup']:>8.1f}x {row['score_drift']:>10.1e}"
         )
     lines.append(
         "equivalence: "
         f"{report['equivalence_results_compared']} results compared, "
         "batch == sequential"
     )
+    eq = report.get("detector_equivalence")
+    if eq:
+        lines.append(
+            "detector equivalence: "
+            f"{eq['anomalies_compared']} anomalies / "
+            f"{eq['events_compared']} events compared, "
+            f"columnar == legacy (drift {eq['score_drift']:.1e})"
+        )
     return "\n".join(lines)

@@ -111,6 +111,11 @@ class ShardScenarioSpec:
     #: and keeps every shard on the original, unhardened probe path.
     monitor_faults: Tuple[MonitorFaultSpec, ...] = ()
     detector: Optional[DetectorConfig] = None
+    #: Which analyzer backend every shard builds ("columnar" or
+    #: "legacy").  Part of the spec so a failover replica — or a
+    #: cross-backend equivalence run — rebuilds the exact analyzer the
+    #: original shard used.
+    analyzer_backend: str = "columnar"
 
     def round_time(self, round_index: int) -> float:
         """Simulated time of round ``round_index`` (rounds are 1-based,

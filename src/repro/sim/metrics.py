@@ -8,6 +8,7 @@ SkeletonHunter reads probing results that agents record here.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -102,11 +103,20 @@ class TimeSeries:
 
     def window(self, start: float, end: float) -> List[float]:
         """Values with ``start <= time < end`` (binary-search bounded)."""
-        import bisect
-
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_left(self._times, end)
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
         return self._values[lo:hi]
+
+    def count_window(self, start: float, end: float) -> int:
+        """How many samples fall in ``start <= time < end``.
+
+        Same bounds as :meth:`window` without materializing the value
+        slice — for callers that only need the count.
+        """
+        return (
+            bisect_left(self._times, end)
+            - bisect_left(self._times, start)
+        )
 
     def values(self) -> List[float]:
         """All recorded values, in insertion order."""

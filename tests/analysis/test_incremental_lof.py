@@ -93,3 +93,40 @@ class TestRollingState:
             IncrementalLOF(k=0)
         with pytest.raises(ValueError):
             IncrementalLOF(k=2, capacity=1)
+
+
+class TestFixedBatch:
+    def test_matches_incremental_per_row(self):
+        from repro.analysis.lof import lof_scores_fixed_batch
+
+        rng = np.random.default_rng(3)
+        batch, n, dim, k = 6, 7, 5, 3
+        histories = 10.0 + rng.random((batch, n, dim))
+        candidates = 10.0 + rng.random((batch, dim))
+        scores = lof_scores_fixed_batch(histories, candidates, k=k)
+        for b in range(batch):
+            inc = IncrementalLOF(k=k)
+            for point in histories[b]:
+                inc.append(point)
+            assert scores[b] == pytest.approx(
+                inc.score(candidates[b]), abs=1e-10
+            )
+
+    def test_small_histories_score_neutral(self):
+        from repro.analysis.lof import lof_scores_fixed_batch
+
+        rng = np.random.default_rng(4)
+        hist = rng.random((3, 1, 2))
+        scores = lof_scores_fixed_batch(hist, rng.random((3, 2)), k=2)
+        assert scores.tolist() == [1.0, 1.0, 1.0]
+        assert lof_scores_fixed_batch(
+            np.empty((0, 5, 2)), np.empty((0, 2))
+        ).size == 0
+
+    def test_shape_validation(self):
+        from repro.analysis.lof import lof_scores_fixed_batch
+
+        with pytest.raises(ValueError):
+            lof_scores_fixed_batch(
+                np.ones((2, 3)), np.ones((2, 3))
+            )

@@ -85,3 +85,58 @@ class TestGoodness:
     def test_minimum_sample_size(self):
         with pytest.raises(ValueError):
             lognormal_goodness([1.0] * 7)
+
+
+class TestBatchedRows:
+    def pad(self, windows):
+        from repro.analysis.stats import fit_lognormal_rows  # noqa: F401
+        counts = np.array([len(w) for w in windows])
+        width = counts.max()
+        padded = np.ones((len(windows), width))
+        for i, w in enumerate(windows):
+            padded[i, : len(w)] = w
+        return padded, counts
+
+    def test_fit_rows_match_scalar_fit(self):
+        from repro.analysis.stats import fit_lognormal_rows
+
+        windows = [
+            lognormal_samples(mu=2.5 + 0.1 * i, n=60 + 7 * i, seed=i)
+            for i in range(5)
+        ]
+        padded, counts = self.pad(windows)
+        mus, sigmas = fit_lognormal_rows(padded, counts)
+        for i, window in enumerate(windows):
+            fit = fit_lognormal(window)
+            assert mus[i] == pytest.approx(fit.mu, abs=1e-12)
+            assert sigmas[i] == pytest.approx(fit.sigma, abs=1e-12)
+
+    def test_z_rows_match_scalar_z_test(self):
+        from repro.analysis.stats import (
+            fit_lognormal_rows,
+            z_test_rows,
+        )
+
+        refs = [lognormal_samples(seed=i) for i in range(4)]
+        laters = [
+            lognormal_samples(seed=10 + i, n=80) * (1.0 + 0.1 * i)
+            for i in range(4)
+        ]
+        ref_pad, ref_counts = self.pad(refs)
+        mus, sigmas = fit_lognormal_rows(ref_pad, ref_counts)
+        later_pad, later_counts = self.pad(laters)
+        zs, ps = z_test_rows(mus, sigmas, later_pad, later_counts)
+        for i in range(4):
+            scalar = z_test(fit_lognormal(refs[i]), laters[i])
+            assert zs[i] == pytest.approx(scalar.z, abs=1e-9)
+            assert ps[i] == pytest.approx(scalar.p_value, abs=1e-12)
+
+    def test_rows_reject_bad_input(self):
+        from repro.analysis.stats import fit_lognormal_rows
+
+        with pytest.raises(ValueError):
+            fit_lognormal_rows(np.ones((2, 5)), np.array([5, 1]))
+        bad = np.ones((1, 4))
+        bad[0, 2] = -3.0
+        with pytest.raises(ValueError):
+            fit_lognormal_rows(bad, np.array([4]))

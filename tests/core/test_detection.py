@@ -252,3 +252,23 @@ class TestMedianShiftGate:
         # Without history, even a wild window builds baseline silently.
         wild = (120.0, 121.0, 119.0, 120.5)
         assert detector.observe(summary(pair, 300.0, wild)) is None
+
+
+class TestFeatureVectorMemoization:
+    def test_same_array_returned_on_repeat_calls(self):
+        summary = WindowSummary(
+            pair=make_pair(), window_start=0.0, window_end=30.0,
+            sent=4, lost=0,
+            stats=TimeSeries.describe([10.0, 11.0, 12.0, 13.0]),
+        )
+        first = summary.feature_vector()
+        assert summary.feature_vector() is first
+        assert first.tolist() == list(summary.stats.as_vector())
+
+    def test_lost_window_still_returns_none(self):
+        summary = WindowSummary(
+            pair=make_pair(), window_start=0.0, window_end=30.0,
+            sent=4, lost=4, stats=None,
+        )
+        assert summary.feature_vector() is None
+        assert summary.feature_vector() is None

@@ -98,7 +98,10 @@ class TestVerifyHelper:
         )
         assert summary["baseline_events"] > 0
         assert summary["baseline_verdicts"] > 0
-        assert len(summary["compared"]) == 2
+        # 1 shard-count comparison + the legacy-analyzer pin at one and
+        # two shards + the failover kill run.
+        assert len(summary["compared"]) == 4
+        assert "shards=2 analyzer=legacy" in summary["compared"]
 
     def test_gate_reports_divergence(self, baseline):
         healthy = run_plane(

@@ -246,3 +246,22 @@ class TestMergeFrom:
         b.series("lat").record(0.0, 99.0)
         a.merge_from(b)
         assert a.series("lat").values() == [1.0]
+
+
+class TestCountWindow:
+    def test_counts_match_window_slice(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.record(float(t), float(t) * 2)
+        assert series.count_window(2.0, 7.0) == len(
+            series.window(2.0, 7.0)
+        )
+        assert series.count_window(2.0, 7.0) == 5
+
+    def test_half_open_bounds(self):
+        series = TimeSeries("x")
+        for t in (1.0, 2.0, 3.0):
+            series.record(t, 0.0)
+        assert series.count_window(1.0, 3.0) == 2
+        assert series.count_window(0.0, 0.5) == 0
+        assert series.count_window(3.0, 100.0) == 1
