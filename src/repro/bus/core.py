@@ -53,11 +53,13 @@ class Topic:
     MONITOR = "monitor.plane"
     #: Per-chunk shard liveness/ownership from the coordinator.
     SHARD_HEALTH = "shard.health"
+    #: Per-round fleet rollups (admitted tenants, budget utilization).
+    FLEET = "fleet.rollup"
 
     ALL: Tuple[str, ...] = (
         PROBE_REPORTS, ROUND, RNIC_SERIES, GROUND_TRUTH, BREAKERS,
         VERDICTS, EVENTS, PINGLIST, SKELETON, QUARANTINE, MONITOR,
-        SHARD_HEALTH,
+        SHARD_HEALTH, FLEET,
     )
 
 

@@ -34,6 +34,7 @@ _TOPICS = (
     Topic.BREAKERS,
     Topic.QUARANTINE,
     Topic.SHARD_HEALTH,
+    Topic.FLEET,
     Topic.GROUND_TRUTH,
 )
 
@@ -68,6 +69,7 @@ class TailDashboard:
         self._breakers: Dict[str, str] = {}
         self._quarantined: set = set()
         self._shards: List[Dict[str, Any]] = []
+        self._fleet: Optional[Dict[str, Any]] = None
         self._faults: Dict[str, int] = {}
         for topic in _TOPICS:
             bus.subscribe(self._on_record, topic=topic)
@@ -104,6 +106,9 @@ class TailDashboard:
             self._quarantined.update(data.get("endpoints", ()))
         elif topic == Topic.SHARD_HEALTH:
             self._shards = list(data.get("shards", ()))
+            self.render()
+        elif topic == Topic.FLEET:
+            self._fleet = dict(data)
             self.render()
         elif topic == Topic.GROUND_TRUTH:
             fault = data.get("fault", {})
@@ -202,6 +207,34 @@ class TailDashboard:
                     last=shard.get("last_round", 0),
                 )
             )
+        if self._fleet is not None:
+            f = self._fleet
+            lines.append(
+                "fleet round {round}: {admitted} tenant(s) on "
+                "{workers} worker(s)  budget={granted}/{budget} "
+                "({util:.0%})".format(
+                    round=f.get("round", 0),
+                    admitted=len(f.get("admitted", ())),
+                    workers=f.get("workers", 0),
+                    granted=f.get("granted", 0),
+                    budget=f.get("budget", 0),
+                    util=f.get("utilization", 0.0),
+                )
+            )
+            for tenant in f.get("tenants", ()):
+                lines.append(
+                    "  {name}: quota={quota}/{demand} "
+                    "(floor {floor}) lost={lost} open={open} "
+                    "blacklisted={blacklisted}".format(
+                        name=tenant.get("name"),
+                        quota=tenant.get("quota", 0),
+                        demand=tenant.get("demand", 0),
+                        floor=tenant.get("floor", 0),
+                        lost=tenant.get("lost", 0),
+                        open=tenant.get("open_events", 0),
+                        blacklisted=tenant.get("blacklisted", 0),
+                    )
+                )
         if not self.ansi:
             lines.append("")  # blank separator between appended frames
         return lines

@@ -15,6 +15,9 @@ Usage::
     python -m repro run [--shards N] [--backend inproc|mp] [--faults N]
     python -m repro shard-status [--shards N] [--kill SHARD]
     python -m repro bench-shard [--quick] [--out FILE]
+    python -m repro fleet run [--jobs N] [--workers N]
+    python -m repro fleet status [--jobs N] [--workers N] [--kill W]
+    python -m repro fleet bench [--quick] [--out FILE]
     python -m repro record [--out FILE] [--seed S] [--issue NAME]
     python -m repro replay RECORDING [--no-verify]
     python -m repro tail [--shards N] [--plain]
@@ -61,6 +64,14 @@ summary; ``shard-status`` runs a short plane (optionally killing a
 shard mid-run) and renders the coordinator's heartbeat/failover view;
 ``bench-shard`` runs the shard-equivalence gate plus the scaling sweep
 behind ``BENCH_shard.json``.
+
+``fleet`` drives the multi-tenant plane (:mod:`repro.fleet`): ``fleet
+run`` executes many concurrent churning jobs on one shared fabric
+under a global probe budget and prints the merged per-tenant
+diagnosis and coverage; ``fleet status`` renders the coordinator's
+placement, worker failover, and budget view; ``fleet bench`` runs the
+fleet-equivalence gate plus the jobs x endpoints scaling sweep behind
+``BENCH_fleet.json``.
 
 The last three commands drive the telemetry bus (:mod:`repro.bus`):
 ``record`` runs the standard chaos campaign leg and persists every bus
@@ -253,6 +264,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_shard.add_argument("--seed", type=int, default=0)
 
+    fleet = commands.add_parser(
+        "fleet", help="drive the multi-tenant fleet plane: many "
+        "concurrent jobs on one shared fabric under a global probe "
+        "budget"
+    )
+    fleet_commands = fleet.add_subparsers(
+        dest="fleet_command", required=True
+    )
+
+    def add_fleet_args(command) -> None:
+        command.add_argument(
+            "--jobs", type=int, default=4,
+            help="number of concurrent tenant jobs (default 4)",
+        )
+        command.add_argument(
+            "--workers", type=int, default=2,
+            help="number of fleet workers tenants are sharded over",
+        )
+        command.add_argument("--containers", type=int, default=8)
+        command.add_argument("--gpus", type=int, default=4)
+        command.add_argument("--rounds", type=int, default=8)
+        command.add_argument("--seed", type=int, default=0)
+
+    fleet_run = fleet_commands.add_parser(
+        "run", help="run a churning multi-tenant fleet and print the "
+        "merged per-tenant diagnosis and coverage"
+    )
+    add_fleet_args(fleet_run)
+
+    fleet_status = fleet_commands.add_parser(
+        "status", help="run a short fleet (with an optional scripted "
+        "worker kill) and render the coordinator's placement, "
+        "failover, and budget view"
+    )
+    add_fleet_args(fleet_status)
+    fleet_status.add_argument(
+        "--kill", type=int, default=None, metavar="WORKER",
+        help="kill this worker at the start of the second chunk "
+        "(default: worker 0 when running multiple workers; "
+        "-1 disables)",
+    )
+
+    fleet_bench = fleet_commands.add_parser(
+        "bench", help="run the fleet-equivalence gate and the "
+        "jobs x endpoints scaling sweep behind BENCH_fleet.json"
+    )
+    fleet_bench.add_argument(
+        "--quick", action="store_true",
+        help="small fabric and job grid (the CI smoke mode; "
+        "no speedup gate)",
+    )
+    fleet_bench.add_argument(
+        "--out", default="BENCH_fleet.json",
+        help="write the JSON report here (default: BENCH_fleet.json)",
+    )
+    fleet_bench.add_argument("--seed", type=int, default=0)
+
     def add_record_args(command) -> None:
         command.add_argument("--seed", type=int, default=0)
         command.add_argument(
@@ -311,7 +379,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tail.add_argument(
         "--rounds", type=int, default=30,
-        help="total probe rounds in --shards mode (default 30)",
+        help="total probe rounds in --shards/--fleet mode "
+        "(default 30)",
+    )
+    tail.add_argument(
+        "--fleet", type=int, default=0, metavar="JOBS",
+        help="run the multi-tenant fleet plane with this many jobs "
+        "instead of the single-process hunter (default 0: off)",
+    )
+    tail.add_argument(
+        "--workers", type=int, default=2,
+        help="fleet workers in --fleet mode (default 2)",
     )
     tail.add_argument(
         "--plain", action="store_true",
@@ -732,6 +810,173 @@ def _run_bench_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_spec(args: argparse.Namespace):
+    """A churning multi-tenant spec for the CLI's size arguments, on
+    the smoke fabric."""
+    from repro.fleet.bench import QUICK_FABRIC, fleet_bench_spec
+
+    return fleet_bench_spec(
+        args.jobs, QUICK_FABRIC,
+        containers_per_job=args.containers,
+        gpus_per_container=args.gpus,
+        total_rounds=args.rounds,
+        seed=args.seed,
+    )
+
+
+def _render_fleet_coverage(spec, result) -> List[str]:
+    lines = [
+        f"  {'tenant':<10} {'floor':>6} {'min round':>10} "
+        f"{'cumulative':>11}"
+    ]
+    for name, min_cov, cumulative in result.coverage_summary:
+        floor = spec.tenant(name).coverage_floor
+        flag = "" if min_cov + 1e-9 >= floor else "  BELOW FLOOR"
+        lines.append(
+            f"  {name:<10} {floor:>6.2f} {min_cov:>10.3f} "
+            f"{cumulative:>11.3f}{flag}"
+        )
+    return lines
+
+
+def _run_fleet_run(args: argparse.Namespace) -> int:
+    from repro.fleet.equivalence import run_fleet
+
+    spec = _fleet_spec(args)
+    result = run_fleet(spec, num_workers=args.workers)
+    peak = max((len(r.admitted) for r in result.rollups), default=0)
+    print(
+        f"fleet: {len(spec.tenants)} job(s) over {args.workers} "
+        f"worker(s) on {spec.num_hosts} hosts "
+        f"({spec.endpoint_capacity} endpoint capacity), "
+        f"{spec.total_rounds} rounds, "
+        f"budget {spec.probe_budget_per_round} probes/round"
+    )
+    print(f"peak concurrent tenants: {peak}; "
+          f"probes: {result.probes_sent} sent, "
+          f"{result.probes_lost} lost")
+    if result.rejections:
+        print("rejected at admission:")
+        for name, reason in result.rejections:
+            print(f"  {name}: {reason}")
+    print(f"events opened: {len(result.event_summary)}")
+    for tenant, src, dst, at, symptom in result.event_summary:
+        print(f"  [{tenant}] {src}<->{dst} {symptom.lower()} "
+              f"@ {at:.0f}s")
+    print(f"localization verdicts: {len(result.verdict_summary)}")
+    for tenant, when, diagnoses, unexplained in result.verdict_summary:
+        for component, klass, layer, confidence in diagnoses:
+            print(f"  [{tenant}] @ {when:.0f}s {component} "
+                  f"({klass}, {layer}) confidence={confidence:.2f}")
+        if unexplained:
+            print(f"  [{tenant}] @ {when:.0f}s unexplained events: "
+                  f"{unexplained}")
+    if result.blacklist_summary:
+        print("blacklisted components:")
+        for tenant, component in result.blacklist_summary:
+            print(f"  [{tenant}] {component}")
+    print("per-tenant skeleton coverage:")
+    for line in _render_fleet_coverage(spec, result):
+        print(line)
+    return 0
+
+
+def _run_fleet_status(args: argparse.Namespace) -> int:
+    from repro.fleet.coordinator import FleetCoordinator
+
+    kill = args.kill
+    if kill is None:
+        kill = 0 if args.workers > 1 else -1
+    kill_schedule = (
+        {1: kill} if 0 <= kill < args.workers else None
+    )
+    spec = _fleet_spec(args)
+    coordinator = FleetCoordinator(
+        spec, num_workers=args.workers, kill_schedule=kill_schedule,
+    )
+    result = coordinator.run()
+    print(
+        f"fleet plane after {spec.total_rounds} rounds "
+        f"({len(spec.tenants)} job(s), {args.workers} worker(s), "
+        f"seed {args.seed})"
+    )
+    print(f"  {'worker':>6} {'tenants':>7} {'chunks':>6} "
+          f"{'round':>5} {'adopted':>7} state")
+    for worker_id in sorted(coordinator.statuses):
+        status = coordinator.statuses[worker_id]
+        print(
+            f"  {status.worker_id:>6} {len(status.tenants):>7} "
+            f"{status.chunks_completed:>6} "
+            f"{status.rounds_completed:>5} "
+            f"{status.adopted_tenants:>7} "
+            f"{'alive' if status.alive else 'dead'}"
+        )
+    print(f"reassignments: {len(result.reassignments)}")
+    for move in result.reassignments:
+        print(
+            f"  chunk {move.chunk} (after round {move.round_index}): "
+            f"worker {move.from_worker} -> worker {move.to_worker}, "
+            f"{len(move.tenants)} tenant(s): "
+            f"{', '.join(move.tenants)}"
+        )
+    if result.rollups:
+        last = result.rollups[-1]
+        print(
+            f"budget @ round {last.round_index}: "
+            f"{last.granted}/{last.budget} probes granted "
+            f"({last.utilization:.0%} utilization), "
+            f"{len(last.admitted)} tenant(s) admitted"
+        )
+    print("per-tenant skeleton coverage:")
+    for line in _render_fleet_coverage(spec, result):
+        print(line)
+    return 0
+
+
+def _run_fleet_bench(args: argparse.Namespace) -> int:
+    from repro.fleet.bench import format_report, run_fleet_benchmark
+
+    try:
+        report = run_fleet_benchmark(
+            quick=args.quick, seed=args.seed, out=args.out
+        )
+    except AssertionError as error:
+        print(f"fleet equivalence gate failed: {error}",
+              file=sys.stderr)
+        return 1
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    below = [
+        row for row in report["coverage"] if not row["floor_ok"]
+    ]
+    if below:
+        names = ", ".join(str(row["tenant"]) for row in below)
+        print(f"REGRESSION: coverage floor violated for {names}",
+              file=sys.stderr)
+        return 1
+    if not args.quick:
+        slow = [
+            row for row in report["scaling"]
+            if row["jobs"] == 16 and row["workers"] == 8
+            and row["speedup"] < 2.0
+        ]
+        if slow:
+            print(
+                "REGRESSION: 8-worker fleet rounds are less than 2x "
+                "the single-worker critical path", file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "run":
+        return _run_fleet_run(args)
+    if args.fleet_command == "status":
+        return _run_fleet_status(args)
+    return _run_fleet_bench(args)
+
+
 def _record_config(args: argparse.Namespace) -> dict:
     """The :func:`standard_run_config` overrides shared by ``record``
     and single-process ``tail``."""
@@ -807,7 +1052,17 @@ def _run_tail(args: argparse.Namespace) -> int:
     bus = TelemetryBus()
     ansi = False if args.plain else None
     with TailDashboard(bus, ansi=ansi) as dashboard:
-        if args.shards > 0:
+        if args.fleet > 0:
+            from repro.fleet.bench import QUICK_FABRIC, fleet_bench_spec
+            from repro.fleet.equivalence import run_fleet
+
+            spec = fleet_bench_spec(
+                args.fleet, QUICK_FABRIC,
+                containers_per_job=args.containers,
+                total_rounds=args.rounds, seed=args.seed,
+            )
+            run_fleet(spec, num_workers=args.workers, bus=bus)
+        elif args.shards > 0:
             from repro.shard import run_plane
 
             spec = _shard_spec(args, 2)
@@ -859,6 +1114,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_shard_status(args)
     if args.command == "bench-shard":
         return _run_bench_shard(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "record":
         return _run_record(args)
     if args.command == "replay":

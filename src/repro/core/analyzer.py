@@ -25,7 +25,11 @@ from repro.core.pinglist import ProbePair
 from repro.network.issues import Symptom
 from repro.network.packet import ProbeResult
 
-__all__ = ["Analyzer", "FailureEvent"]
+__all__ = ["Analyzer", "FailureEvent", "VALID_BACKENDS"]
+
+#: Analyzer backends accepted by :class:`Analyzer`; an unknown name
+#: raises immediately (naming these) instead of failing mid-run.
+VALID_BACKENDS: Tuple[str, ...] = ("columnar", "legacy")
 
 
 @dataclass
@@ -110,8 +114,12 @@ class Analyzer:
         # one analyzer's tuning into every other (see repro.verify.lint,
         # rule "shared-instance-default").
         config = config if config is not None else DetectorConfig()
-        if backend not in ("columnar", "legacy"):
-            raise ValueError(f"unknown analyzer backend: {backend!r}")
+        if backend not in VALID_BACKENDS:
+            valid = ", ".join(repr(name) for name in VALID_BACKENDS)
+            raise ValueError(
+                f"unknown analyzer backend: {backend!r} "
+                f"(valid backends: {valid})"
+            )
         self.config = config
         self.backend = backend
         self.resolve_after_s = resolve_after_s

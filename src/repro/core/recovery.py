@@ -12,10 +12,10 @@ cooldown so one flapping diagnosis cannot thrash the placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.cluster.container import Container
-from repro.cluster.identifiers import ContainerId, HostId
+from repro.cluster.identifiers import ContainerId, HostId, TaskId
 from repro.cluster.orchestrator import Orchestrator, PlacementError
 from repro.core.handling import Blacklist
 from repro.core.localization import LocalizationReport
@@ -49,9 +49,22 @@ class RecoveryManager:
         cooldown_s: float = 300.0,
         max_migrations_per_window: int = 3,
         migration_window_s: float = 3600.0,
+        scope: Optional[str] = None,
+        scope_tasks: Optional[Iterable[TaskId]] = None,
     ) -> None:
         self.orchestrator = orchestrator
         self.blacklist = blacklist
+        # Isolation (fleet tenancy): ``scope`` keys every blacklist
+        # query, so this manager honours one tenant's entries without
+        # colliding with another tenant's identical host names;
+        # ``scope_tasks`` restricts migration victims to the tenant's
+        # own tasks, so a diagnosis for tenant A's host never moves
+        # tenant B's containers.  Both default to the legacy global
+        # behaviour.
+        self.scope = scope
+        self.scope_tasks: Optional[Set[TaskId]] = (
+            set(scope_tasks) if scope_tasks is not None else None
+        )
         self.cooldown_s = cooldown_s
         # Thrash guard: the cooldown alone lets a container bounce
         # between two flapping hosts forever at exactly ``cooldown_s``
@@ -87,7 +100,13 @@ class RecoveryManager:
         if host_name is None:
             return []
         victims = []
-        for task in self.orchestrator.tasks.values():
+        for task_id in sorted(self.orchestrator.tasks):
+            if (
+                self.scope_tasks is not None
+                and task_id not in self.scope_tasks
+            ):
+                continue
+            task = self.orchestrator.tasks[task_id]
             for container in task.running_containers():
                 if str(container.host) == host_name:
                     victims.append(container)
@@ -148,7 +167,9 @@ class RecoveryManager:
             return []
         hosts: Set[HostId] = set()
         for host_id in self.orchestrator.cluster.hosts:
-            if not self.blacklist.host_allowed(host_id):
+            if not self.blacklist.host_allowed(
+                host_id, scope=self.scope
+            ):
                 hosts.add(host_id)
         return sorted(hosts)
 

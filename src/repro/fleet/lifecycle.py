@@ -1,0 +1,209 @@
+"""Deterministic tenant lifecycle planning for fleet runs.
+
+Admissions, departures, and container reschedules are planned *ahead of
+time* as a pure function of the :class:`~repro.fleet.spec.FleetSpec`:
+
+* arrivals/departures come straight from each tenant's round window;
+* admission control replays the budget scheduler's :meth:`fits`
+  predicate (plus a host-capacity check), so whether a tenant is
+  admitted is decided by the spec alone;
+* container churn draws through ``keyed_uniform`` with keys stamped by
+  tenant name and round number — never a shared, call-order-dependent
+  RNG stream.
+
+Because the plan is pure, every fleet worker (and every failover
+replica) computes the identical event sequence and replays it against
+its own cluster replica, which is what keeps fabric state — placement,
+overlay wiring, background load — bit-identical across shard counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet.budget import ProbeBudgetScheduler, TenantDemand
+from repro.fleet.spec import FleetSpec, tenant_pairs
+from repro.network.draws import keyed_uniform
+
+__all__ = [
+    "FleetLifecyclePlan",
+    "LifecycleEvent",
+    "demand_table",
+    "plan_lifecycle",
+]
+
+#: Event kinds, in the order they apply within one round.
+ADMIT = "admit"
+REJECT = "reject"
+DEPART = "depart"
+RESCHEDULE = "reschedule"
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One tenant lifecycle transition, applied just before a round."""
+
+    round_index: int
+    kind: str            # admit | reject | depart | reschedule
+    tenant: str
+    #: Container rank being rescheduled (churn events only).
+    rank: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FleetLifecyclePlan:
+    """The full, replayable lifecycle of a fleet run."""
+
+    total_rounds: int
+    events: Tuple[LifecycleEvent, ...]
+    #: Per round (index 0 = round 1): admitted tenants present that
+    #: round, sorted by name.
+    presence: Tuple[Tuple[str, ...], ...]
+    #: Tenants rejected at admission, with the rejection reason.
+    rejections: Tuple[Tuple[str, str], ...]
+
+    def events_at(self, round_index: int) -> List[LifecycleEvent]:
+        """Events applied just before ``round_index`` probes."""
+        return [
+            event for event in self.events
+            if event.round_index == round_index
+        ]
+
+    def admitted_at(self, round_index: int) -> Tuple[str, ...]:
+        """Tenants admitted and present during ``round_index``."""
+        if not 1 <= round_index <= self.total_rounds:
+            raise ValueError(
+                f"round {round_index} outside [1, {self.total_rounds}]"
+            )
+        return self.presence[round_index - 1]
+
+    def ever_admitted(self) -> List[str]:
+        """Every tenant admitted at any point, sorted."""
+        return sorted({
+            event.tenant for event in self.events
+            if event.kind == ADMIT
+        })
+
+    def rejected(self) -> List[str]:
+        """Tenants admission control turned away, sorted."""
+        return sorted(name for name, _ in self.rejections)
+
+    def churn_events(self) -> List[LifecycleEvent]:
+        """All container reschedules, in application order."""
+        return [e for e in self.events if e.kind == RESCHEDULE]
+
+
+def demand_table(spec: FleetSpec) -> Dict[str, TenantDemand]:
+    """Each tenant's budget demand, computed before any placement.
+
+    Demands derive from :func:`~repro.fleet.spec.tenant_pairs`, which
+    needs only the tenant's shape — admission decisions therefore never
+    depend on where (or whether) containers were placed.
+    """
+    table: Dict[str, TenantDemand] = {}
+    for tenant in spec.tenants:
+        pairs = tenant_pairs(tenant, spec.task_id_of(tenant.name))
+        table[tenant.name] = TenantDemand(
+            name=tenant.name,
+            demand=len(pairs),
+            coverage_floor=tenant.coverage_floor,
+            weight=tenant.weight,
+        )
+    return table
+
+
+def plan_lifecycle(spec: FleetSpec) -> FleetLifecyclePlan:
+    """Plan every admission, departure, and reschedule of the run.
+
+    Within one round, transitions apply in a fixed order — departures,
+    then arrivals (spec order), then churn (name order) — so the
+    admitted set a round's budget allocation sees is unambiguous.
+    """
+    scheduler = ProbeBudgetScheduler(spec.probe_budget_per_round)
+    demands = demand_table(spec)
+    events: List[LifecycleEvent] = []
+    rejections: List[Tuple[str, str]] = []
+    presence: List[Tuple[str, ...]] = []
+    admitted: List[str] = []     # insertion (spec) order
+    rejected: set = set()
+    for round_index in range(1, spec.total_rounds + 1):
+        # 1. Departures: tenant present for [arrival, departure).
+        for tenant in spec.tenants:
+            if (
+                tenant.name in admitted
+                and tenant.departure_round == round_index
+            ):
+                admitted.remove(tenant.name)
+                events.append(LifecycleEvent(
+                    round_index=round_index, kind=DEPART,
+                    tenant=tenant.name,
+                ))
+        # 2. Arrivals, in spec order: budget floors plus host capacity
+        #    must both fit or the tenant is rejected permanently.
+        for tenant in spec.tenants:
+            if tenant.arrival_round != round_index:
+                continue
+            if tenant.name in rejected or tenant.name in admitted:
+                continue
+            candidate = [demands[name] for name in admitted]
+            candidate.append(demands[tenant.name])
+            hosts_needed = tenant.num_containers + sum(
+                spec.tenant(name).num_containers for name in admitted
+            )
+            if not scheduler.fits(candidate):
+                reason = (
+                    f"coverage floors {sum(d.floor for d in candidate)}"
+                    f" > budget {spec.probe_budget_per_round}"
+                )
+            elif hosts_needed > spec.num_hosts:
+                reason = (
+                    f"needs {hosts_needed} hosts, fabric has "
+                    f"{spec.num_hosts}"
+                )
+            else:
+                reason = None
+            if reason is not None:
+                rejected.add(tenant.name)
+                rejections.append((tenant.name, reason))
+                events.append(LifecycleEvent(
+                    round_index=round_index, kind=REJECT,
+                    tenant=tenant.name, detail=reason,
+                ))
+                continue
+            admitted.append(tenant.name)
+            events.append(LifecycleEvent(
+                round_index=round_index, kind=ADMIT,
+                tenant=tenant.name,
+            ))
+        # 3. Container churn, keyed by (tenant, round) so the draw is
+        #    independent of everything else that happened this round.
+        for name in sorted(admitted):
+            tenant = spec.tenant(name)
+            if tenant.churn_rate <= 0.0:
+                continue
+            draw = keyed_uniform(
+                spec.seed, f"fleet:churn:{name}:{round_index}"
+            )
+            if draw >= tenant.churn_rate:
+                continue
+            victim = keyed_uniform(
+                spec.seed, f"fleet:victim:{name}:{round_index}"
+            )
+            rank = min(
+                tenant.num_containers - 1,
+                int(victim * tenant.num_containers),
+            )
+            events.append(LifecycleEvent(
+                round_index=round_index, kind=RESCHEDULE,
+                tenant=name, rank=rank,
+                detail=f"container rank {rank} rescheduled",
+            ))
+        presence.append(tuple(sorted(admitted)))
+    return FleetLifecyclePlan(
+        total_rounds=spec.total_rounds,
+        events=tuple(events),
+        presence=tuple(presence),
+        rejections=tuple(rejections),
+    )

@@ -32,8 +32,11 @@ from repro.shard.equivalence import (
 from repro.shard.monitor import ChunkResult, EventRecord, ShardMonitor
 from repro.shard.partition import (
     PartitionPlan,
+    TenantPlacement,
     TopologyPartitioner,
     cross_shard_links,
+    place_tenants,
+    rebalance_tenants,
 )
 from repro.shard.spec import (
     FaultScheduleRunner,
@@ -61,12 +64,15 @@ __all__ = [
     "ShardRunResult",
     "ShardScenarioSpec",
     "ShardStatus",
+    "TenantPlacement",
     "TopologyPartitioner",
     "backend_named",
     "build_replica",
     "cross_shard_links",
     "default_equivalence_spec",
     "pair_universe",
+    "place_tenants",
+    "rebalance_tenants",
     "run_plane",
     "verify_shard_equivalence",
 ]

@@ -33,7 +33,14 @@ from repro.cluster.orchestrator import Cluster
 from repro.core.pinglist import ProbePair
 from repro.network.fabric import DataPlaneFabric
 
-__all__ = ["PartitionPlan", "TopologyPartitioner", "cross_shard_links"]
+__all__ = [
+    "PartitionPlan",
+    "TenantPlacement",
+    "TopologyPartitioner",
+    "cross_shard_links",
+    "place_tenants",
+    "rebalance_tenants",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,125 @@ class TopologyPartitioner:
                 tuple(sorted(keys)) for keys in shard_keys
             ),
         )
+
+
+@dataclass(frozen=True)
+class TenantPlacement:
+    """A deterministic tenant-to-shard assignment (fleet plane).
+
+    Where :class:`PartitionPlan` splits one job's *pairs* across
+    shards, a fleet places whole *tenants*: a tenant's pairs must stay
+    on one shard so its analyzer sees the complete per-tenant probe
+    stream (the isolation guarantee) and its verdicts never depend on
+    a merge.  ``weights`` is each tenant's probe-pair demand, the unit
+    the balancer equalizes.
+    """
+
+    num_shards: int
+    #: Per shard: its tenant names, sorted.
+    assignments: Tuple[Tuple[str, ...], ...]
+    #: The demand weight used for every placed tenant, sorted by name.
+    weights: Tuple[Tuple[str, int], ...]
+
+    def shard_of(self, tenant: str) -> int:
+        """Which shard hosts ``tenant``."""
+        for shard_id, names in enumerate(self.assignments):
+            if tenant in names:
+                return shard_id
+        raise KeyError(f"tenant {tenant!r} is not placed on any shard")
+
+    def tenants_of(self, shard_id: int) -> Tuple[str, ...]:
+        """The tenants shard ``shard_id`` monitors."""
+        return self.assignments[shard_id]
+
+    def loads(self) -> List[int]:
+        """Summed tenant weight per shard."""
+        weight_of = dict(self.weights)
+        return [
+            sum(weight_of[name] for name in names)
+            for names in self.assignments
+        ]
+
+    def all_tenants(self) -> List[str]:
+        """Every placed tenant, sorted."""
+        return sorted(
+            name for names in self.assignments for name in names
+        )
+
+
+def place_tenants(
+    weights: Dict[str, int], num_shards: int
+) -> TenantPlacement:
+    """Greedy balanced placement of tenants onto shards.
+
+    Tenants are taken heaviest-first (ties broken by name) and each
+    lands on the currently least-loaded shard (ties broken by shard
+    id) — the classic LPT heuristic, fully deterministic, within 4/3
+    of the optimal makespan.  The makespan is what matters: the fleet
+    round's critical path is the busiest shard.
+    """
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    ordered = sorted(
+        weights.items(), key=lambda item: (-item[1], item[0])
+    )
+    shard_names: List[List[str]] = [[] for _ in range(num_shards)]
+    loads = [0] * num_shards
+    for name, weight in ordered:
+        if weight < 0:
+            raise ValueError(
+                f"tenant {name!r} has negative weight {weight}"
+            )
+        target = min(range(num_shards), key=lambda i: (loads[i], i))
+        shard_names[target].append(name)
+        loads[target] += weight
+    return TenantPlacement(
+        num_shards=num_shards,
+        assignments=tuple(
+            tuple(sorted(names)) for names in shard_names
+        ),
+        weights=tuple(sorted(weights.items())),
+    )
+
+
+def rebalance_tenants(
+    placement: TenantPlacement, weights: Dict[str, int]
+) -> TenantPlacement:
+    """Minimal-move rebalance after job churn.
+
+    Surviving tenants keep their shard (moving one means rebuilding a
+    replica and replaying every round so far — correct, but never free),
+    departed tenants simply vanish, and new tenants are placed greedily
+    against the surviving load.  Deterministic for a fixed input.
+    """
+    surviving: List[List[str]] = [
+        [name for name in names if name in weights]
+        for names in placement.assignments
+    ]
+    loads = [
+        sum(weights[name] for name in names) for names in surviving
+    ]
+    placed = {name for names in surviving for name in names}
+    arriving = sorted(
+        (
+            (name, weight) for name, weight in weights.items()
+            if name not in placed
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )
+    for name, weight in arriving:
+        target = min(
+            range(placement.num_shards), key=lambda i: (loads[i], i)
+        )
+        surviving[target].append(name)
+        loads[target] += weight
+    return TenantPlacement(
+        num_shards=placement.num_shards,
+        assignments=tuple(
+            tuple(sorted(names)) for names in surviving
+        ),
+        weights=tuple(sorted(weights.items())),
+    )
 
 
 def cross_shard_links(

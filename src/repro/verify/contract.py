@@ -52,6 +52,10 @@ FLOW_SINKS: Dict[str, str] = {
     "bus.codec": "bus recorder payloads",
     "shard.monitor": "shard worker results",
     "shard.coordinator": "shard worker results",
+    "fleet.budget": "fleet scheduler state",
+    "fleet.lifecycle": "fleet scheduler state",
+    "fleet.controller": "fleet scheduler state",
+    "fleet.coordinator": "fleet scheduler state",
 }
 
 #: Module fragments under the keyed-draw contract: randomness here must

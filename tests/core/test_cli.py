@@ -117,3 +117,29 @@ class TestExportMetrics:
         assert sent[0] == "counter"
         assert sent[1] > 0
         assert "skeletonhunter_anomalies_detected_total" in parsed
+
+
+class TestFleet:
+    _SMALL = [
+        "--jobs", "2", "--workers", "2", "--containers", "4",
+        "--gpus", "4", "--rounds", "6", "--seed", "0",
+    ]
+
+    def test_fleet_run_reports_tenants_and_coverage(self, capsys):
+        code = main(["fleet", "run"] + self._SMALL)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "tenants" in output
+        assert "job-0" in output
+        assert "coverage" in output
+
+    def test_fleet_status_shows_workers_and_failover(self, capsys):
+        code = main(["fleet", "status", "--kill", "0"] + self._SMALL)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "worker" in output
+        assert "reassign" in output
+
+    def test_fleet_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["fleet"])

@@ -219,3 +219,71 @@ class TestSchedulingIntegration:
         )
         with pytest.raises(PlacementError):
             orchestrator.submit_task(1, 4)
+
+
+class TestScopedBlacklist:
+    """Tenant isolation: entries are keyed by (scope, component), so
+    identical component names from different tenants never collide."""
+
+    def test_same_component_in_two_scopes_is_two_entries(self):
+        blacklist = Blacklist()
+        blacklist.add("host:h3", at=1.0, reason="a's view", scope="a")
+        blacklist.add("host:h3", at=2.0, reason="b's view", scope="b")
+        assert blacklist.contains("host:h3", scope="a")
+        assert blacklist.contains("host:h3", scope="b")
+        assert blacklist.active_entries() == [
+            ("a", "host:h3"), ("b", "host:h3"),
+        ]
+
+    def test_clearing_one_scope_leaves_the_other_listed(self):
+        blacklist = Blacklist()
+        blacklist.add("host:h3", at=1.0, reason="down", scope="a")
+        blacklist.add("host:h3", at=1.0, reason="down", scope="b")
+        assert blacklist.clear("host:h3", at=5.0, scope="a")
+        assert not blacklist.contains("host:h3", scope="a")
+        assert blacklist.contains("host:h3", scope="b")
+
+    def test_cascade_clear_never_crosses_scopes(self):
+        blacklist = Blacklist()
+        blacklist.add("h1/rnic-0", at=1.0, reason="down",
+                      group="report@1", scope="a")
+        blacklist.add("host:h1", at=1.0, reason="derived",
+                      group="report@1", scope="a")
+        blacklist.add("host:h1", at=1.0, reason="derived",
+                      group="report@1", scope="b")
+        blacklist.clear("h1/rnic-0", at=5.0, cascade=True, scope="a")
+        assert not blacklist.contains("host:h1", scope="a")
+        assert blacklist.contains("host:h1", scope="b")
+
+    def test_unscoped_query_is_the_conservative_union(self):
+        blacklist = Blacklist()
+        blacklist.add("host:h3", at=1.0, reason="down", scope="a")
+        assert blacklist.contains("host:h3")          # any scope
+        assert blacklist.active() == ["host:h3"]      # union view
+        assert blacklist.active(scope="b") == []      # b's own view
+
+    def test_instance_scope_is_the_default_for_every_call(self):
+        tenant_view = Blacklist(scope="a")
+        tenant_view.add("host:h3", at=1.0, reason="down")
+        assert tenant_view.contains("host:h3")        # a's view
+        assert tenant_view.active_entries() == [("a", "host:h3")]
+        assert not tenant_view.contains("host:h3", scope="b")
+
+    def test_host_allowed_respects_scope(self):
+        blacklist = Blacklist()
+        blacklist.add("host:host-2", at=1.0, reason="down", scope="a")
+        assert not blacklist.host_allowed(HostId(2))             # union
+        assert not blacklist.host_allowed(HostId(2), scope="a")
+        assert blacklist.host_allowed(HostId(2), scope="b")
+
+
+class TestScopedHandler:
+    def test_fleet_handler_writes_tenant_scoped_entries(self):
+        handler = FailureHandler(blacklist=Blacklist(scope="job-a"))
+        handler.handle(10.0, report(diagnosis("h1/rnic-0")))
+        assert handler.blacklist.active_entries() == [
+            ("job-a", "h1/rnic-0"),
+        ]
+        # Another tenant's identically-named component is unaffected.
+        other = Blacklist(scope="job-b")
+        assert not other.contains("h1/rnic-0")

@@ -227,3 +227,83 @@ class TestRecoveryManager:
         )])
         manager = RecoveryManager(orchestrator)
         assert manager.react(10.0, report) == []
+
+
+class TestScopedRecovery:
+    """Fleet tenancy: a scoped manager only ever migrates its own
+    tenant's containers and only sees its own tenant's blacklist."""
+
+    def test_scope_tasks_restricts_victims(self, orchestrator, engine):
+        task_a = orchestrator.submit_task(2, 4, instant_startup=True)
+        task_b = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        bad_host = task_a.container(0).host
+        # A manager scoped to tenant B must ignore a diagnosis that
+        # implicates tenant A's host.
+        manager_b = RecoveryManager(
+            orchestrator, scope_tasks=[task_b.id]
+        )
+        assert manager_b.react(10.0, host_report(bad_host)) == []
+        assert task_a.container(0).host == bad_host
+        # The correctly-scoped manager migrates it.
+        manager_a = RecoveryManager(
+            orchestrator, scope_tasks=[task_a.id]
+        )
+        actions = manager_a.react(10.0, host_report(bad_host))
+        assert actions and actions[0].succeeded
+        assert task_a.container(0).host != bad_host
+
+    def test_unscoped_manager_sees_every_task(
+        self, orchestrator, engine
+    ):
+        task_a = orchestrator.submit_task(2, 4, instant_startup=True)
+        task_b = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        shared = host_report(task_a.container(0).host)
+        manager = RecoveryManager(orchestrator)
+        actions = manager.react(10.0, shared)
+        assert actions and actions[0].succeeded
+        assert task_b.container(0).host is not None  # untouched peer
+
+    def test_scope_keys_blacklist_queries(self, orchestrator, engine):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        blacklist = Blacklist()
+        # Tenant B blacklisted every candidate host; tenant A's manager
+        # must not be constrained by another tenant's verdicts.
+        for host_id in orchestrator.cluster.hosts:
+            if host_id != container.host:
+                blacklist.add(
+                    f"host:{host_id}", at=0.0, reason="b's verdict",
+                    scope="b",
+                )
+        # An unscoped manager takes the conservative union view and
+        # finds no allowed target.
+        unscoped = RecoveryManager(orchestrator, blacklist=blacklist)
+        refused = unscoped.react(10.0, host_report(container.host))
+        assert refused and not refused[0].succeeded
+        manager_a = RecoveryManager(
+            orchestrator, blacklist=blacklist, scope="a",
+            scope_tasks=[task.id],
+        )
+        actions = manager_a.react(20.0, host_report(container.host))
+        assert actions and actions[0].succeeded
+
+    def test_same_scope_blacklist_is_respected(
+        self, orchestrator, engine
+    ):
+        task = orchestrator.submit_task(2, 4, instant_startup=True)
+        engine.run_until(0)
+        container = task.container(0)
+        blacklist = Blacklist()
+        for host_id in orchestrator.cluster.hosts:
+            if host_id not in (container.host, HostId(5)):
+                blacklist.add(
+                    f"host:{host_id}", at=0.0, reason="bad", scope="a"
+                )
+        manager = RecoveryManager(
+            orchestrator, blacklist=blacklist, scope="a",
+        )
+        actions = manager.react(10.0, host_report(container.host))
+        assert actions[0].target == HostId(5)

@@ -1,0 +1,41 @@
+"""Shared fleet-test builders: small, fast multi-tenant specs."""
+
+from repro.cluster.identifiers import ContainerId, TaskId
+from repro.fleet.spec import FleetSpec, TenantSpec
+from repro.shard.spec import FaultSpec
+
+
+def small_fleet_spec(
+    seed=0,
+    total_rounds=8,
+    budget=40,
+    churn_rate=0.0,
+    with_fault=True,
+    extra_tenants=(),
+):
+    """Two 4x4 tenants (plus extras) on a small derived fabric, with a
+    container crash inside tenant ``a`` from round 2 on."""
+    tenants = (
+        TenantSpec(
+            name="a", num_containers=4, gpus_per_container=4,
+            churn_rate=churn_rate,
+        ),
+        TenantSpec(name="b", num_containers=4, gpus_per_container=4),
+    ) + tuple(extra_tenants)
+    faults = ()
+    if with_fault:
+        faults = (
+            FaultSpec(
+                issue="CONTAINER_CRASH",
+                target=ContainerId(TaskId(0), 1),
+                start_round=2,
+            ),
+        )
+    return FleetSpec(
+        seed=seed,
+        total_rounds=total_rounds,
+        probe_budget_per_round=budget,
+        chunk_rounds=4,
+        tenants=tenants,
+        faults=faults,
+    )

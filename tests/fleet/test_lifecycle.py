@@ -1,0 +1,186 @@
+"""Tests for deterministic tenant lifecycle planning."""
+
+import pytest
+
+from repro.fleet.lifecycle import (
+    ADMIT,
+    DEPART,
+    REJECT,
+    demand_table,
+    plan_lifecycle,
+)
+from repro.fleet.spec import FleetSpec, TenantSpec
+
+
+def fleet(budget=10 ** 6, rounds=10, **spec_overrides):
+    tenants = spec_overrides.pop("tenants", (
+        TenantSpec(name="a", num_containers=4, gpus_per_container=4),
+        TenantSpec(
+            name="b", num_containers=4, gpus_per_container=4,
+            arrival_round=3, departure_round=8,
+        ),
+    ))
+    return FleetSpec(
+        total_rounds=rounds,
+        probe_budget_per_round=budget,
+        tenants=tenants,
+        **spec_overrides,
+    )
+
+
+class TestWindows:
+    def test_presence_tracks_arrival_and_departure(self):
+        plan = plan_lifecycle(fleet())
+        assert plan.admitted_at(1) == ("a",)
+        assert plan.admitted_at(3) == ("a", "b")
+        assert plan.admitted_at(7) == ("a", "b")
+        assert plan.admitted_at(8) == ("a",)
+
+    def test_events_ordered_departure_before_arrival(self):
+        spec = fleet(tenants=(
+            TenantSpec(
+                name="old", num_containers=4, gpus_per_container=4,
+                departure_round=5,
+            ),
+            TenantSpec(
+                name="new", num_containers=4, gpus_per_container=4,
+                arrival_round=5,
+            ),
+        ))
+        kinds = [e.kind for e in plan_lifecycle(spec).events_at(5)]
+        assert kinds == [DEPART, ADMIT]
+
+    def test_admitted_at_out_of_range_raises(self):
+        plan = plan_lifecycle(fleet())
+        with pytest.raises(ValueError):
+            plan.admitted_at(0)
+        with pytest.raises(ValueError):
+            plan.admitted_at(11)
+
+
+class TestAdmissionControl:
+    def test_budget_overflow_rejects_latecomer(self):
+        spec = fleet(tenants=(
+            TenantSpec(
+                name="incumbent", num_containers=8,
+                gpus_per_container=4, coverage_floor=1.0,
+            ),
+            TenantSpec(
+                name="latecomer", num_containers=8,
+                gpus_per_container=4, arrival_round=2,
+                coverage_floor=1.0,
+            ),
+        ), budget=demand_of("incumbent"))
+        plan = plan_lifecycle(spec)
+        assert plan.ever_admitted() == ["incumbent"]
+        assert plan.rejected() == ["latecomer"]
+        (event,) = [e for e in plan.events if e.kind == REJECT]
+        assert "budget" in event.detail
+
+    def test_rejection_is_permanent(self):
+        """A rejected tenant never enters later, even after the
+        incumbents that crowded it out depart — admission happens
+        only at the tenant's arrival round."""
+        spec = fleet(tenants=(
+            TenantSpec(
+                name="incumbent", num_containers=8,
+                gpus_per_container=4, coverage_floor=1.0,
+                departure_round=4,
+            ),
+            TenantSpec(
+                name="latecomer", num_containers=8,
+                gpus_per_container=4, arrival_round=2,
+                coverage_floor=1.0,
+            ),
+        ), budget=demand_of("incumbent"))
+        plan = plan_lifecycle(spec)
+        for round_index in range(4, 11):
+            assert "latecomer" not in plan.admitted_at(round_index)
+
+    def test_admission_never_evicts_incumbents(self):
+        """The fits() predicate checks the candidate set with all
+        current incumbents included, so admitting a new tenant can
+        never push an admitted tenant below its floor."""
+        spec = fleet(tenants=(
+            TenantSpec(
+                name="a", num_containers=8, gpus_per_container=4,
+                coverage_floor=0.5,
+            ),
+            TenantSpec(
+                name="b", num_containers=8, gpus_per_container=4,
+                coverage_floor=0.5, arrival_round=3,
+            ),
+        ), budget=100)
+        plan = plan_lifecycle(spec)
+        admitted_rounds = [
+            plan.admitted_at(r) for r in range(1, 11)
+        ]
+        for earlier, later in zip(admitted_rounds, admitted_rounds[1:]):
+            assert set(earlier) <= set(later) | {"a", "b"}
+            assert "a" in later  # incumbent survives b's arrival
+
+    def test_host_capacity_rejects(self):
+        spec = fleet(
+            tenants=(
+                TenantSpec(
+                    name="wide", num_containers=64,
+                    gpus_per_container=4,
+                ),
+                TenantSpec(
+                    name="wider", num_containers=64,
+                    gpus_per_container=4, arrival_round=2,
+                ),
+            ),
+            num_segments=9,   # 72 hosts: wide fits, wide+wider not
+            hosts_per_segment=8,
+        )
+        plan = plan_lifecycle(spec)
+        assert plan.rejected() == ["wider"]
+        reason = dict(plan.rejections)["wider"]
+        assert "hosts" in reason
+
+
+class TestChurn:
+    def churny(self, seed=0):
+        return fleet(
+            seed=seed,
+            rounds=30,
+            tenants=(
+                TenantSpec(
+                    name="spinner", num_containers=8,
+                    gpus_per_container=4, churn_rate=0.5,
+                ),
+                TenantSpec(
+                    name="calm", num_containers=8,
+                    gpus_per_container=4,
+                ),
+            ),
+        )
+
+    def test_churn_only_touches_churning_tenants(self):
+        plan = plan_lifecycle(self.churny())
+        moves = plan.churn_events()
+        assert moves, "0.5 churn over 30 rounds must reschedule"
+        assert {e.tenant for e in moves} == {"spinner"}
+        for event in moves:
+            assert 0 <= event.rank < 8
+
+    def test_plan_is_a_pure_function_of_the_spec(self):
+        first = plan_lifecycle(self.churny())
+        second = plan_lifecycle(self.churny())
+        assert first == second
+
+    def test_seed_changes_the_churn_schedule(self):
+        base = plan_lifecycle(self.churny(seed=0)).churn_events()
+        other = plan_lifecycle(self.churny(seed=7)).churn_events()
+        assert base != other
+
+
+def demand_of(name, containers=8):
+    """The probe-pair demand of one 8x4 tenant, for budget math."""
+    spec = FleetSpec(tenants=(
+        TenantSpec(
+            name=name, num_containers=containers, gpus_per_container=4,
+        ),
+    ))
+    return demand_table(spec)[name].demand

@@ -7,6 +7,8 @@ from repro.shard import (
     build_replica,
     cross_shard_links,
     pair_universe,
+    place_tenants,
+    rebalance_tenants,
 )
 
 from tests.shard.conftest import small_spec
@@ -94,3 +96,72 @@ class TestPlanQueries:
         scenario, pairs = universe
         with pytest.raises(ValueError):
             TopologyPartitioner(scenario.cluster).partition(pairs, 0)
+
+
+class TestTenantPlacement:
+    def test_lpt_balances_the_makespan(self):
+        weights = {"a": 7, "b": 6, "c": 5, "d": 4, "e": 3, "f": 2}
+        placement = place_tenants(weights, 3)
+        loads = placement.loads()
+        assert sum(loads) == sum(weights.values())
+        assert max(loads) == 9  # 7+2, 6+3, 5+4 — LPT is optimal here
+        assert placement.all_tenants() == sorted(weights)
+
+    def test_placement_is_deterministic(self):
+        weights = {"a": 5, "b": 5, "c": 5, "d": 5}
+        first = place_tenants(weights, 2)
+        second = place_tenants(
+            dict(reversed(list(weights.items()))), 2
+        )
+        assert first == second
+
+    def test_shard_of_and_tenants_of_agree(self):
+        placement = place_tenants({"a": 3, "b": 2, "c": 1}, 2)
+        for name in ("a", "b", "c"):
+            shard = placement.shard_of(name)
+            assert name in placement.tenants_of(shard)
+        with pytest.raises(KeyError):
+            placement.shard_of("ghost")
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            place_tenants({"a": 1}, 0)
+        with pytest.raises(ValueError):
+            place_tenants({"a": -1}, 2)
+
+    def test_more_shards_than_tenants_leaves_idle_shards(self):
+        placement = place_tenants({"a": 1, "b": 1}, 4)
+        assert placement.num_shards == 4
+        assert sum(1 for names in placement.assignments if names) == 2
+
+
+class TestTenantRebalance:
+    def test_survivors_keep_their_shard(self):
+        weights = {"a": 7, "b": 6, "c": 5, "d": 4}
+        placement = place_tenants(weights, 2)
+        churned = {
+            name: weight for name, weight in weights.items()
+            if name != "b"
+        }
+        churned["e"] = 6
+        rebalanced = rebalance_tenants(placement, churned)
+        for name in ("a", "c", "d"):
+            assert rebalanced.shard_of(name) == placement.shard_of(
+                name
+            )
+        with pytest.raises(KeyError):
+            rebalanced.shard_of("b")
+
+    def test_arrivals_land_on_the_lightest_surviving_load(self):
+        placement = place_tenants({"a": 10, "b": 1}, 2)
+        light = placement.shard_of("b")
+        rebalanced = rebalance_tenants(
+            placement, {"a": 10, "b": 1, "c": 4}
+        )
+        assert rebalanced.shard_of("c") == light
+
+    def test_rebalance_preserves_shard_count(self):
+        placement = place_tenants({"a": 1, "b": 2, "c": 3}, 3)
+        rebalanced = rebalance_tenants(placement, {"a": 1})
+        assert rebalanced.num_shards == 3
+        assert rebalanced.all_tenants() == ["a"]
