@@ -5,7 +5,8 @@ is run twice — once with a perfect monitor, once under the standard
 chaos weather (10% telemetry + probe-report loss, one 60 s sidecar
 crash) — and the hardened pipeline must keep detection recall within
 10% and the localization rate within 25% of the clean run.  The quick
-subset keeps CI fast; the committed artifact covers all 19 issues.
+subset keeps CI fast; the committed artifact covers all 22 issues
+(Table 1 plus the gray-failure families).
 """
 
 from conftest import print_table, run_once

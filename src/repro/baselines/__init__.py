@@ -1,7 +1,13 @@
 """Baselines SkeletonHunter is compared against in the paper."""
 
 from repro.baselines.detector import DetectorBaseline
+from repro.baselines.flock import FlockLocalizer
 from repro.baselines.pingmesh import PingmeshBaseline
 from repro.baselines.rpingmesh import RPingmeshBaseline
 
-__all__ = ["DetectorBaseline", "PingmeshBaseline", "RPingmeshBaseline"]
+__all__ = [
+    "DetectorBaseline",
+    "FlockLocalizer",
+    "PingmeshBaseline",
+    "RPingmeshBaseline",
+]

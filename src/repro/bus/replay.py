@@ -136,10 +136,10 @@ def drive_standard_run(bus: TelemetryBus, config: Dict[str, Any]):
     """Run the standard chaos campaign leg live, publishing onto
     ``bus``: warm up, apply the skeleton, inject the configured issue,
     clear it, cool down.  Returns the scenario (fully run)."""
-    from repro.network.issues import IssueType
+    from repro.network.issues import lookup_issue
     from repro.workloads.scenarios import standard_fault_target
 
-    issue = IssueType[config["issue"]]
+    issue = lookup_issue(config["issue"])
     chaos = _build_chaos(config)
     scenario = _build_replica(config, bus=bus, chaos=chaos, watch=True)
     scenario.run_for(config["warm_s"])
@@ -263,7 +263,7 @@ class Replayer:
             healthy_pairs_for,
         )
         from repro.core.pinglist import ProbePair
-        from repro.network.issues import IssueType
+        from repro.network.issues import lookup_issue
 
         config = self.recording.config
         scenario = _build_replica(config, watch=False)
@@ -303,7 +303,7 @@ class Replayer:
                         containers=scenario.task.containers,
                     )
                     fault = scenario.injector.inject_issue(
-                        IssueType[spec["issue"]],
+                        lookup_issue(spec["issue"]),
                         target,
                         start=spec["start"],
                         **fault_overrides(spec),
@@ -317,15 +317,19 @@ class Replayer:
             elif topic == Topic.ROUND:
                 result.rounds += 1
                 analyzer.flush(at)
+                open_events = analyzer.open_events()
                 fresh = [
-                    event for event in analyzer.open_events()
+                    event for event in open_events
                     if event.key not in localized
                 ]
                 if not fresh:
                     continue
-                healthy = healthy_pairs_for(fresh, active_pairs)
+                # Mirror the live hunter: the whole open set is the
+                # localization batch (still-open incidents corroborate
+                # the vote), fresh events only gate whether to run.
+                healthy = healthy_pairs_for(open_events, active_pairs)
                 report = localizer.localize(
-                    fresh, healthy_pairs=healthy, now=at
+                    open_events, healthy_pairs=healthy, now=at
                 )
                 result.replayed_verdicts.append(_norm({
                     "at": at,

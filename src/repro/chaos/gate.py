@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.faults import MonitorFaultInjector, MonitorIssue
 from repro.core.resilience import RetryPolicy
-from repro.network.issues import IssueType
+from repro.network.issues import GrayIssueType, IssueType, all_issue_types
 from repro.workloads.scenarios import build_scenario, standard_fault_target
 
 __all__ = [
@@ -36,13 +36,16 @@ __all__ = [
     "standard_chaos",
 ]
 
-#: The full gate sweeps every Table-1 issue, exactly like ``repro
-#: campaign``; the quick (CI smoke) subset keeps one issue per layer.
-FULL_ISSUES: Tuple[IssueType, ...] = tuple(IssueType)
-QUICK_ISSUES: Tuple[IssueType, ...] = (
+#: The full gate sweeps every catalogued issue — Table 1 plus the gray
+#: families — exactly like ``repro campaign``; adding a family to the
+#: catalog extends the sweep with no edits here.  The quick (CI smoke)
+#: subset keeps one issue per layer plus one gray family.
+FULL_ISSUES: Tuple[object, ...] = all_issue_types()
+QUICK_ISSUES: Tuple[object, ...] = (
     IssueType.RNIC_PORT_DOWN,
     IssueType.SWITCH_PORT_DOWN,
     IssueType.CONTAINER_CRASH,
+    GrayIssueType.PARTIAL_LINK_DEGRADATION,
 )
 
 #: The sidecar agent crashed during the chaos run (container id string;
@@ -110,7 +113,7 @@ def standard_chaos(
 
 
 def _run_case(
-    issue: IssueType,
+    issue,
     seed: int,
     chaos: Optional[MonitorFaultInjector],
 ) -> Dict[str, object]:

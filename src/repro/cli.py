@@ -12,6 +12,7 @@ Usage::
     python -m repro verify [--issue NAME] [--lint | --flow [paths...]]
     python -m repro bench [--quick] [--out FILE]
     python -m repro chaos [--quick] [--out FILE]
+    python -m repro gray [--quick] [--out FILE]
     python -m repro run [--shards N] [--backend inproc|mp] [--faults N]
     python -m repro shard-status [--shards N] [--kill SHARD]
     python -m repro bench-shard [--quick] [--out FILE]
@@ -23,9 +24,10 @@ Usage::
     python -m repro tail [--shards N] [--plain]
 
 ``demo`` monitors one training task, applies skeleton inference, injects
-an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps all 19
-Table-1 issue types.  ``stats`` prints the production-statistics
-summaries behind the paper's motivation figures.
+an RNIC failure, and reports the diagnosis.  ``campaign`` sweeps every
+catalogued issue — the 19 Table-1 types plus the gray-failure families.
+``stats`` prints the production-statistics summaries behind the paper's
+motivation figures.
 
 The last four commands run a monitored scenario with observability
 enabled and surface the run from the operator's side (§6 dashboards):
@@ -56,6 +58,13 @@ twice — perfect monitor vs standard chaos weather (telemetry + report
 loss, one agent crash) — and fails unless detection recall and the
 localization rate stay within the committed bounds
 (``BENCH_chaos.json``).
+
+``gray`` runs the gray-failure degradation gate: each gray family (PFC
+storm, congestion collapse, partial link degradation) is injected under
+spraying ECMP and scored against the clean static-ECMP baseline, through
+both analyzer backends and the shard plane; distribution-aware
+tomography voting is compared with naive voting and the Flock-style
+probabilistic baseline is scored side by side (``BENCH_gray.json``).
 
 The last three commands drive the sharded monitoring plane
 (:mod:`repro.shard`): ``run`` executes a faulted scenario across N
@@ -91,7 +100,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.network.issues import ISSUE_CATALOG, IssueType
+from repro.network.issues import (
+    IssueType,
+    all_issue_types,
+    lookup_issue,
+    spec_of,
+)
 from repro.workloads.production import ProductionStatistics
 from repro.workloads.scenarios import build_scenario, standard_fault_target
 
@@ -115,11 +129,12 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument(
         "--issue", default="RNIC_PORT_DOWN",
-        choices=[i.name for i in IssueType],
+        choices=[i.name for i in all_issue_types()],
     )
 
     campaign = commands.add_parser(
-        "campaign", help="inject every Table-1 issue type and score"
+        "campaign", help="inject every catalogued issue type "
+        "(Table 1 + gray families) and score"
     )
     campaign.add_argument("--seed", type=int, default=0)
 
@@ -209,6 +224,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-loss", type=float, default=0.10,
         help="telemetry and probe-report loss rate (default 0.10)",
     )
+
+    gray = commands.add_parser(
+        "gray", help="run the gray-failure degradation gate "
+        "(clean static-ECMP vs gray faults under spraying ECMP)"
+    )
+    gray.add_argument(
+        "--quick", action="store_true",
+        help="one seed and the reduced family sweep (the CI smoke "
+        "mode)",
+    )
+    gray.add_argument(
+        "--out", default="BENCH_gray.json",
+        help="write the JSON report here (default: BENCH_gray.json)",
+    )
+    gray.add_argument("--seed", type=int, default=0)
 
     def add_shard_args(command) -> None:
         command.add_argument(
@@ -325,7 +355,7 @@ def _build_parser() -> argparse.ArgumentParser:
         command.add_argument("--seed", type=int, default=0)
         command.add_argument(
             "--issue", default="RNIC_PORT_DOWN",
-            choices=[i.name for i in IssueType],
+            choices=[i.name for i in all_issue_types()],
         )
         command.add_argument(
             "--telemetry-loss", type=float, default=0.10,
@@ -405,7 +435,7 @@ _target_for = standard_fault_target
 
 
 def _run_demo(args: argparse.Namespace) -> int:
-    issue = IssueType[args.issue]
+    issue = lookup_issue(args.issue)
     scenario = build_scenario(
         num_containers=args.containers, gpus_per_container=args.gpus,
         pp=args.pp, seed=args.seed,
@@ -418,7 +448,7 @@ def _run_demo(args: argparse.Namespace) -> int:
           f"{len(skeleton.edges)} probe pairs")
     fault = scenario.inject(issue, _target_for(scenario, issue))
     print(f"injected {issue.name} "
-          f"({ISSUE_CATALOG[issue].symptom.value})")
+          f"({spec_of(issue).symptom.value})")
     scenario.run_for(120)
     scenario.clear(fault)
     scenario.run_for(40)
@@ -434,7 +464,8 @@ def _run_demo(args: argparse.Namespace) -> int:
 
 def _run_campaign(args: argparse.Namespace) -> int:
     detected = localized = 0
-    for issue in IssueType:
+    issues = all_issue_types()
+    for issue in issues:
         scenario = build_scenario(
             num_containers=4, gpus_per_container=4, pp=2,
             seed=args.seed * 100 + issue.value, hosts_per_segment=4,
@@ -451,9 +482,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
         status = "ok" if outcome.localized else (
             "DETECTED-ONLY" if outcome.detected else "MISSED"
         )
-        print(f"{issue.value:>2} {issue.name.lower():<30} {status}")
-    print(f"\ndetected {detected}/19, localized {localized}/19")
-    return 0 if detected == 19 else 1
+        print(f"{issue.value:>3} {issue.name.lower():<30} {status}")
+    total = len(issues)
+    print(f"\ndetected {detected}/{total}, localized {localized}/{total}")
+    return 0 if detected == total else 1
 
 
 def _run_stats(_: argparse.Namespace) -> int:
@@ -622,6 +654,22 @@ def _run_chaos(args: argparse.Namespace) -> int:
         quick=args.quick, seed=args.seed, out=args.out,
         telemetry_loss=args.telemetry_loss,
     )
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    return 0 if report["summary"]["passed"] else 1
+
+
+def _run_gray(args: argparse.Namespace) -> int:
+    from repro.chaos.gray import format_report, run_gray_benchmark
+
+    try:
+        report = run_gray_benchmark(
+            quick=args.quick, seed=args.seed, out=args.out
+        )
+    except AssertionError as error:
+        print(f"gray equivalence gate failed: {error}",
+              file=sys.stderr)
+        return 1
     print(format_report(report))
     print(f"wrote {args.out}")
     return 0 if report["summary"]["passed"] else 1
@@ -1108,6 +1156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "gray":
+        return _run_gray(args)
     if args.command == "run":
         return _run_sharded(args)
     if args.command == "shard-status":

@@ -24,7 +24,12 @@ import networkx as nx
 
 from repro.cluster.identifiers import HostId, LinkId, RnicId, SwitchId
 
-__all__ = ["RailOptimizedTopology", "TopologyError", "UnderlayPath"]
+__all__ = [
+    "FatTreeTopology",
+    "RailOptimizedTopology",
+    "TopologyError",
+    "UnderlayPath",
+]
 
 
 class TopologyError(ValueError):
@@ -70,68 +75,33 @@ class UnderlayPath:
         return self.devices[1:-1]
 
 
-class RailOptimizedTopology:
-    """The physical fabric: segments x rails of ToRs under shared spines.
+class _ClosTopology:
+    """Shared surface of the two-tier Clos fabrics.
 
-    Parameters
-    ----------
-    num_segments:
-        Number of host segments (each segment owns one ToR per rail).
-    hosts_per_segment:
-        Hosts attached to each segment.
-    rails_per_host:
-        RNICs per host; also the number of ToRs per segment.
-    num_spines:
-        Spine switches shared by all ToRs (ECMP width).
+    Subclass constructors validate their parameters, set the structural
+    attributes (``hosts``, ``spines``, ``num_segments``,
+    ``hosts_per_segment``, ``rails_per_host``, ``num_spines``), wire the
+    fabric, and call :meth:`_finish_wiring`; everything else — path
+    computation, ECMP memoization, graph export, structure queries — is
+    identical across wirings because it only depends on
+    :meth:`tor_of`.
     """
 
-    def __init__(
-        self,
-        num_segments: int = 2,
-        hosts_per_segment: int = 8,
-        rails_per_host: int = 8,
-        num_spines: int = 4,
-    ) -> None:
-        if num_segments < 1:
-            raise TopologyError("need at least one segment")
-        if hosts_per_segment < 1:
-            raise TopologyError("need at least one host per segment")
-        if rails_per_host < 1:
-            raise TopologyError("need at least one rail per host")
-        if num_spines < 1:
-            raise TopologyError("need at least one spine switch")
+    #: Whether the wiring satisfies the rail invariants the preload
+    #: pruning and the rail verify passes assume.  Non-rail fabrics set
+    #: this False so those passes skip instead of failing.
+    is_rail_optimized = False
 
-        self.num_segments = num_segments
-        self.hosts_per_segment = hosts_per_segment
-        self.rails_per_host = rails_per_host
-        self.num_spines = num_spines
+    hosts: List[HostId]
+    spines: List[SwitchId]
+    num_segments: int
+    hosts_per_segment: int
+    rails_per_host: int
+    num_spines: int
 
-        self.hosts: List[HostId] = [
-            HostId(i) for i in range(num_segments * hosts_per_segment)
-        ]
-        self.spines: List[SwitchId] = [
-            SwitchId("spine", s) for s in range(num_spines)
-        ]
-        self._tors: Dict[Tuple[int, int], SwitchId] = {}
-        for seg in range(num_segments):
-            for rail in range(rails_per_host):
-                self._tors[(seg, rail)] = SwitchId(
-                    "tor", seg * rails_per_host + rail
-                )
-
-        self._links: List[LinkId] = []
-        for host in self.hosts:
-            seg = self.segment_of(host)
-            for rail in range(rails_per_host):
-                rnic = RnicId(host, rail)
-                self._links.append(
-                    LinkId.between(rnic, self._tors[(seg, rail)])
-                )
-        for tor in self._tors.values():
-            for spine in self.spines:
-                self._links.append(LinkId.between(tor, spine))
-        self._link_set = frozenset(self._links)
-
+    def _finish_wiring(self, links: List[LinkId]) -> None:
+        self._links: List[LinkId] = links
+        self._link_set = frozenset(links)
         #: Memoized ECMP path lists per (src, dst) RNIC pair.  The
         #: wiring is fixed after construction, so entries never go stale
         #: by themselves; ``invalidate_path_cache`` exists for callers
@@ -141,6 +111,14 @@ class RailOptimizedTopology:
         self._path_cache: Dict[
             Tuple[RnicId, RnicId], List[UnderlayPath]
         ] = {}
+
+    def tor_of(self, rnic: RnicId) -> SwitchId:
+        """The ToR switch an RNIC attaches to."""
+        raise NotImplementedError
+
+    def tors(self) -> List[SwitchId]:
+        """All ToR switches, sorted by index."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -170,17 +148,6 @@ class RailOptimizedTopology:
     def all_rnics(self) -> List[RnicId]:
         """Every physical RNIC, sorted by (host, rail)."""
         return [r for h in self.hosts for r in self.rnics_of(h)]
-
-    def tor_of(self, rnic: RnicId) -> SwitchId:
-        """The ToR switch an RNIC attaches to."""
-        if not 0 <= rnic.rail < self.rails_per_host:
-            raise TopologyError(f"rail {rnic.rail} out of range for {rnic}")
-        seg = self.segment_of(rnic.host)
-        return self._tors[(seg, rnic.rail)]
-
-    def tors(self) -> List[SwitchId]:
-        """All ToR switches, sorted by index."""
-        return sorted(self._tors.values())
 
     def links(self) -> List[LinkId]:
         """All physical links."""
@@ -260,7 +227,152 @@ class RailOptimizedTopology:
 
     def __repr__(self) -> str:
         return (
-            f"RailOptimizedTopology(segments={self.num_segments}, "
+            f"{type(self).__name__}(segments={self.num_segments}, "
             f"hosts/segment={self.hosts_per_segment}, "
             f"rails={self.rails_per_host}, spines={self.num_spines})"
         )
+
+
+class RailOptimizedTopology(_ClosTopology):
+    """The physical fabric: segments x rails of ToRs under shared spines.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of host segments (each segment owns one ToR per rail).
+    hosts_per_segment:
+        Hosts attached to each segment.
+    rails_per_host:
+        RNICs per host; also the number of ToRs per segment.
+    num_spines:
+        Spine switches shared by all ToRs (ECMP width).
+    """
+
+    is_rail_optimized = True
+
+    def __init__(
+        self,
+        num_segments: int = 2,
+        hosts_per_segment: int = 8,
+        rails_per_host: int = 8,
+        num_spines: int = 4,
+    ) -> None:
+        if num_segments < 1:
+            raise TopologyError("need at least one segment")
+        if hosts_per_segment < 1:
+            raise TopologyError("need at least one host per segment")
+        if rails_per_host < 1:
+            raise TopologyError("need at least one rail per host")
+        if num_spines < 1:
+            raise TopologyError("need at least one spine switch")
+
+        self.num_segments = num_segments
+        self.hosts_per_segment = hosts_per_segment
+        self.rails_per_host = rails_per_host
+        self.num_spines = num_spines
+
+        self.hosts = [
+            HostId(i) for i in range(num_segments * hosts_per_segment)
+        ]
+        self.spines = [
+            SwitchId("spine", s) for s in range(num_spines)
+        ]
+        self._tors: Dict[Tuple[int, int], SwitchId] = {}
+        for seg in range(num_segments):
+            for rail in range(rails_per_host):
+                self._tors[(seg, rail)] = SwitchId(
+                    "tor", seg * rails_per_host + rail
+                )
+
+        links: List[LinkId] = []
+        for host in self.hosts:
+            seg = self.segment_of(host)
+            for rail in range(rails_per_host):
+                rnic = RnicId(host, rail)
+                links.append(
+                    LinkId.between(rnic, self._tors[(seg, rail)])
+                )
+        for tor in self._tors.values():
+            for spine in self.spines:
+                links.append(LinkId.between(tor, spine))
+        self._finish_wiring(links)
+
+    def tor_of(self, rnic: RnicId) -> SwitchId:
+        """The ToR switch an RNIC attaches to."""
+        if not 0 <= rnic.rail < self.rails_per_host:
+            raise TopologyError(f"rail {rnic.rail} out of range for {rnic}")
+        seg = self.segment_of(rnic.host)
+        return self._tors[(seg, rnic.rail)]
+
+    def tors(self) -> List[SwitchId]:
+        """All ToR switches, sorted by index."""
+        return sorted(self._tors.values())
+
+
+class FatTreeTopology(_ClosTopology):
+    """Plain (non-rail-optimized) leaf-spine fabric.
+
+    Every RNIC of every host in a segment attaches to that segment's
+    single leaf switch — no rail striping — and every leaf uplinks to
+    every spine.  This is the classic fat-tree edge wiring: a host's
+    NICs share one ToR, so same-"rail" traffic between segments still
+    fans out over all spines, but the rail-locality invariants the
+    preload pruning and the rail verify passes rely on do not hold
+    (``is_rail_optimized`` is False and those passes skip).
+
+    Exposes the exact :class:`RailOptimizedTopology` surface —
+    ``rails_per_host`` degenerates to "NIC index within the host".
+    """
+
+    is_rail_optimized = False
+
+    def __init__(
+        self,
+        num_segments: int = 2,
+        hosts_per_segment: int = 8,
+        rnics_per_host: int = 8,
+        num_spines: int = 4,
+    ) -> None:
+        if num_segments < 1:
+            raise TopologyError("need at least one segment")
+        if hosts_per_segment < 1:
+            raise TopologyError("need at least one host per segment")
+        if rnics_per_host < 1:
+            raise TopologyError("need at least one RNIC per host")
+        if num_spines < 1:
+            raise TopologyError("need at least one spine switch")
+
+        self.num_segments = num_segments
+        self.hosts_per_segment = hosts_per_segment
+        self.rails_per_host = rnics_per_host
+        self.num_spines = num_spines
+
+        self.hosts = [
+            HostId(i) for i in range(num_segments * hosts_per_segment)
+        ]
+        self.spines = [
+            SwitchId("spine", s) for s in range(num_spines)
+        ]
+        self._leaves: List[SwitchId] = [
+            SwitchId("tor", seg) for seg in range(num_segments)
+        ]
+
+        links: List[LinkId] = []
+        for host in self.hosts:
+            leaf = self._leaves[self.segment_of(host)]
+            for rail in range(rnics_per_host):
+                links.append(LinkId.between(RnicId(host, rail), leaf))
+        for leaf in self._leaves:
+            for spine in self.spines:
+                links.append(LinkId.between(leaf, spine))
+        self._finish_wiring(links)
+
+    def tor_of(self, rnic: RnicId) -> SwitchId:
+        """The segment leaf switch; every rail of a host shares it."""
+        if not 0 <= rnic.rail < self.rails_per_host:
+            raise TopologyError(f"rail {rnic.rail} out of range for {rnic}")
+        return self._leaves[self.segment_of(rnic.host)]
+
+    def tors(self) -> List[SwitchId]:
+        """All leaf switches, sorted by index."""
+        return list(self._leaves)

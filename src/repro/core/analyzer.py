@@ -25,11 +25,93 @@ from repro.core.pinglist import ProbePair
 from repro.network.issues import Symptom
 from repro.network.packet import ProbeResult
 
-__all__ = ["Analyzer", "FailureEvent", "VALID_BACKENDS"]
+__all__ = [
+    "Analyzer",
+    "FailureEvent",
+    "LoadConditionedAdmission",
+    "VALID_BACKENDS",
+]
 
 #: Analyzer backends accepted by :class:`Analyzer`; an unknown name
 #: raises immediately (naming these) instead of failing mid-run.
 VALID_BACKENDS: Tuple[str, ...] = ("columnar", "legacy")
+
+
+class LoadConditionedAdmission:
+    """Raises latency thresholds on pairs whose paths run hot.
+
+    Congestion on a heavily-utilized link inflates latency without any
+    component having failed; admitting those anomalies at the standard
+    thresholds misclassifies congestion collapse as a link failure.
+    This filter conditions admission on a
+    :class:`~repro.network.load.LinkLoadModel`: a ``HIGH_LATENCY``
+    anomaly whose pair's path distribution averages at least
+    ``hot_utilization`` bottleneck utilization must beat its detector's
+    base threshold by a load-scaled ``headroom`` factor.  Loss and
+    unconnectivity anomalies are never suppressed — packets dropping is
+    a failure signal regardless of load.
+
+    The decision is pure arithmetic over the anomaly and the (static)
+    load model, so it is identical across analyzer backends and shard
+    counts.  Pair utilizations are cached per fabric routing epoch:
+    toggling the ECMP mode changes path distributions, so cached
+    utilizations from the previous mode are discarded.
+    """
+
+    def __init__(
+        self,
+        load_model,
+        fabric,
+        hot_utilization: float = 0.7,
+        headroom: float = 1.5,
+        ztest_base: float = 3.9,
+    ) -> None:
+        self.load_model = load_model
+        self.fabric = fabric
+        self.hot_utilization = hot_utilization
+        self.headroom = headroom
+        # The z-test scores |z| but thresholds on alpha; 3.9 is the
+        # two-sided critical value at the default alpha=1e-4.
+        self.ztest_base = ztest_base
+        self._cache: Dict[ProbePair, float] = {}
+        self._cache_epoch: Optional[int] = None
+
+    def pair_utilization(self, pair: ProbePair) -> float:
+        """Mean bottleneck utilization over the pair's path distribution."""
+        epoch = getattr(
+            getattr(self.fabric, "resolution_cache", None),
+            "routing_epoch", None,
+        )
+        if epoch != self._cache_epoch:
+            self._cache.clear()
+            self._cache_epoch = epoch
+        cached = self._cache.get(pair)
+        if cached is not None:
+            return cached
+        paths = self.fabric.path_distribution(pair.src, pair.dst)
+        utilization = (
+            self.load_model.distribution_utilization(paths)
+            if paths else 0.0
+        )
+        self._cache[pair] = utilization
+        return utilization
+
+    def admit(self, anomaly, base_threshold: Optional[float]) -> bool:
+        """Whether the anomaly survives load conditioning."""
+        if anomaly.symptom is not Symptom.HIGH_LATENCY:
+            return True
+        utilization = self.pair_utilization(anomaly.pair)
+        if utilization < self.hot_utilization:
+            return True
+        if anomaly.detector == "long_term_ztest":
+            base_threshold = self.ztest_base
+        if base_threshold is None:
+            return True
+        hotness = (utilization - self.hot_utilization) / max(
+            1e-9, 1.0 - self.hot_utilization
+        )
+        required = base_threshold * (1.0 + self.headroom * hotness)
+        return abs(anomaly.score) >= required
 
 
 @dataclass
@@ -109,6 +191,7 @@ class Analyzer:
         resolve_after_s: float = 90.0,
         recorder=None,
         backend: str = "columnar",
+        load_filter: Optional[LoadConditionedAdmission] = None,
     ) -> None:
         # Constructed per instance: a shared default instance would leak
         # one analyzer's tuning into every other (see repro.verify.lint,
@@ -124,6 +207,12 @@ class Analyzer:
         self.backend = backend
         self.resolve_after_s = resolve_after_s
         self.recorder = recorder
+        # Optional load conditioning: anomalies are run through the
+        # filter before entering the incident bookkeeping.  Applied at
+        # admission (not inside a backend's scorer) so both backends
+        # make identical decisions.  May also be assigned after
+        # construction, before the first probe is ingested.
+        self.load_filter = load_filter
         # Detector-config flags are hoisted out of the per-probe path:
         # `_fast_unconnectivity` runs on every probe and must not
         # re-derive them each time.
@@ -270,7 +359,7 @@ class Analyzer:
                         median_shifted=bool(v.median_shifted),
                         anomalous=v.anomaly is not None,
                     )
-                if v.anomaly is not None:
+                if v.anomaly is not None and self._admit(v.anomaly):
                     new.append(v.anomaly)
                     self._record(v.anomaly)
                 else:
@@ -284,7 +373,7 @@ class Analyzer:
                         samples=v.samples,
                         anomalous=v.anomaly is not None,
                     )
-                if v.anomaly is not None:
+                if v.anomaly is not None and self._admit(v.anomaly):
                     new.append(v.anomaly)
                     self._record(v.anomaly)
         return new
@@ -305,7 +394,7 @@ class Analyzer:
             return []
         found: List[DetectedAnomaly] = []
         anomaly = self._short.observe(summary)
-        if anomaly is not None:
+        if anomaly is not None and self._admit(anomaly):
             found.append(anomaly)
             self._record(anomaly)
         else:
@@ -320,10 +409,33 @@ class Analyzer:
             window_end = monitor._long_start + self.config.long_window_s
             latencies = monitor.pop_long_window(now)
             anomaly = self._long.observe(pair, window_end, latencies)
-            if anomaly is not None:
+            if anomaly is not None and self._admit(anomaly):
                 found.append(anomaly)
                 self._record(anomaly)
         return found
+
+    def _admit(self, anomaly: DetectedAnomaly) -> bool:
+        """Run the anomaly through load conditioning, if configured.
+
+        A suppressed window counts as healthy for incident resolution:
+        load explained the latency, so the pair is not misbehaving.
+        """
+        if self.load_filter is None:
+            return True
+        if self.load_filter.admit(
+            anomaly, self._threshold_of(anomaly.detector)
+        ):
+            return True
+        if self.recorder is not None:
+            self.recorder.count("anomalies.suppressed_load")
+            self.recorder.event(
+                "detect.suppressed_load",
+                sim_time=anomaly.detected_at,
+                pair=f"{anomaly.pair.src}<->{anomaly.pair.dst}",
+                detector=anomaly.detector,
+                score=float(anomaly.score),
+            )
+        return False
 
     def _record(self, anomaly: DetectedAnomaly) -> None:
         self.anomalies.append(anomaly)

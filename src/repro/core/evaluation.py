@@ -37,7 +37,15 @@ def fault_affects_pair(
     cluster: Cluster,
     fabric: DataPlaneFabric,
 ) -> bool:
-    """Whether ``fault``'s target sits on the pair's data path."""
+    """Whether ``fault`` can perturb the pair's data path.
+
+    Link/switch targets are checked against every path the pair may
+    take (under static ECMP that is the single pinned pick; under
+    spraying, the full distribution — a sprayed pair *is* affected by a
+    gray link it crosses only some of the time).  A fault's victim
+    links count too: PFC pause propagation genuinely perturbs pairs
+    that never touch the congested port itself.
+    """
     target = fault.target
     overlay = cluster.overlay
     try:
@@ -52,13 +60,20 @@ def fault_affects_pair(
         return target in (src_rnic.host, dst_rnic.host)
     if isinstance(target, Container):
         return target.id in (pair.src.container, pair.dst.container)
-    path = fabric.traceroute(pair.src, pair.dst)
-    if path is None:
+    paths = fabric.path_distribution(pair.src, pair.dst)
+    if not paths:
         return False
     if isinstance(target, LinkId):
-        return target in path.links
+        for path in paths:
+            if target in path.links:
+                return True
+            if fault.victim_links and not (
+                fault.victim_links.isdisjoint(path.links)
+            ):
+                return True
+        return False
     if isinstance(target, SwitchId):
-        return str(target) in path.switches()
+        return any(str(target) in path.switches() for path in paths)
     return False
 
 

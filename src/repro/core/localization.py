@@ -120,6 +120,7 @@ class Localizer:
         intersection: Optional[PhysicalIntersection] = None,
         recorder=None,
         chaos=None,
+        distribution_aware: bool = True,
     ) -> None:
         self.cluster = cluster
         self.fabric = fabric
@@ -128,6 +129,11 @@ class Localizer:
             cluster, chaos=chaos, recorder=recorder
         )
         self.recorder = recorder
+        #: When the fabric sprays packets, vote over path distributions
+        #: (mass-weighted) instead of pinned traceroutes.  Disable to
+        #: measure how naive single-path tomography degrades under
+        #: spraying (the bench's "naive" comparator).
+        self.distribution_aware = distribution_aware
         self._now = 0.0     # sim time of the localize() call in flight
 
     # ------------------------------------------------------------------
@@ -340,44 +346,106 @@ class Localizer:
     ) -> List[FailureEvent]:
         if not events:
             return []
-        healthy_paths = [
-            p for p in (
-                self.fabric.traceroute(pair.src, pair.dst)
-                for pair in healthy_pairs
-            ) if p is not None
-        ]
+        sprayed = self.distribution_aware and getattr(
+            self.fabric, "spraying", False
+        )
         hard = [e for e in events if e.symptom == Symptom.UNCONNECTIVITY]
         soft = [e for e in events if e.symptom != Symptom.UNCONNECTIVITY]
         explained: Set[ProbePair] = set()
 
+        if sprayed:
+            # Pinned traceroutes are meaningless under per-packet
+            # spraying (known_paths included — a shard's reported pick
+            # is one sample, not the flow's route): vote over the full
+            # path distribution of every pair instead.
+            healthy_dists = [
+                d for d in (
+                    self.fabric.path_distribution(pair.src, pair.dst)
+                    for pair in healthy_pairs
+                ) if d
+            ]
+        else:
+            healthy_paths = [
+                p for p in (
+                    self.fabric.traceroute(pair.src, pair.dst)
+                    for pair in healthy_pairs
+                ) if p is not None
+            ]
+
         for group, exonerate in ((hard, True), (soft, False)):
-            paths: Dict[ProbePair, UnderlayPath] = {}
-            for event in group:
-                path = None
-                if known_paths is not None:
-                    path = known_paths.get(event.pair)
-                if path is None:
-                    path = self.fabric.traceroute(
+            if sprayed:
+                dists: Dict[ProbePair, List[UnderlayPath]] = {}
+                for event in group:
+                    dist = self.fabric.path_distribution(
                         event.pair.src, event.pair.dst
                     )
-                if path is not None:
-                    paths[event.pair] = path
-            if len(paths) < 2:
-                continue
-            result = self.intersection.vote(
-                list(paths.values()), healthy_paths, exonerate=exonerate
-            )
-            blamed_pairs = tuple(sorted(
-                pair for pair, path in paths.items()
-                if any(link in result.suspects for link in path.links)
-            ))
+                    if dist:
+                        dists[event.pair] = dist
+                if len(dists) < 2:
+                    continue
+                result = self.intersection.vote_distributions(
+                    list(dists.values()), healthy_dists
+                )
+                if result.suspects:
+                    blamed_pairs = tuple(sorted(
+                        pair for pair, dist in dists.items()
+                        if any(
+                            link in result.suspects
+                            for path in dist for link in path.links
+                        )
+                    ))
+                else:
+                    # Device-level verdict: blame the pairs whose
+                    # distribution can transit the promoted switch.
+                    blamed_pairs = tuple(sorted(
+                        pair for pair, dist in dists.items()
+                        if any(
+                            result.promoted_component in path.switches()
+                            for path in dist
+                        )
+                    )) if result.promoted_component else ()
+                failing_count = len(dists)
+            else:
+                paths: Dict[ProbePair, UnderlayPath] = {}
+                for event in group:
+                    path = None
+                    if known_paths is not None:
+                        path = known_paths.get(event.pair)
+                    if path is None:
+                        path = self.fabric.traceroute(
+                            event.pair.src, event.pair.dst
+                        )
+                    if path is not None:
+                        paths[event.pair] = path
+                if len(paths) < 2:
+                    continue
+                result = self.intersection.vote(
+                    list(paths.values()), healthy_paths,
+                    exonerate=exonerate,
+                )
+                if result.suspects:
+                    blamed_pairs = tuple(sorted(
+                        pair for pair, path in paths.items()
+                        if any(
+                            link in result.suspects for link in path.links
+                        )
+                    ))
+                else:
+                    blamed_pairs = tuple(sorted(
+                        pair for pair, path in paths.items()
+                        if result.promoted_component in path.switches()
+                    )) if result.promoted_component else ()
+                failing_count = len(paths)
             if self.recorder is not None:
                 self.recorder.event(
                     "localize.tomography", sim_time=self._now,
                     group="hard" if exonerate else "soft",
-                    exonerate=exonerate,
-                    failing_paths=len(paths),
-                    healthy_paths=len(healthy_paths),
+                    exonerate=exonerate and not sprayed,
+                    sprayed=sprayed,
+                    failing_paths=failing_count,
+                    healthy_paths=len(
+                        healthy_dists if sprayed else healthy_paths
+                    ),
                     components=result.blamed_components(),
                     blamed_pairs=[_pair_label(p) for p in blamed_pairs],
                     **result.as_fields(),
@@ -391,12 +459,18 @@ class Localizer:
             for link in result.suspects:
                 if str(link) == primary.component:
                     continue
+                vote = result.votes.get(link, 0)
+                evidence = (
+                    f"top-voted physical link "
+                    f"({vote:.2f} failing path mass)"
+                    if sprayed else
+                    f"top-voted physical link ({vote} failing paths)"
+                )
                 self._add(report, Diagnosis(
                     component=str(link),
                     component_class=ComponentClass.INTER_HOST_NETWORK,
                     layer="underlay",
-                    evidence=f"top-voted physical link "
-                    f"({result.votes.get(link, 0)} failing paths)",
+                    evidence=evidence,
                     pairs=blamed_pairs,
                     confidence=0.8,
                 ))
@@ -411,9 +485,12 @@ class Localizer:
         group: Sequence[FailureEvent],
     ) -> Diagnosis:
         symptoms = {e.symptom for e in group if e.pair in set(pairs)}
+        at = (
+            ", ".join(str(s) for s in result.suspects)
+            or result.promoted_component or "nothing"
+        )
         evidence = (
-            f"tomography: {len(pairs)} failing paths intersect at "
-            f"{', '.join(str(s) for s in result.suspects)}"
+            f"tomography: {len(pairs)} failing paths intersect at {at}"
         )
         if result.promoted_kind == "switch":
             return Diagnosis(

@@ -274,8 +274,9 @@ class SkeletonHunter:
         return (sent, lost, anomalies, opened)
 
     def _localize_new_events(self, now: float) -> None:
+        open_events = self.analyzer.open_events()
         fresh = [
-            event for event in self.analyzer.open_events()
+            event for event in open_events
             if event.key not in self._localized_events
         ]
         if not fresh:
@@ -283,9 +284,14 @@ class SkeletonHunter:
         all_pairs = self._all_active_pairs()
         if self.bus is not None:
             self._publish_localization_inputs(now, fresh, all_pairs)
-        healthy = healthy_pairs_for(fresh, all_pairs)
+        # Localize over *every* open event, not just the fresh ones:
+        # gray (probabilistic) faults trickle events in across rounds,
+        # and a single-pair batch gives tomography nothing to intersect.
+        # Still-open incidents are live evidence — they corroborate the
+        # vote and must not count as healthy exoneration mass.
+        healthy = healthy_pairs_for(open_events, all_pairs)
         report = self.localizer.localize(
-            fresh, healthy_pairs=healthy, now=now
+            open_events, healthy_pairs=healthy, now=now
         )
         self.reports.append((now, report))
         if self.bus is not None:

@@ -40,15 +40,15 @@ def _host_of_device(name: str) -> Optional[str]:
 class IntersectionResult:
     """Outcome of one tomography vote."""
 
-    votes: Dict[LinkId, int]
+    votes: Dict[LinkId, float]            # int counts or sprayed mass
     suspects: Tuple[LinkId, ...]          # max-count links (count > 1)
     promoted_component: Optional[str]     # switch/host/RNIC, if inferable
     promoted_kind: Optional[str]          # 'switch' | 'host' | 'rnic' | None
 
     @property
     def found(self) -> bool:
-        """Whether the vote produced any suspect."""
-        return bool(self.suspects)
+        """Whether the vote produced any suspect or promoted device."""
+        return bool(self.suspects) or self.promoted_component is not None
 
     def blamed_components(self) -> List[str]:
         """Component names to report, promotion first."""
@@ -74,15 +74,43 @@ class IntersectionResult:
 
 
 class PhysicalIntersection:
-    """Counts link votes across failing paths and promotes suspects."""
+    """Counts link votes across failing paths and promotes suspects.
 
-    def __init__(self, min_votes: int = 2, tie_tolerance: int = 0) -> None:
+    Two voting modes share the promotion logic: :meth:`vote` is the
+    paper's integer intersection over pinned paths, and
+    :meth:`vote_distributions` is its spraying-ECMP generalization —
+    votes weighted by path probability mass, with healthy mass
+    discounting instead of hard exoneration (a healthy pair crossing a
+    gray link 1/k of the time proves little, but *all* of a link's
+    crossers failing proves a lot).
+    """
+
+    def __init__(
+        self,
+        min_votes: int = 2,
+        tie_tolerance: int = 0,
+        min_mass: float = 0.5,
+        ratio_floor: float = 0.5,
+        tie_fraction: float = 0.75,
+    ) -> None:
         if min_votes < 2:
             raise ValueError(
                 "Algorithm 1 requires more than one vote per suspect link"
             )
         self.min_votes = min_votes
         self.tie_tolerance = tie_tolerance
+        # Distribution-vote tunables: a suspect needs at least
+        # ``min_mass`` expected failing crossings, at least
+        # ``ratio_floor`` of its total crossing mass failing, and a
+        # score within ``tie_fraction`` of the leader to stay a
+        # suspect.  ``min_mass`` stays below 1.0 on purpose: a fabric
+        # link sprayed by k equal-cost paths collects only 1/k mass
+        # per failing pair, so two corroborating pairs on a 4-way
+        # fabric reach exactly 0.5 — demanding a full unit would make
+        # uplink faults invisible until k pairs fail at once.
+        self.min_mass = min_mass
+        self.ratio_floor = ratio_floor
+        self.tie_fraction = tie_fraction
 
     def vote(
         self,
@@ -112,9 +140,8 @@ class PhysicalIntersection:
             if count >= self.min_votes and link not in cleared
         }
         if not eligible:
-            return IntersectionResult(
-                votes=dict(counter), suspects=(), promoted_component=None,
-                promoted_kind=None,
+            return self._device_vote(
+                failing_paths, healthy_paths, exonerate, dict(counter)
             )
         top = max(eligible.values())
         suspects = tuple(sorted(
@@ -125,6 +152,170 @@ class PhysicalIntersection:
         return IntersectionResult(
             votes=dict(counter), suspects=suspects,
             promoted_component=component, promoted_kind=kind,
+        )
+
+    def vote_distributions(
+        self,
+        failing: Sequence[Sequence[UnderlayPath]],
+        healthy: Sequence[Sequence[UnderlayPath]] = (),
+    ) -> IntersectionResult:
+        """Mass-weighted intersection over per-pair path distributions.
+
+        Each element of ``failing``/``healthy`` is one pair's path
+        distribution (every ECMP candidate, equal probability).  A pair
+        contributes ``P(link on taken path)`` of vote mass to each link
+        its distribution crosses; a link's score is its failing mass
+        discounted by the fraction of total crossing mass that stayed
+        healthy, so equally-sprayed sibling links separate whenever
+        healthy pairs cross them.  Deterministic: accumulation order
+        follows the input order and ties sort by link id.
+        """
+        fail_mass: Dict[LinkId, float] = {}
+        total_mass: Dict[LinkId, float] = {}
+        support: Dict[LinkId, int] = {}
+        for dist, bucket in ((failing, True), (healthy, False)):
+            for paths in dist:
+                if not paths:
+                    continue
+                share = 1.0 / len(paths)
+                seen: Dict[LinkId, float] = {}
+                for path in paths:
+                    for link in path.links:
+                        seen[link] = seen.get(link, 0.0) + share
+                for link, mass in seen.items():
+                    total_mass[link] = total_mass.get(link, 0.0) + mass
+                    if bucket:
+                        fail_mass[link] = fail_mass.get(link, 0.0) + mass
+                        support[link] = support.get(link, 0) + 1
+
+        # A suspect needs corroboration from more than one failing pair
+        # whenever more than one is available: a link crossed by a
+        # single sprayed pair (its access links, with mass 1.0) must
+        # not outvote a fabric link two independent pairs implicate at
+        # 1/k mass each.
+        needed = min(2, sum(1 for paths in failing if paths))
+        scores: Dict[LinkId, float] = {}
+        for link, mass in fail_mass.items():
+            if mass < self.min_mass or support[link] < needed:
+                continue
+            ratio = mass / total_mass[link]
+            if ratio < self.ratio_floor:
+                continue
+            scores[link] = mass * ratio
+        if not scores:
+            return self._device_vote_distributions(
+                failing, healthy, dict(fail_mass)
+            )
+        top = max(scores.values())
+        suspects = tuple(sorted(
+            link for link, score in scores.items()
+            if score >= top * self.tie_fraction
+        ))
+        component, kind = self._promote(suspects)
+        return IntersectionResult(
+            votes=dict(fail_mass), suspects=suspects,
+            promoted_component=component, promoted_kind=kind,
+        )
+
+    def _device_vote(
+        self,
+        failing_paths: Sequence[UnderlayPath],
+        healthy_paths: Sequence[UnderlayPath],
+        exonerate: bool,
+        link_votes: Dict[LinkId, float],
+    ) -> IntersectionResult:
+        """Switch-level intersection when no single link is conclusive.
+
+        A PFC storm centred on a spine perturbs every uplink the spine
+        serves: each failing pair crosses a *different* victim link, so
+        no link reaches ``min_votes`` — but every failing path crosses
+        the storm-centre switch itself.  Counting votes per transit
+        switch recovers the device; the verdict stands only when one
+        switch wins outright (an ambiguous device vote explains
+        nothing).
+        """
+        counter: Counter = Counter()
+        for path in failing_paths:
+            for device in dict.fromkeys(path.switches()):
+                counter[device] += 1
+        cleared: Set[str] = set()
+        if exonerate:
+            for path in healthy_paths:
+                cleared.update(path.switches())
+        eligible = {
+            device: count
+            for device, count in counter.items()
+            if count >= self.min_votes and device not in cleared
+        }
+        if eligible:
+            top = max(eligible.values())
+            leaders = sorted(
+                device for device, count in eligible.items()
+                if count >= top - self.tie_tolerance
+            )
+            if len(leaders) == 1:
+                return IntersectionResult(
+                    votes=link_votes, suspects=(),
+                    promoted_component=leaders[0],
+                    promoted_kind="switch",
+                )
+        return IntersectionResult(
+            votes=link_votes, suspects=(),
+            promoted_component=None, promoted_kind=None,
+        )
+
+    def _device_vote_distributions(
+        self,
+        failing: Sequence[Sequence[UnderlayPath]],
+        healthy: Sequence[Sequence[UnderlayPath]],
+        link_votes: Dict[LinkId, float],
+    ) -> IntersectionResult:
+        """Mass-weighted device intersection (spraying counterpart)."""
+        fail_mass: Dict[str, float] = {}
+        total_mass: Dict[str, float] = {}
+        support: Dict[str, int] = {}
+        for dist, bucket in ((failing, True), (healthy, False)):
+            for paths in dist:
+                if not paths:
+                    continue
+                share = 1.0 / len(paths)
+                seen: Dict[str, float] = {}
+                for path in paths:
+                    # Ordered dedupe: a float accumulation must not
+                    # iterate an unordered set (bit-determinism).
+                    for device in dict.fromkeys(path.switches()):
+                        seen[device] = seen.get(device, 0.0) + share
+                for device, mass in seen.items():
+                    total_mass[device] = total_mass.get(device, 0.0) + mass
+                    if bucket:
+                        fail_mass[device] = (
+                            fail_mass.get(device, 0.0) + mass
+                        )
+                        support[device] = support.get(device, 0) + 1
+        needed = min(2, sum(1 for paths in failing if paths))
+        scores: Dict[str, float] = {}
+        for device, mass in fail_mass.items():
+            if mass < self.min_mass or support[device] < needed:
+                continue
+            ratio = mass / total_mass[device]
+            if ratio < self.ratio_floor:
+                continue
+            scores[device] = mass * ratio
+        if scores:
+            top = max(scores.values())
+            leaders = sorted(
+                device for device, score in scores.items()
+                if score >= top * self.tie_fraction
+            )
+            if len(leaders) == 1:
+                return IntersectionResult(
+                    votes=link_votes, suspects=(),
+                    promoted_component=leaders[0],
+                    promoted_kind="switch",
+                )
+        return IntersectionResult(
+            votes=link_votes, suspects=(),
+            promoted_component=None, promoted_kind=None,
         )
 
     @staticmethod

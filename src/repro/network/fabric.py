@@ -58,12 +58,28 @@ __all__ = ["DataPlaneFabric", "FlowResolutionCache"]
 #: with sequential draws.
 _DRAWS_PER_PROBE = 5
 
+#: Spraying ECMP consumes one extra trailing uniform — the per-packet
+#: path pick — so columns 0–4 keep their static-mode meaning and the
+#: block stays fixed-width (batched draws remain bit-identical to
+#: sequential under either mode).
+_DRAWS_PER_PROBE_SPRAY = 6
+
+
+@dataclass(frozen=True)
+class _SprayChoice:
+    """One equal-probability path a sprayed probe may take."""
+
+    path: UnderlayPath
+    faults: Tuple[object, ...]
+    hops: int
+    switches: int
+
 
 @dataclass
 class _Resolution:
     """The deterministic (RNG-free, time-free) half of one probe."""
 
-    epoch: Tuple[int, int]            # (overlay.epoch, injector.epoch)
+    epoch: Tuple[int, int, int]  # (overlay, injector, routing) epochs
     trace: OverlayTrace
     fhash: int
     reached: bool
@@ -74,6 +90,10 @@ class _Resolution:
     overlay_fx: Effects = field(default_factory=Effects)
     hops: int = 0
     switches: int = 0
+    #: Spraying mode: the per-packet path *distribution* — every ECMP
+    #: candidate with its own relevant-fault tuple, pre-resolved so the
+    #: per-probe pick costs one uniform and one tuple index.
+    spray: Tuple[_SprayChoice, ...] = ()
 
 
 class FlowResolutionCache:
@@ -101,6 +121,10 @@ class FlowResolutionCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        #: ECMP mode resolutions are computed under ("static"/"spray");
+        #: owned by the fabric via :meth:`set_mode`.
+        self.ecmp_mode = "static"
+        self._routing_epoch = 0
         self._entries: Dict[
             Tuple[EndpointId, EndpointId, int], _Resolution
         ] = {}
@@ -108,9 +132,33 @@ class FlowResolutionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def current_epoch(self) -> Tuple[int, int]:
-        """The (overlay, injector) epoch pair entries are valid under."""
-        return (self._cluster.overlay.epoch, self._injector.epoch)
+    def set_mode(self, mode: str) -> None:
+        """Adopt an ECMP mode, invalidating every cached resolution.
+
+        Toggling spraying changes what a resolution *is* (pinned pick
+        vs. path distribution), so the routing epoch bumps and all
+        entries cached under the previous mode go stale — a per-flow
+        pick cached under static ECMP is never replayed as a sprayed
+        probe, and vice versa.
+        """
+        if mode == self.ecmp_mode:
+            return
+        self.ecmp_mode = mode
+        self._routing_epoch += 1
+
+    @property
+    def routing_epoch(self) -> int:
+        """Monotone counter of ECMP-mode switches."""
+        return self._routing_epoch
+
+    def current_epoch(self) -> Tuple[int, int, int]:
+        """The (overlay, injector, routing) epochs entries are valid
+        under."""
+        return (
+            self._cluster.overlay.epoch,
+            self._injector.epoch,
+            self._routing_epoch,
+        )
 
     def invalidate(self) -> None:
         """Drop every cached resolution (epochs make this optional)."""
@@ -164,13 +212,28 @@ class FlowResolutionCache:
         path = self._cluster.topology.pick_path(src_rnic, dst_rnic, fhash)
         faults = self._injector.relevant_faults(path, src_rnic, dst_rnic)
         overlay_fx = self._component_effects(src, dst, src_rnic, dst_rnic)
+        spray: Tuple[_SprayChoice, ...] = ()
+        if self.ecmp_mode == "spray":
+            spray = tuple(
+                _SprayChoice(
+                    path=candidate,
+                    faults=self._injector.relevant_faults(
+                        candidate, src_rnic, dst_rnic
+                    ),
+                    hops=candidate.hops,
+                    switches=len(candidate.switches()),
+                )
+                for candidate in self._cluster.topology.ecmp_paths(
+                    src_rnic, dst_rnic
+                )
+            )
         # Snapshot the epoch *after* side effects: the walk itself may
         # have installed flow rules (bumping the overlay epoch), and the
         # entry must be valid from this state onward.
         return _Resolution(
             epoch=self.current_epoch(), trace=trace, fhash=fhash,
             reached=True, path=path, faults=faults, overlay_fx=overlay_fx,
-            hops=path.hops, switches=len(path.switches()),
+            hops=path.hops, switches=len(path.switches()), spray=spray,
         )
 
     def _component_effects(
@@ -198,11 +261,16 @@ class FlowResolutionCache:
         return combined
 
 
-def _effects_at(resolution: _Resolution, at: float) -> Effects:
-    """Total effects on one probe at time ``at`` (flow = its fhash)."""
+def _merge_fault_effects(
+    faults: Tuple[object, ...],
+    overlay_fx: Effects,
+    at: float,
+    fhash: int,
+) -> Effects:
+    """Total effects of ``faults`` (plus overlay health) on one probe."""
     combined = Effects()
-    for fault in resolution.faults:
-        contribution = fault.effects(at, resolution.fhash)
+    for fault in faults:
+        contribution = fault.effects(at, fhash)
         if (
             contribution.down
             or contribution.loss_rate > 0.0
@@ -210,7 +278,14 @@ def _effects_at(resolution: _Resolution, at: float) -> Effects:
             or contribution.force_software_path
         ):
             combined = combined.merge(contribution)
-    return combined.merge(resolution.overlay_fx)
+    return combined.merge(overlay_fx)
+
+
+def _effects_at(resolution: _Resolution, at: float) -> Effects:
+    """Total effects on one probe at time ``at`` (flow = its fhash)."""
+    return _merge_fault_effects(
+        resolution.faults, resolution.overlay_fx, at, resolution.fhash
+    )
 
 
 class DataPlaneFabric:
@@ -235,6 +310,7 @@ class DataPlaneFabric:
         # set, probe uniforms are keyed by (pair, time, salt) instead of
         # consumed from the sequential stream.
         self._draw_source: Optional[PairwiseDrawSource] = None
+        self._pairwise_seed: Optional[int] = None
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.resolution_cache = FlowResolutionCache(
             cluster, injector, enabled=cache_enabled
@@ -243,16 +319,57 @@ class DataPlaneFabric:
     def use_pairwise_draws(self, seed: int) -> None:
         """Switch probe randomness to partition-independent keyed draws.
 
-        After this call every probe's five uniforms are a pure function
+        After this call every probe's uniform block is a pure function
         of ``(seed, src, dst, at, salt)`` — independent of batch
         composition and draw order — which is the invariant the sharded
         monitoring plane's cross-shard equivalence gate relies on.  The
         default sequential-stream behaviour (bit-compatible with the
         pre-shard fast path) applies until this is called.
         """
+        self._pairwise_seed = seed
         self._draw_source = PairwiseDrawSource(
-            seed, draws_per_probe=_DRAWS_PER_PROBE
+            seed, draws_per_probe=self._draw_width()
         )
+
+    # ------------------------------------------------------------------
+    # ECMP mode
+    # ------------------------------------------------------------------
+
+    @property
+    def ecmp_mode(self) -> str:
+        """The active ECMP mode: ``"static"`` (pinned per-flow pick) or
+        ``"spray"`` (per-packet path sampling)."""
+        return self.resolution_cache.ecmp_mode
+
+    @property
+    def spraying(self) -> bool:
+        """Whether per-packet path spraying is active."""
+        return self.ecmp_mode == "spray"
+
+    def set_ecmp_mode(self, mode: str) -> None:
+        """Switch between static per-flow ECMP and per-packet spraying.
+
+        Bumps the resolution cache's routing epoch (stale pinned picks
+        are never replayed under the wrong mode) and re-keys the
+        pairwise draw source, if one is active, to the mode's draw
+        width — spraying consumes a sixth per-probe uniform for the
+        path pick.
+        """
+        if mode not in ("static", "spray"):
+            raise ValueError(f"unknown ECMP mode {mode!r}")
+        if mode == self.ecmp_mode:
+            return
+        self.resolution_cache.set_mode(mode)
+        if self._pairwise_seed is not None:
+            self._draw_source = PairwiseDrawSource(
+                self._pairwise_seed, draws_per_probe=self._draw_width()
+            )
+
+    def _draw_width(self) -> int:
+        """Per-probe uniform-block width under the active ECMP mode."""
+        if self.spraying:
+            return _DRAWS_PER_PROBE_SPRAY
+        return _DRAWS_PER_PROBE
 
     def attach_metrics(self, metrics: MetricRegistry) -> None:
         """Adopt a shared registry, folding in any counts so far.
@@ -319,9 +436,10 @@ class DataPlaneFabric:
         if n == 0:
             return []
         if self._draw_source is None:
-            draws = self._rng.random((n, _DRAWS_PER_PROBE))
+            draws = self._rng.random((n, self._draw_width()))
         else:
             draws = self._draw_source.uniforms(endpoints, at, salt)
+        spraying = self.spraying
 
         cache = self.resolution_cache
         results: List[Optional[ProbeResult]] = [None] * n
@@ -329,6 +447,7 @@ class DataPlaneFabric:
         # Delivered probes accumulate here for one vectorized RTT pass.
         delivered: List[int] = []
         delivered_res: List[_Resolution] = []
+        delivered_path: List[Optional[UnderlayPath]] = []
         hops: List[int] = []
         switches: List[int] = []
         extra_us: List[float] = []
@@ -346,14 +465,27 @@ class DataPlaneFabric:
                     overlay_trace=trace,
                 )
                 continue
-            effects = _effects_at(res, at)
+            if spraying and res.spray:
+                # Per-packet path pick: the trailing uniform indexes the
+                # equal-probability ECMP candidate set.
+                k = len(res.spray)
+                choice = res.spray[min(int(draws[i, 5] * k), k - 1)]
+                effects = _merge_fault_effects(
+                    choice.faults, res.overlay_fx, at, res.fhash
+                )
+                taken_path = choice.path
+                taken_hops, taken_switches = choice.hops, choice.switches
+            else:
+                effects = _effects_at(res, at)
+                taken_path = res.path
+                taken_hops, taken_switches = res.hops, res.switches
             if effects.down:
                 lost += 1
                 results[i] = ProbeResult(
                     src=src, dst=dst, sent_at=at, lost=True,
                     reason="component down on path",
                     src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
-                    underlay_path=res.path, overlay_trace=trace,
+                    underlay_path=taken_path, overlay_trace=trace,
                 )
                 continue
             if effects.loss_rate > 0 and float(
@@ -364,13 +496,14 @@ class DataPlaneFabric:
                     src=src, dst=dst, sent_at=at, lost=True,
                     reason="packet dropped on path",
                     src_rnic=trace.src_rnic, dst_rnic=trace.dst_rnic,
-                    underlay_path=res.path, overlay_trace=trace,
+                    underlay_path=taken_path, overlay_trace=trace,
                 )
                 continue
             delivered.append(i)
             delivered_res.append(res)
-            hops.append(res.hops)
-            switches.append(res.switches)
+            delivered_path.append(taken_path)
+            hops.append(taken_hops)
+            switches.append(taken_switches)
             extra_us.append(effects.extra_latency_us)
             software.append(
                 trace.software_path or effects.force_software_path
@@ -397,7 +530,8 @@ class DataPlaneFabric:
                     software_path=bool(software[j]),
                     src_rnic=res.trace.src_rnic,
                     dst_rnic=res.trace.dst_rnic,
-                    underlay_path=res.path, overlay_trace=res.trace,
+                    underlay_path=delivered_path[j],
+                    overlay_trace=res.trace,
                 )
 
         self.metrics.increment("probes.sent", n)
@@ -428,6 +562,29 @@ class DataPlaneFabric:
         dst_rnic = overlay.rnic_of(dst)
         fhash = flow_hash(src, dst, salt)
         return self.cluster.topology.pick_path(src_rnic, dst_rnic, fhash)
+
+    def path_distribution(
+        self, src: EndpointId, dst: EndpointId, salt: int = 0
+    ) -> List[UnderlayPath]:
+        """Every underlay path a probe between ``src``/``dst`` may take.
+
+        Under spraying, the full equal-probability ECMP candidate set
+        (each path carries mass ``1/len``); under static ECMP, the
+        single pinned pick.  Distribution-aware tomography weights its
+        votes by this mass instead of assuming one deterministic path.
+        Empty when either endpoint is not attached to the overlay.
+        """
+        overlay = self.cluster.overlay
+        if not overlay.is_registered(src) or not overlay.is_registered(dst):
+            return []
+        src_rnic = overlay.rnic_of(src)
+        dst_rnic = overlay.rnic_of(dst)
+        if self.spraying:
+            return list(
+                self.cluster.topology.ecmp_paths(src_rnic, dst_rnic)
+            )
+        fhash = flow_hash(src, dst, salt)
+        return [self.cluster.topology.pick_path(src_rnic, dst_rnic, fhash)]
 
     @property
     def loss_fraction(self) -> float:

@@ -13,7 +13,7 @@ the paper's manual verification did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cluster.container import Container
 from repro.cluster.identifiers import (
@@ -26,14 +26,29 @@ from repro.cluster.identifiers import (
 from repro.cluster.orchestrator import Cluster
 from repro.cluster.overlay import ovs_name, veth_name, vtep_name
 from repro.cluster.topology import UnderlayPath
-from repro.network.issues import ISSUE_CATALOG, ComponentClass, IssueType, Symptom
+from repro.network.draws import keyed_uniform
+from repro.network.issues import (
+    ISSUE_CATALOG,
+    ComponentClass,
+    GrayIssueType,
+    IssueType,
+    Symptom,
+    spec_of,
+)
+from repro.network.load import (
+    LinkLoadModel,
+    collapse_latency_us,
+    collapse_loss_rate,
+)
 
 __all__ = [
     "Effects",
     "Fault",
     "FaultInjector",
     "container_component",
+    "gray_injection_overrides",
     "host_component",
+    "storm_center",
 ]
 
 
@@ -82,6 +97,13 @@ class Fault:
     flap_period_s: float = 0.0
     flap_duty: float = 0.5
     flow_selector: int = 1  # affect flows with hash % selector == 0
+    #: Links that suffer *secondary* effects (PFC pause propagation):
+    #: a path crossing one of these — but not the target — experiences
+    #: :attr:`victim_loss_rate`/:attr:`victim_extra_latency_us` instead
+    #: of the primary parameters.
+    victim_links: FrozenSet[LinkId] = frozenset()
+    victim_loss_rate: float = 0.0
+    victim_extra_latency_us: float = 0.0
     culprits: Set[str] = field(default_factory=set)
     #: Assigned by :meth:`FaultInjector.inject` when left ``None``;
     #: run-local (never a process-global counter) so two same-seed
@@ -93,12 +115,12 @@ class Fault:
     @property
     def symptom(self) -> Symptom:
         """The catalogue symptom of this fault's issue type."""
-        return ISSUE_CATALOG[self.issue].symptom
+        return spec_of(self.issue).symptom
 
     @property
     def component_class(self) -> ComponentClass:
         """The catalogue component class of this fault's issue type."""
-        return ISSUE_CATALOG[self.issue].component
+        return spec_of(self.issue).component
 
     def active_at(self, t: float) -> bool:
         """Whether the fault exists at time ``t``."""
@@ -127,6 +149,42 @@ class Fault:
             down=self.down,
             loss_rate=self.loss_rate,
             extra_latency_us=self.extra_latency_us,
+        )
+
+    def victim_view(self) -> "_VictimView":
+        """This fault as seen from one of its victim links.
+
+        The view satisfies the same ``effects(t, fhash)`` protocol the
+        fabric's cached fault tuples use, so a resolution whose path
+        crosses a victim link (but not the target) caches the view and
+        evaluates secondary effects per probe at zero extra cost.
+        """
+        view = self._victim_view
+        if view is None:
+            view = _VictimView(self)
+            self._victim_view = view
+        return view
+
+    _victim_view: Optional["_VictimView"] = field(
+        default=None, repr=False, compare=False
+    )
+
+
+class _VictimView:
+    """A fault's secondary (pause-propagation) face on a victim link."""
+
+    __slots__ = ("fault",)
+
+    def __init__(self, fault: Fault) -> None:
+        self.fault = fault
+
+    def effects(self, t: float, fhash: int = 0) -> Effects:
+        fault = self.fault
+        if not fault.misbehaving_at(t) or not fault.affects_flow(fhash):
+            return Effects()
+        return Effects(
+            loss_rate=fault.victim_loss_rate,
+            extra_latency_us=fault.victim_extra_latency_us,
         )
 
 
@@ -256,6 +314,12 @@ class FaultInjector:
                 hit = True
             if hit:
                 combined = combined.merge(fault.effects(t, fhash))
+            elif fault.victim_links and not fault.victim_links.isdisjoint(
+                link_set
+            ):
+                combined = combined.merge(
+                    fault.victim_view().effects(t, fhash)
+                )
         return combined
 
     def rnic_effects(self, rnic: RnicId, t: float, fhash: int = 0) -> Effects:
@@ -289,7 +353,7 @@ class FaultInjector:
         """
         link_set = set(path.links)
         switch_set = set(path.switches())
-        on_path: List[Fault] = []
+        on_path: List[object] = []
         on_src_rnic: List[Fault] = []
         on_dst_rnic: List[Fault] = []
         on_src_host: List[Fault] = []
@@ -299,6 +363,11 @@ class FaultInjector:
             if isinstance(target, LinkId):
                 if target in link_set:
                     on_path.append(fault)
+                elif fault.victim_links and not (
+                    fault.victim_links.isdisjoint(link_set)
+                ):
+                    # Victim-only hit: cache the secondary-effect view.
+                    on_path.append(fault.victim_view())
             elif isinstance(target, SwitchId):
                 if str(target) in switch_set:
                     on_path.append(fault)
@@ -511,7 +580,120 @@ def _container_fault(issue: IssueType, **params) -> Callable:
     return factory
 
 
-_FACTORIES: Dict[IssueType, Callable] = {
+# ----------------------------------------------------------------------
+# Gray-failure families (load-dependent; SHIFT §4 / SprayCheck §2)
+# ----------------------------------------------------------------------
+
+
+def storm_center(link: LinkId) -> str:
+    """The switch whose paused ports propagate a PFC storm on ``link``.
+
+    PFC pause frames travel upstream from the congested egress port, so
+    the storm centres on the link's aggregation-side device: the spine
+    for a ToR–spine link, the ToR for an access link.
+    """
+    for prefix in ("spine-", "core-", "tor-", "edge-"):
+        for name in (link.a, link.b):
+            if name.startswith(prefix):
+                return name
+    return link.a
+
+
+def _pfc_storm_factory(
+    cluster: Cluster, target: LinkId, start: float
+) -> Fault:
+    if not isinstance(target, LinkId):
+        raise TypeError(
+            f"{GrayIssueType.PFC_STORM} targets a LinkId, got {type(target)}"
+        )
+    center = storm_center(target)
+    victims = frozenset(
+        link for link in cluster.topology.links()
+        if link.touches(center) and link != target
+    )
+    return Fault(
+        issue=GrayIssueType.PFC_STORM, target=target, start=start,
+        loss_rate=0.06, extra_latency_us=350.0,
+        victim_links=victims,
+        victim_loss_rate=0.02, victim_extra_latency_us=220.0,
+        # Pause propagation makes the whole storm centre blameworthy:
+        # an accurate localizer may pin the congested link or the
+        # switch whose ports it paused.
+        culprits={str(target), center},
+    )
+
+
+def _congestion_collapse_factory(
+    cluster: Cluster, target: LinkId, start: float
+) -> Fault:
+    if not isinstance(target, LinkId):
+        raise TypeError(
+            f"{GrayIssueType.CONGESTION_COLLAPSE} targets a LinkId, "
+            f"got {type(target)}"
+        )
+    # Canonical severity assumes a warm link; injection sites that know
+    # the workload pass utilization-coupled overrides instead (see
+    # :func:`gray_injection_overrides`).
+    return Fault(
+        issue=GrayIssueType.CONGESTION_COLLAPSE, target=target, start=start,
+        loss_rate=collapse_loss_rate(0.75),
+        extra_latency_us=collapse_latency_us(0.75),
+        culprits={str(target)},
+    )
+
+
+def _partial_degradation_factory(
+    cluster: Cluster, target: LinkId, start: float
+) -> Fault:
+    if not isinstance(target, LinkId):
+        raise TypeError(
+            f"{GrayIssueType.PARTIAL_LINK_DEGRADATION} targets a LinkId, "
+            f"got {type(target)}"
+        )
+    return Fault(
+        issue=GrayIssueType.PARTIAL_LINK_DEGRADATION, target=target,
+        start=start, loss_rate=0.08, extra_latency_us=30.0,
+        culprits={str(target)},
+    )
+
+
+def gray_injection_overrides(
+    issue: GrayIssueType,
+    target: LinkId,
+    seed: int,
+    load_model: Optional[LinkLoadModel] = None,
+    salt: int = 0,
+) -> Dict[str, float]:
+    """Scenario-coupled severity overrides for a gray fault.
+
+    Partial degradation draws its severity through the keyed-draw
+    contract — a pure function of ``(seed, target, salt)``, so every
+    replica of a run derives the same marginal link.  Congestion
+    collapse couples severity to the link's utilization under the
+    workload's traffic matrix when a :class:`LinkLoadModel` is given
+    (cool links collapse mildly, hot links catastrophically).  PFC
+    storms need no overrides: the factory derives the victim set from
+    the topology itself.
+    """
+    if issue is GrayIssueType.PARTIAL_LINK_DEGRADATION:
+        severity = keyed_uniform(seed, f"gray:partial:{target}", salt)
+        return {
+            "loss_rate": 0.05 + 0.10 * severity,
+            "extra_latency_us": 18.0 + 42.0 * severity,
+        }
+    if issue is GrayIssueType.CONGESTION_COLLAPSE and load_model is not None:
+        utilization = max(0.35, load_model.class_utilization(target))
+        return {
+            "loss_rate": collapse_loss_rate(utilization),
+            "extra_latency_us": collapse_latency_us(utilization),
+        }
+    return {}
+
+
+_FACTORIES: Dict[object, Callable] = {
+    GrayIssueType.PFC_STORM: _pfc_storm_factory,
+    GrayIssueType.CONGESTION_COLLAPSE: _congestion_collapse_factory,
+    GrayIssueType.PARTIAL_LINK_DEGRADATION: _partial_degradation_factory,
     IssueType.CRC_ERROR: _link_fault(
         IssueType.CRC_ERROR, loss_rate=0.10
     ),

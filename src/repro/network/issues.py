@@ -7,15 +7,34 @@ the paper reports (packet loss, unconnectivity, or high latency).  The
 fault injector turns each catalogue entry into a concrete perturbation of
 the simulated data plane, and the evaluation harness scores localization
 against the catalogue's component class.
+
+Beyond Table 1, :class:`GrayIssueType` catalogues the *load-dependent*
+gray-failure families from the SHIFT/SprayCheck literature — PFC storms,
+congestion collapse, and partial link degradation — which perturb the
+fabric probabilistically rather than binarily.  They live in a separate
+enum so the Table-1 set stays exactly nineteen entries (several gates
+and figures depend on that count); :func:`spec_of` and
+:func:`all_issue_types` give callers one view over both catalogues.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
-__all__ = ["ComponentClass", "IssueSpec", "IssueType", "Symptom", "ISSUE_CATALOG"]
+__all__ = [
+    "ComponentClass",
+    "GrayIssueType",
+    "IssueSpec",
+    "IssueType",
+    "Symptom",
+    "GRAY_CATALOG",
+    "ISSUE_CATALOG",
+    "all_issue_types",
+    "lookup_issue",
+    "spec_of",
+]
 
 
 class Symptom(enum.Enum):
@@ -62,18 +81,42 @@ class IssueType(enum.Enum):
     CONGESTION_CONTROL_ISSUE = 19
 
 
+class GrayIssueType(enum.Enum):
+    """Load-dependent gray-failure families (SHIFT §4, SprayCheck §2).
+
+    Values start at 101 so they can never collide with — or be mistaken
+    for — a Table-1 row number.
+    """
+
+    PFC_STORM = 101
+    CONGESTION_COLLAPSE = 102
+    PARTIAL_LINK_DEGRADATION = 103
+
+
+#: Either catalogue's enum — most call sites accept both.
+AnyIssue = Union[IssueType, GrayIssueType]
+
+
 @dataclass(frozen=True)
 class IssueSpec:
-    """Catalogue metadata for one issue type."""
+    """Catalogue metadata for one issue type.
 
-    issue: IssueType
+    ``target_kind`` names the canonical injection-target species for
+    the issue (``"link"``, ``"switch"``, ``"rnic"``, ``"host"``, or
+    ``"container"``) so target selection — in the CLI campaign and the
+    degradation gates — is catalogue-driven: registering a new issue
+    never requires a per-family code edit at the injection sites.
+    """
+
+    issue: AnyIssue
     component: ComponentClass
     symptom: Symptom
     reason: str
+    target_kind: str = "rnic"
 
     @property
     def number(self) -> int:
-        """The row number in Table 1."""
+        """The row number in Table 1 (or the gray-catalogue id)."""
         return self.issue.value
 
 
@@ -85,24 +128,28 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             ComponentClass.INTER_HOST_NETWORK,
             Symptom.PACKET_LOSS,
             "Physical fabric causes packet corruption.",
+            target_kind="link",
         ),
         IssueSpec(
             IssueType.SWITCH_PORT_DOWN,
             ComponentClass.INTER_HOST_NETWORK,
             Symptom.UNCONNECTIVITY,
             "The switch port is unreachable.",
+            target_kind="link",
         ),
         IssueSpec(
             IssueType.SWITCH_PORT_FLAPPING,
             ComponentClass.INTER_HOST_NETWORK,
             Symptom.PACKET_LOSS,
             "The switch port is flapping.",
+            target_kind="link",
         ),
         IssueSpec(
             IssueType.SWITCH_OFFLINE,
             ComponentClass.INTER_HOST_NETWORK,
             Symptom.UNCONNECTIVITY,
             "The switch crashes or is manually set to offline for upgrade.",
+            target_kind="switch",
         ),
         IssueSpec(
             IssueType.RNIC_HARDWARE_FAILURE,
@@ -151,6 +198,7 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             ComponentClass.HOST_BOARD,
             Symptom.HIGH_LATENCY,
             "The RNICs in the same host cannot communicate with each other.",
+            target_kind="host",
         ),
         IssueSpec(
             IssueType.GPU_DIRECT_RDMA_ERROR,
@@ -158,6 +206,7 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             Symptom.HIGH_LATENCY,
             "The GPU cannot directly communicate with the RNIC in the "
             "container.",
+            target_kind="host",
         ),
         IssueSpec(
             IssueType.NOT_USING_RDMA,
@@ -165,6 +214,7 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             Symptom.HIGH_LATENCY,
             "Flows that should be transmitted over RDMA are actually using "
             "TCP/UDP.",
+            target_kind="host",
         ),
         IssueSpec(
             IssueType.REPETITIVE_FLOW_OFFLOADING,
@@ -178,6 +228,7 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             Symptom.HIGH_LATENCY,
             "Flows are offloaded with incorrect orders with high latency of "
             "some flows.",
+            target_kind="host",
         ),
         IssueSpec(
             IssueType.CONTAINER_CRASH,
@@ -185,6 +236,7 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             Symptom.UNCONNECTIVITY,
             "Containers crash shortly after creation due to container "
             "runtime defects.",
+            target_kind="container",
         ),
         IssueSpec(
             IssueType.HUGEPAGE_MISCONFIGURATION,
@@ -192,6 +244,7 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             Symptom.HIGH_LATENCY,
             "The host's hugepage configuration is not consistent with the "
             "RNIC.",
+            target_kind="host",
         ),
         IssueSpec(
             IssueType.CONGESTION_CONTROL_ISSUE,
@@ -199,16 +252,72 @@ ISSUE_CATALOG: Dict[IssueType, IssueSpec] = {
             Symptom.HIGH_LATENCY,
             "The congestion control of a specific queue in the switch is "
             "not enabled.",
+            target_kind="switch",
         ),
     ]
 }
 
 
+GRAY_CATALOG: Dict[GrayIssueType, IssueSpec] = {
+    spec.issue: spec
+    for spec in [
+        IssueSpec(
+            GrayIssueType.PFC_STORM,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.HIGH_LATENCY,
+            "A congested port's PFC pause frames propagate upstream, "
+            "stalling victim links that share the paused switch.",
+            target_kind="link",
+        ),
+        IssueSpec(
+            GrayIssueType.CONGESTION_COLLAPSE,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.PACKET_LOSS,
+            "Sustained over-utilization collapses a link's effective "
+            "capacity; drop rate and RTT scale with offered load.",
+            target_kind="link",
+        ),
+        IssueSpec(
+            GrayIssueType.PARTIAL_LINK_DEGRADATION,
+            ComponentClass.INTER_HOST_NETWORK,
+            Symptom.PACKET_LOSS,
+            "A marginal link drops and delays a fraction of packets "
+            "while carrying the rest normally.",
+            target_kind="link",
+        ),
+    ]
+}
+
+
+def spec_of(issue: AnyIssue) -> IssueSpec:
+    """Catalogue metadata for a Table-1 *or* gray issue type."""
+    spec = ISSUE_CATALOG.get(issue) or GRAY_CATALOG.get(issue)
+    if spec is None:
+        raise KeyError(f"unknown issue type: {issue!r}")
+    return spec
+
+
+def lookup_issue(name: str) -> AnyIssue:
+    """Resolve an issue *name* against both catalogues (for codecs)."""
+    try:
+        return IssueType[name]
+    except KeyError:
+        try:
+            return GrayIssueType[name]
+        except KeyError:
+            raise KeyError(f"unknown issue name: {name!r}") from None
+
+
+def all_issue_types() -> tuple:
+    """Every scoreable issue: the Table-1 set then the gray families."""
+    return tuple(IssueType) + tuple(GrayIssueType)
+
+
 def issues_with_symptom(symptom: Symptom) -> List[IssueSpec]:
-    """All catalogue entries exhibiting ``symptom``."""
+    """All Table-1 catalogue entries exhibiting ``symptom``."""
     return [s for s in ISSUE_CATALOG.values() if s.symptom == symptom]
 
 
 def issues_in_component(component: ComponentClass) -> List[IssueSpec]:
-    """All catalogue entries attributed to ``component``."""
+    """All Table-1 catalogue entries attributed to ``component``."""
     return [s for s in ISSUE_CATALOG.values() if s.component == component]

@@ -28,7 +28,7 @@ from repro.cluster.identifiers import ContainerId
 from repro.core.detection import DetectorConfig
 from repro.core.pinglist import PingList, ProbePair
 from repro.network.faults import Fault
-from repro.network.issues import IssueType
+from repro.network.issues import lookup_issue
 from repro.workloads.scenarios import MonitoredScenario, build_scenario
 
 __all__ = [
@@ -61,9 +61,9 @@ class FaultSpec:
     end_round: Optional[int] = None
     overrides: Tuple[Tuple[str, float], ...] = ()
 
-    def issue_type(self) -> IssueType:
-        """The catalogue issue this spec injects."""
-        return IssueType[self.issue]
+    def issue_type(self):
+        """The catalogue issue this spec injects (Table 1 or gray)."""
+        return lookup_issue(self.issue)
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,11 @@ class ShardScenarioSpec:
     #: cross-backend equivalence run — rebuilds the exact analyzer the
     #: original shard used.
     analyzer_backend: str = "columnar"
+    #: ECMP mode every replica's fabric runs in ("static" or "spray").
+    #: Part of the spec for the same reason as the backend: a spraying
+    #: run's probe outcomes draw a sixth per-probe column, so a replica
+    #: rebuilt in the wrong mode would diverge bit-wise.
+    ecmp_mode: str = "static"
 
     def round_time(self, round_index: int) -> float:
         """Simulated time of round ``round_index`` (rounds are 1-based,
@@ -143,6 +148,7 @@ def build_replica(spec: ShardScenarioSpec) -> MonitoredScenario:
         num_spines=spec.num_spines,
         hosts_per_segment=spec.hosts_per_segment,
         detector_config=spec.detector,
+        ecmp_mode=spec.ecmp_mode,
         instant_startup=True,
         start_monitoring=False,
         watch=False,

@@ -112,12 +112,14 @@ def build_default_report(
         seed=seed,
     )
     if issue is not None:
-        from repro.network.issues import IssueType
+        from repro.network.issues import all_issue_types, lookup_issue
 
         try:
-            kind = IssueType[issue.upper()]
+            kind = lookup_issue(issue.upper())
         except KeyError:
-            valid = ", ".join(sorted(i.name for i in IssueType))
+            valid = ", ".join(
+                sorted(i.name for i in all_issue_types())
+            )
             raise SystemExit(
                 f"unknown issue {issue!r}; expected one of: {valid}"
             )

@@ -43,8 +43,13 @@ class RailWiringPass(VerificationPass):
     name = "topology.rail_wiring"
 
     def run(self, context: VerificationContext) -> PassResult:
-        result = self.result()
         topology = context.topology
+        if not getattr(topology, "is_rail_optimized", True):
+            return self.skip(
+                "fabric is not rail-optimized; rail wiring invariants "
+                "do not apply"
+            )
+        result = self.result()
         by_tor: Dict[SwitchId, List[RnicId]] = {}
         for rnic in topology.all_rnics():
             result.checked += 1
@@ -112,8 +117,13 @@ class SpineFanoutPass(VerificationPass):
     name = "topology.spine_fanout"
 
     def run(self, context: VerificationContext) -> PassResult:
-        result = self.result()
         topology = context.topology
+        if not getattr(topology, "is_rail_optimized", True):
+            return self.skip(
+                "fabric is not rail-optimized; uniform rail-plane "
+                "fan-out does not apply"
+            )
+        result = self.result()
         spines = {str(s) for s in topology.spines}
         for tor in topology.tors():
             result.checked += 1
@@ -306,14 +316,21 @@ class ConnectivityPass(VerificationPass):
                     f"RNIC has degree {degrees.get(str(rnic), 0)}, "
                     "expected exactly 1 (its ToR access link)",
                 )
-        expected_tor = topology.hosts_per_segment + topology.num_spines
+        # Uniform wirings put the same number of access links on every
+        # ToR; deriving it from totals keeps the check valid for both
+        # rail-optimized (one RNIC per segment host) and fat-tree (every
+        # RNIC of every segment host) fabrics.
+        num_tors_total = max(1, len(topology.tors()))
+        expected_tor = (
+            topology.num_rnics // num_tors_total + topology.num_spines
+        )
         for tor in topology.tors():
             if degrees.get(str(tor), 0) != expected_tor:
                 self.finding(
                     result, tor,
                     f"ToR has degree {degrees.get(str(tor), 0)}, "
                     f"expected {expected_tor} "
-                    "(segment hosts + spine uplinks)",
+                    "(access links + spine uplinks)",
                 )
         num_tors = len(topology.tors())
         for spine in topology.spines:

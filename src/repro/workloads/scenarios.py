@@ -23,7 +23,7 @@ from repro.core.skeleton import InferredSkeleton, SkeletonInference
 from repro.core.system import SkeletonHunter
 from repro.network.fabric import DataPlaneFabric
 from repro.network.faults import Fault, FaultInjector
-from repro.network.issues import ISSUE_CATALOG, ComponentClass, IssueType
+from repro.network.issues import IssueType, spec_of
 from repro.network.latency import LatencyModel, TransientCongestion
 from repro.obs.trace import TraceRecorder
 from repro.sim.engine import SimulationEngine
@@ -116,29 +116,28 @@ class MonitoredScenario:
         return self.cluster.overlay.rnic_of(self.endpoint_of_rank(rank))
 
 
-def standard_fault_target(scenario: MonitoredScenario, issue: IssueType):
+def standard_fault_target(scenario: MonitoredScenario, issue):
     """The canonical injection target for ``issue`` in this scenario.
 
     One shared resolution — used by the CLI demo/campaign commands and
     the chaos degradation gate — so "inject issue X" always hits the
-    same kind of component for the same scenario and seed.
+    same kind of component for the same scenario and seed.  Dispatch is
+    catalog-driven via :func:`~repro.network.issues.spec_of`'s
+    ``target_kind``, so new families (including the gray catalog) get a
+    target without per-issue branches here.
     """
+    kind = spec_of(issue).target_kind
     rnic = scenario.rnic_of_rank(scenario.workload.gpus_per_container)
-    if issue in (IssueType.CRC_ERROR, IssueType.SWITCH_PORT_DOWN,
-                 IssueType.SWITCH_PORT_FLAPPING):
+    if kind == "link":
         pair = scenario.hunter.monitored_pairs()[0]
         return scenario.fabric.traceroute(pair.src, pair.dst).links[1]
-    if issue in (IssueType.SWITCH_OFFLINE,
-                 IssueType.CONGESTION_CONTROL_ISSUE):
+    if kind == "switch":
         return scenario.topology.tor_of(rnic)
-    if issue == IssueType.CONTAINER_CRASH:
+    if kind == "container":
         return scenario.task.containers[
             ContainerId(scenario.task.id, 1)
         ]
-    host_level = (ComponentClass.HOST_BOARD, ComponentClass.VIRTUAL_SWITCH,
-                  ComponentClass.CONFIGURATION)
-    if ISSUE_CATALOG[issue].component in host_level and \
-            issue is not IssueType.REPETITIVE_FLOW_OFFLOADING:
+    if kind == "host":
         return rnic.host
     return rnic
 
@@ -153,6 +152,8 @@ def build_scenario(
     probe_interval_s: float = 2.0,
     num_spines: int = 4,
     hosts_per_segment: int = 8,
+    topology=None,
+    ecmp_mode: str = "static",
     detector_config: Optional[DetectorConfig] = None,
     congestion: Optional[TransientCongestion] = None,
     latency_model: Optional[LatencyModel] = None,
@@ -186,13 +187,16 @@ def build_scenario(
     dp = total_gpus // (tp * pp)
     config = ParallelismConfig(tp=tp, pp=pp, dp=dp, ep=ep)
 
-    num_segments = max(2, math.ceil(num_containers / hosts_per_segment))
-    topology = RailOptimizedTopology(
-        num_segments=num_segments,
-        hosts_per_segment=hosts_per_segment,
-        rails_per_host=gpus_per_container,
-        num_spines=num_spines,
-    )
+    if topology is None:
+        num_segments = max(
+            2, math.ceil(num_containers / hosts_per_segment)
+        )
+        topology = RailOptimizedTopology(
+            num_segments=num_segments,
+            hosts_per_segment=hosts_per_segment,
+            rails_per_host=gpus_per_container,
+            num_spines=num_spines,
+        )
     cluster = Cluster(topology)
     engine = SimulationEngine()
     rng = RngRegistry(seed)
@@ -209,6 +213,8 @@ def build_scenario(
         latency_model=latency_model, congestion=congestion,
         metrics=observability.metrics if observability else None,
     )
+    if ecmp_mode != "static":
+        fabric.set_ecmp_mode(ecmp_mode)
     hunter = SkeletonHunter(
         cluster, engine, fabric, orchestrator,
         detector_config=detector_config,

@@ -1,9 +1,10 @@
-"""Tests for the rail-optimized topology."""
+"""Tests for the rail-optimized and plain fat-tree topologies."""
 
 import pytest
 
 from repro.cluster.identifiers import HostId, LinkId, RnicId
 from repro.cluster.topology import (
+    FatTreeTopology,
     RailOptimizedTopology,
     TopologyError,
     UnderlayPath,
@@ -158,6 +159,79 @@ class TestEcmpMemoization:
             assert topo.pick_path(src, dst, fhash) == (
                 paths[fhash % len(paths)]
             )
+
+
+class TestFatTree:
+    """The plain leaf-spine fabric behind the same topology surface."""
+
+    @pytest.fixture
+    def fat(self):
+        return FatTreeTopology(
+            num_segments=2, hosts_per_segment=4, rnics_per_host=2,
+            num_spines=2,
+        )
+
+    def test_not_rail_optimized(self, fat):
+        assert fat.is_rail_optimized is False
+        assert RailOptimizedTopology.is_rail_optimized is True
+
+    def test_structure_counts(self, fat):
+        assert fat.num_hosts == 8
+        assert fat.num_rnics == 16
+        # One leaf per segment, every leaf uplinked to every spine:
+        # 16 access links + 2*2 fabric links.
+        assert len(fat.tors()) == 2
+        assert len(fat.links()) == 16 + 4
+
+    def test_every_rail_of_a_host_shares_the_leaf(self, fat):
+        host = HostId(0)
+        leaves = {fat.tor_of(RnicId(host, rail)) for rail in range(2)}
+        assert len(leaves) == 1
+
+    def test_same_segment_hosts_share_the_leaf(self, fat):
+        assert fat.tor_of(RnicId(HostId(0), 0)) == (
+            fat.tor_of(RnicId(HostId(3), 1))
+        )
+        assert fat.tor_of(RnicId(HostId(0), 0)) != (
+            fat.tor_of(RnicId(HostId(4), 0))
+        )
+
+    def test_cross_segment_fans_out_over_all_spines(self, fat):
+        src = RnicId(HostId(0), 0)
+        dst = RnicId(HostId(4), 1)
+        paths = fat.ecmp_paths(src, dst)
+        assert len(paths) == fat.num_spines
+        spines = {path.devices[2] for path in paths}
+        assert len(spines) == fat.num_spines
+
+    def test_cross_rail_same_segment_stays_under_the_leaf(self, fat):
+        # No rail striping: a cross-"rail" pair under one leaf takes a
+        # single two-hop path, where the rail-optimized fabric would
+        # have to climb to the spines.
+        src = RnicId(HostId(0), 0)
+        dst = RnicId(HostId(1), 1)
+        paths = fat.ecmp_paths(src, dst)
+        assert len(paths) == 1
+        assert paths[0].hops == 2
+
+    def test_all_path_links_exist_in_fabric(self, fat):
+        src = RnicId(HostId(0), 0)
+        dst = RnicId(HostId(7), 1)
+        for path in fat.ecmp_paths(src, dst):
+            for link in path.links:
+                assert fat.has_link(link)
+
+    def test_out_of_range_rail_rejected(self, fat):
+        with pytest.raises(TopologyError):
+            fat.tor_of(RnicId(HostId(0), 7))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(num_segments=0)
+        with pytest.raises(TopologyError):
+            FatTreeTopology(rnics_per_host=0)
+        with pytest.raises(TopologyError):
+            FatTreeTopology(num_spines=0)
 
 
 class TestUnderlayPath:

@@ -1,0 +1,123 @@
+"""Tests for the per-link load model and the collapse severity curves.
+
+Gray-failure severity is load-coupled, so the load model must be a
+pure, deterministic function of (workload, cluster) — and it must keep
+access links and fabric links in separate capacity strata, or ECMP's
+spreading would make every congested uplink look cool next to an
+access link that concentrates a whole rank's traffic.
+"""
+
+import pytest
+
+from repro.cluster.identifiers import LinkId
+from repro.network.load import (
+    LinkLoadModel,
+    collapse_latency_us,
+    collapse_loss_rate,
+)
+from repro.workloads.scenarios import build_scenario
+
+
+def _scenario(seed=0):
+    return build_scenario(
+        num_containers=4, gpus_per_container=4, seed=seed,
+        hosts_per_segment=2, start_monitoring=False,
+    )
+
+
+class TestCollapseCurves:
+    def test_loss_monotonic_in_load(self):
+        samples = [collapse_loss_rate(u / 10.0) for u in range(11)]
+        assert samples == sorted(samples)
+
+    def test_loss_is_gray_not_binary(self):
+        # Even a saturated link keeps delivering most packets: collapse
+        # degrades, it does not blackhole.
+        assert 0.0 < collapse_loss_rate(0.0) < collapse_loss_rate(1.0)
+        assert collapse_loss_rate(1.0) <= 0.45
+
+    def test_latency_monotonic_and_floored(self):
+        samples = [collapse_latency_us(u / 10.0) for u in range(11)]
+        assert samples == sorted(samples)
+        assert samples[0] > 0.0
+
+    def test_out_of_range_utilization_is_clamped(self):
+        assert collapse_loss_rate(-1.0) == collapse_loss_rate(0.0)
+        assert collapse_loss_rate(2.0) == collapse_loss_rate(1.0)
+        assert collapse_latency_us(2.0) == collapse_latency_us(1.0)
+
+
+class TestLinkLoadModel:
+    def test_utilization_normalizes_to_hottest(self):
+        a = LinkId.between("tor-0", "spine-0")
+        b = LinkId.between("tor-0", "spine-1")
+        model = LinkLoadModel({a: 4.0, b: 1.0})
+        assert model.utilization(a) == 1.0
+        assert model.utilization(b) == pytest.approx(0.25)
+        assert model.hottest_link() == a
+
+    def test_unknown_link_carries_no_load(self):
+        model = LinkLoadModel({})
+        stray = LinkId.between("tor-0", "spine-0")
+        assert model.load(stray) == 0.0
+        assert model.utilization(stray) == 0.0
+        assert model.hottest_link() is None
+
+    def test_class_utilization_separates_strata(self):
+        # The access link is globally hottest, yet the busier of the
+        # two fabric links must still read 1.0 within its own stratum.
+        access = LinkId.between("host-0/rnic-0", "tor-0")
+        hot = LinkId.between("tor-0", "spine-0")
+        cool = LinkId.between("tor-0", "spine-1")
+        model = LinkLoadModel({access: 10.0, hot: 2.0, cool: 1.0})
+        assert model.utilization(hot) == pytest.approx(0.2)
+        assert model.class_utilization(hot) == 1.0
+        assert model.class_utilization(cool) == pytest.approx(0.5)
+        assert model.class_utilization(access) == 1.0
+
+    def test_hot_links_threshold(self):
+        a = LinkId.between("tor-0", "spine-0")
+        b = LinkId.between("tor-0", "spine-1")
+        model = LinkLoadModel({a: 4.0, b: 1.0})
+        assert model.hot_links(threshold=0.7) == [a]
+        assert set(model.hot_links(threshold=0.1)) == {a, b}
+
+
+class TestFromWorkload:
+    def test_deterministic_across_replicas(self):
+        one = _scenario()
+        two = _scenario()
+        model_one = LinkLoadModel.from_workload(
+            one.workload, one.cluster
+        )
+        model_two = LinkLoadModel.from_workload(
+            two.workload, two.cluster
+        )
+        for link in one.topology.links():
+            assert model_one.load(link) == model_two.load(link)
+
+    def test_traffic_lands_on_fabric_links(self):
+        scenario = _scenario()
+        model = LinkLoadModel.from_workload(
+            scenario.workload, scenario.cluster
+        )
+        fabric_loads = [
+            model.load(link) for link in scenario.topology.links()
+            if "/rnic-" not in link.a and "/rnic-" not in link.b
+        ]
+        assert any(load > 0.0 for load in fabric_loads)
+
+    def test_path_and_distribution_utilization(self):
+        scenario = _scenario()
+        model = LinkLoadModel.from_workload(
+            scenario.workload, scenario.cluster
+        )
+        rnics = scenario.topology.all_rnics()
+        src, dst = rnics[0], rnics[-1]
+        paths = scenario.topology.ecmp_paths(src, dst)
+        bottlenecks = [model.path_utilization(p) for p in paths]
+        expected = sum(bottlenecks) / len(bottlenecks)
+        assert model.distribution_utilization(paths) == pytest.approx(
+            expected
+        )
+        assert model.distribution_utilization([]) == 0.0

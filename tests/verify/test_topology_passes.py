@@ -134,3 +134,43 @@ class TestConnectivityPass:
         components = {f.component for f in result.findings}
         assert "tor-0" in components
         assert "spine-0" in components
+
+
+class TestFatTreeSkips:
+    """Rail invariants are meaningless on a plain fat-tree fabric: the
+    rail passes must skip (with a recorded reason) rather than report
+    false miswirings, while the topology-agnostic passes still run."""
+
+    def _fat_tree(self):
+        from repro.cluster.topology import FatTreeTopology
+
+        return FatTreeTopology(
+            num_segments=2, hosts_per_segment=4, rnics_per_host=2,
+            num_spines=2,
+        )
+
+    def test_rail_wiring_pass_skips(self):
+        result = RailWiringPass().run(context_for(self._fat_tree()))
+        assert result.skipped
+        assert "not rail-optimized" in result.reason
+        assert not result.ok
+
+    def test_spine_fanout_pass_skips(self):
+        result = SpineFanoutPass().run(context_for(self._fat_tree()))
+        assert result.skipped
+        assert "not rail-optimized" in result.reason
+
+    def test_ecmp_pass_still_runs_clean(self):
+        result = EcmpEquivalencePass().run(
+            context_for(self._fat_tree())
+        )
+        assert not result.skipped
+        assert result.findings == []
+        assert result.checked > 0
+
+    def test_connectivity_pass_still_runs_clean(self):
+        result = ConnectivityPass().run(context_for(self._fat_tree()))
+        assert not result.skipped
+        assert result.findings == []
+        # 16 RNICs + 2 leaves + 2 spines
+        assert result.checked == 20
